@@ -1,0 +1,77 @@
+// Quantifies the paper's §II claim that existing schedulers cannot trade off
+// the objectives: compares the optimized stochastic schedule against
+//   - MCMC (Metropolis) chain pinned to the target visit distribution,
+//   - SFQ/lottery-style iid proportional scheduler,
+//   - deterministic weighted tour (WFQ/stride analogue),
+// on DeltaC, E-bar, and entropy rate, for all four topologies.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/baselines/metropolis.hpp"
+#include "src/baselines/proportional.hpp"
+#include "src/baselines/tour.hpp"
+#include "src/descent/annealing_baseline.hpp"
+#include "src/descent/initializers.hpp"
+#include "src/markov/entropy.hpp"
+
+namespace {
+
+using namespace mocos;
+
+void report_chain(util::Table& t, const core::Problem& problem,
+                  const std::string& name, const markov::TransitionMatrix& p) {
+  const auto m = problem.metrics_of(p);
+  t.add_row({name, util::fmt(m.delta_c, 6), util::fmt(m.e_bar, 3),
+             util::fmt(markov::entropy_rate(p), 3)});
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t iters = bench::scaled(1000, 150);
+  for (int topo = 1; topo <= 4; ++topo) {
+    const auto problem = bench::make_problem(topo, 1.0, 1e-4);
+    bench::banner("Baseline comparison, " + problem.topology().name() +
+                  " (alpha=1, beta=1e-4)");
+    util::Table t({"scheduler", "DeltaC", "E-bar", "entropy"});
+
+    core::OptimizerOptions opts;
+    opts.algorithm = core::Algorithm::kPerturbed;
+    opts.max_iterations = iters;
+    opts.seed = 3;
+    opts.stall_limit = 250;
+    opts.keep_trace = false;
+    const auto ours = core::CoverageOptimizer(problem, opts).run();
+    report_chain(t, problem, "mocos (perturbed SD)", ours.p);
+
+    // Same iteration budget, no gradient: what Eq. 10 buys.
+    const auto cost = problem.make_cost();
+    descent::AnnealingConfig acfg;
+    acfg.max_iterations = iters;
+    util::Rng arng(3);
+    const auto blind = descent::anneal_schedule(
+        cost, descent::uniform_start(problem.num_pois()), acfg, arng);
+    report_chain(t, problem, "blind annealing", blind.best_p);
+
+    report_chain(t, problem, "MCMC / Metropolis",
+                 baselines::metropolis_chain(problem.targets()));
+    report_chain(
+        t, problem, "SFQ proportional",
+        baselines::proportional_chain(
+            baselines::weights_from_targets(problem.targets())));
+
+    const auto seq = baselines::weighted_tour(problem.targets(),
+                                              4 * problem.num_pois());
+    baselines::TourSchedule tour(problem.model(), seq);
+    t.add_row({"weighted tour (det.)", util::fmt(tour.delta_c(problem.targets()), 6),
+               util::fmt(tour.e_bar(), 3), "0.000"});
+
+    t.print(std::cout);
+  }
+  std::cout << "\nexpected: mocos dominates or matches each baseline on the "
+               "weighted objective; the tour has zero entropy "
+               "(fully predictable), SFQ couples rate and fairness, MCMC "
+               "pins visits but ignores exposure and travel-time effects\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 4: cost U vs iteration for the basic algorithm with the
+// exposure-only objective (alpha=0, beta=1), Topology 1.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/descent/initializers.hpp"
+#include "src/descent/steepest_descent.hpp"
+
+int main() {
+  using namespace mocos;
+  const std::size_t iters = bench::scaled(20000, 1000);
+  const double movement = bench::quick_mode() ? 1e-3 : 2e-4;
+
+  const auto problem = bench::make_problem(1, 0.0, 1.0);
+  const auto cost = problem.make_cost();
+  const auto start = descent::uniform_start(4);
+  descent::DescentConfig cfg;
+  cfg.step_policy = descent::StepPolicy::kConstant;
+  cfg.constant_step = bench::calibrated_step(cost, start, movement);
+  cfg.max_iterations = iters;
+  descent::SteepestDescent driver(cost, cfg);
+  const auto res = driver.run(start);
+
+  bench::banner("Fig. 4: basic algorithm, U vs iteration (alpha=0, beta=1, "
+                "Topology 1, Dt=" +
+                util::fmt(cfg.constant_step, 8) + ")");
+  util::Table t({"iteration", "U_eps", "step", "|grad|"});
+  auto csv = bench::maybe_csv("fig4", {"iteration", "u_eps", "grad_norm"});
+  for (const auto& rec : res.trace.records()) {
+    if (csv)
+      csv->write_row(std::vector<double>{
+          static_cast<double>(rec.iteration), rec.cost, rec.gradient_norm});
+  }
+  for (const auto& rec : res.trace.subsample(15))
+    t.add_row({std::to_string(rec.iteration), util::fmt(rec.cost, 8),
+               util::fmt(rec.step, 8), util::fmt(rec.gradient_norm, 6)});
+  t.print(std::cout);
+  std::cout << "final cost: " << util::fmt(res.cost, 8) << " after "
+            << res.iterations << " iterations\n"
+            << "expected: monotone decrease flattening out\n";
+  return 0;
+}

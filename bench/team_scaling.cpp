@@ -1,0 +1,81 @@
+// Multi-sensor extension bench: team size vs combined coverage and staleness
+// (uncovered gaps), on Topologies 1 and 4. Also isolates what the residual
+// best-response rounds buy over naively cloning one optimized chain.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/multi/team_optimizer.hpp"
+#include "src/multi/team_simulator.hpp"
+
+namespace {
+
+using namespace mocos;
+
+struct TeamScores {
+  double mean_cov = 0.0;
+  double min_cov = 1.0;
+  double worst_gap = 0.0;
+};
+
+TeamScores evaluate(const multi::SensorTeam& team, std::size_t transitions,
+                    std::uint64_t seed) {
+  multi::TeamSimulationConfig cfg;
+  cfg.transitions_per_sensor = transitions;
+  util::Rng rng(seed);
+  const auto res = multi::TeamSimulator(cfg).run(team, rng);
+  TeamScores s;
+  for (double c : res.covered_fraction) {
+    s.mean_cov += c;
+    s.min_cov = std::min(s.min_cov, c);
+  }
+  s.mean_cov /= static_cast<double>(res.covered_fraction.size());
+  s.worst_gap = res.worst_gap();
+  return s;
+}
+
+void run_topology(int topo) {
+  const auto problem = bench::make_problem(topo, 1.0, 1e-3);
+  const std::size_t iters = bench::scaled(600, 120);
+  const std::size_t sims = bench::scaled(30000, 4000);
+
+  bench::banner("Team scaling, " + problem.topology().name());
+  util::Table t({"sensors", "strategy", "mean coverage", "min coverage",
+                 "worst gap"});
+  for (std::size_t sensors : {1u, 2u, 3u, 4u}) {
+    // Residual best-response teams.
+    multi::TeamOptimizerOptions opts;
+    opts.num_sensors = sensors;
+    opts.rounds = sensors > 1 ? 2 : 1;
+    opts.per_sensor.max_iterations = iters;
+    opts.per_sensor.stall_limit = 200;
+    opts.per_sensor.keep_trace = false;
+    const auto team = multi::optimize_team(problem, opts);
+    const auto scores = evaluate(team, sims, 40 + sensors);
+    t.add_row({std::to_string(sensors), "best-response",
+               util::fmt(scores.mean_cov, 3), util::fmt(scores.min_cov, 3),
+               util::fmt(scores.worst_gap, 2)});
+
+    if (sensors > 1) {
+      // Ablation: clone sensor 0's chain across the team.
+      std::vector<markov::TransitionMatrix> clones(sensors, team.chain(0));
+      multi::SensorTeam cloned(problem.model(), std::move(clones));
+      const auto cs = evaluate(cloned, sims, 40 + sensors);
+      t.add_row({std::to_string(sensors), "cloned chain",
+                 util::fmt(cs.mean_cov, 3), util::fmt(cs.min_cov, 3),
+                 util::fmt(cs.worst_gap, 2)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_topology(1);
+  run_topology(4);
+  std::cout << "\nexpected: coverage rises and worst gaps shrink with team "
+               "size (diminishing returns); best-response teams match or "
+               "beat cloned chains\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Adversarial patrol (§VII "Entropy of Markov chain"): a security robot
+// patrols nine checkpoints. A smart adversary observes the schedule and
+// strikes wherever the robot is predictably absent — so the patrol must be
+// *random* (high entropy rate) while still meeting coverage targets.
+//
+// Compares three schedules: a deterministic tour (fully predictable), the
+// coverage-optimal chain with no entropy objective, and the entropy-
+// regularized chain U - wH.
+
+#include <iostream>
+
+#include "src/baselines/tour.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/geometry/paper_topologies.hpp"
+#include "src/markov/entropy.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace mocos;
+
+// Crude adversary model: it learns the most likely next hop from each
+// checkpoint and hides there; success odds ~ the average max row
+// probability. Lower is better for the defender.
+double predictability(const markov::TransitionMatrix& p) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < p.size(); ++j) best = std::max(best, p(i, j));
+    sum += best;
+  }
+  return sum / static_cast<double>(p.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto topology = geometry::paper_topology(4);  // 3x3 checkpoint grid
+  core::Physics physics;
+
+  util::Table t({"schedule", "entropy (nats)", "adversary predictability",
+                 "DeltaC", "E-bar"});
+
+  // 1. Deterministic weighted tour — zero entropy.
+  {
+    core::Problem problem(topology, physics, core::Weights{});
+    const auto seq =
+        baselines::weighted_tour(problem.targets(), 4 * problem.num_pois());
+    baselines::TourSchedule tour(problem.model(), seq);
+    t.add_row({"deterministic tour", "0.000", "1.000",
+               util::fmt(tour.delta_c(problem.targets()), 6),
+               util::fmt(tour.e_bar(), 2)});
+  }
+
+  // 2/3. Stochastic schedules without and with the entropy objective.
+  for (double ew : {0.0, 0.1}) {
+    core::Weights weights;
+    weights.alpha = 1.0;
+    weights.beta = 1e-4;
+    weights.entropy_weight = ew;
+    core::Problem problem(topology, physics, weights);
+    core::OptimizerOptions opts;
+    opts.max_iterations = 600;
+    opts.seed = 17;
+    opts.stall_limit = 200;
+    opts.keep_trace = false;
+    const auto outcome = core::CoverageOptimizer(problem, opts).run();
+    t.add_row({ew == 0.0 ? "stochastic (no entropy term)"
+                         : "stochastic + entropy (w=0.1)",
+               util::fmt(markov::entropy_rate(outcome.p), 3),
+               util::fmt(predictability(outcome.p), 3),
+               util::fmt(outcome.metrics.delta_c, 6),
+               util::fmt(outcome.metrics.e_bar, 2)});
+  }
+
+  std::cout << "Adversarial patrol on a 3x3 checkpoint grid\n";
+  t.print(std::cout);
+  std::cout << "\nthe entropy-regularized schedule trades a little coverage "
+               "accuracy for a much less predictable patrol.\n";
+  return 0;
+}

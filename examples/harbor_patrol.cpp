@@ -1,0 +1,94 @@
+// Obstacle-aware harbor patrol: a surface vessel monitors five buoys around
+// a small island. Straight-line routes across the island are infeasible —
+// travel follows visibility-graph shortest paths around it, which changes
+// both travel times and which buoys get passed (and thus covered) en route.
+//
+// Compares the schedule optimized with the correct obstacle-aware motion
+// model against one optimized while (wrongly) ignoring the island.
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "src/core/optimizer.hpp"
+#include "src/sensing/routed_travel_model.hpp"
+#include "src/sensing/travel_model.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace mocos;
+
+  // Buoys around an island at the origin. The island blocks every route
+  // that would cut across the harbor's centre.
+  geometry::Topology harbor(
+      "harbor",
+      {{-4.5, 0.0}, {-1.2, 3.6}, {3.6, 2.6}, {3.8, -2.2}, {-1.0, -3.8}},
+      {0.30, 0.15, 0.25, 0.15, 0.15});
+  const auto island = geometry::Polygon(
+      {{-2.6, -2.0}, {2.6, -2.2}, {3.0, 1.9}, {-2.2, 2.5}});
+
+  core::Weights weights;
+  weights.alpha = 1.0;
+  weights.beta = 1e-3;
+
+  core::Problem routed(
+      std::make_unique<sensing::RoutedTravelModel>(
+          harbor, std::vector{island}, 1.2, 1.5, 0.5, 0.05),
+      weights);
+  core::Problem naive(harbor, core::Physics{1.2, 1.5, 0.5}, weights);
+
+  // Best of three optimizer runs per variant, so the comparison reflects
+  // the motion models rather than the stochastic search's luck.
+  auto best_schedule = [](const core::Problem& problem) {
+    core::OptimizerOptions opts;
+    opts.max_iterations = 1200;
+    opts.stall_limit = 400;
+    opts.keep_trace = false;
+    std::optional<core::OptimizationOutcome> best;
+    for (std::uint64_t seed : {29u, 57u, 91u}) {
+      opts.seed = seed;
+      auto outcome = core::CoverageOptimizer(problem, opts).run();
+      if (!best || outcome.penalized_cost < best->penalized_cost)
+        best.emplace(std::move(outcome));
+    }
+    return std::move(*best);
+  };
+  const auto res_routed = best_schedule(routed);
+  const auto res_naive = best_schedule(naive);
+
+  std::cout << "Harbor patrol around an island (5 buoys)\n\n";
+  std::cout << "island detour factor, buoy 1 -> buoy 3: "
+            << util::fmt(routed.model().travel_distance(0, 2) /
+                             naive.model().travel_distance(0, 2),
+                         2)
+            << "x the straight-line distance\n\n";
+
+  // The load-bearing comparison: what a straight-line planner PREDICTS for
+  // its schedule vs what that schedule actually achieves once travel must
+  // detour around the island. (Predictions from the correct model match
+  // reality by construction; the validation suite checks this.)
+  const auto predicted = naive.metrics_of(res_naive.p);
+  const auto actual = routed.metrics_of(res_naive.p);
+  const auto aware = routed.metrics_of(res_routed.p);
+
+  util::Table t({"quantity", "predicted (straight lines)", "actual (island)"});
+  t.add_row({"coverage share, buoy 1",
+             util::fmt(predicted.c_share[0], 4), util::fmt(actual.c_share[0], 4)});
+  t.add_row({"DeltaC", util::fmt(predicted.delta_c, 6),
+             util::fmt(actual.delta_c, 6)});
+  t.add_row({"E-bar", util::fmt(predicted.e_bar, 2),
+             util::fmt(actual.e_bar, 2)});
+  t.add_row({"U (Eq. 14)",
+             util::fmt(predicted.cost(weights.alpha, weights.beta), 6),
+             util::fmt(actual.cost(weights.alpha, weights.beta), 6)});
+  t.print(std::cout);
+
+  std::cout << "\nisland-aware optimization (for reference): U = "
+            << util::fmt(aware.cost(weights.alpha, weights.beta), 6)
+            << ", DeltaC = " << util::fmt(aware.delta_c, 6)
+            << ", E-bar = " << util::fmt(aware.e_bar, 2) << '\n';
+  std::cout << "\na planner that ignores the island mis-predicts its own "
+               "schedule's coverage and exposure — the feasible-route "
+               "constraint of the paper's SIII is not optional.\n";
+  return 0;
+}

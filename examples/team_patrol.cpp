@@ -1,0 +1,56 @@
+// Multi-sensor team patrol: how many drones does a site need?
+//
+// Optimizes teams of 1, 2 and 3 sensors over the same 3x3 site (best-response
+// residual rounds diversify the chains), then simulates all sensors
+// concurrently and reports combined coverage and worst staleness gaps —
+// the numbers a deployment planner trades off against hardware cost.
+
+#include <iostream>
+
+#include "src/geometry/paper_topologies.hpp"
+#include "src/multi/team_optimizer.hpp"
+#include "src/multi/team_simulator.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace mocos;
+
+  core::Weights weights;
+  weights.alpha = 1.0;
+  weights.beta = 1e-3;
+  core::Problem problem(geometry::paper_topology(4), core::Physics{}, weights);
+
+  std::cout << "Team sizing on a 3x3 site (9 PoIs)\n";
+  util::Table t({"sensors", "mean combined coverage", "min PoI coverage",
+                 "mean gap (avg over PoIs)", "worst gap"});
+
+  for (std::size_t sensors = 1; sensors <= 3; ++sensors) {
+    multi::TeamOptimizerOptions opts;
+    opts.num_sensors = sensors;
+    opts.rounds = sensors > 1 ? 2 : 1;
+    opts.per_sensor.max_iterations = 500;
+    opts.per_sensor.keep_trace = false;
+    opts.per_sensor.stall_limit = 200;
+    const auto team = multi::optimize_team(problem, opts);
+
+    multi::TeamSimulationConfig sim_cfg;
+    sim_cfg.transitions_per_sensor = 30000;
+    util::Rng rng(17);
+    const auto res = multi::TeamSimulator(sim_cfg).run(team, rng);
+
+    double mean_cov = 0.0, min_cov = 1.0, mean_gap = 0.0;
+    for (std::size_t i = 0; i < 9; ++i) {
+      mean_cov += res.covered_fraction[i];
+      min_cov = std::min(min_cov, res.covered_fraction[i]);
+      mean_gap += res.mean_gap[i];
+    }
+    t.add_row({std::to_string(sensors), util::fmt(mean_cov / 9.0, 3),
+               util::fmt(min_cov, 3), util::fmt(mean_gap / 9.0, 2),
+               util::fmt(res.worst_gap(), 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\neach added sensor raises combined coverage and shrinks the "
+               "worst uncovered gap — with diminishing returns that tell you "
+               "when to stop buying drones.\n";
+  return 0;
+}

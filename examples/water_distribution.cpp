@@ -1,0 +1,67 @@
+// Water-distribution-system monitoring (the motivating application of the
+// paper's §I): a mobile node patrols underwater chemical sensors and ferries
+// their data to a sink. Periphery sensors (contaminant entry points) need
+// low detection delay -> low exposure; the central sensor maximizes
+// detection probability -> high coverage share.
+//
+// The example sweeps the exposure weight beta and shows the resulting
+// trade-off frontier, the knob a deployment engineer would tune.
+
+#include <iostream>
+#include <vector>
+
+#include "src/core/optimizer.hpp"
+#include "src/geometry/topology.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace mocos;
+
+  // A ring of five periphery sensors around one centre sensor (index 0).
+  std::vector<geometry::Vec2> stations = {
+      {0.0, 0.0},   // 0: central junction (max detection probability)
+      {2.0, 0.0},   // 1..5: periphery entry points
+      {0.62, 1.9}, {-1.62, 1.18}, {-1.62, -1.18}, {0.62, -1.9}};
+  // Half of the coverage budget to the centre, the rest spread evenly.
+  std::vector<double> targets = {0.5, 0.1, 0.1, 0.1, 0.1, 0.1};
+  geometry::Topology wds("WDS", stations, targets);
+
+  core::Physics physics;
+  physics.speed = 0.8;          // slow underwater travel
+  physics.pause = 2.0;          // long data transfer at each sensor
+  physics.sensing_radius = 0.4;
+
+  std::cout << "Water-distribution monitoring: exposure-weight sweep\n"
+            << "(centre target share 0.5; periphery 0.1 each)\n";
+  util::Table t({"beta", "centre share", "periphery share (avg)",
+                 "max periphery exposure", "DeltaC"});
+
+  for (double beta : std::vector<double>{1.0, 1e-2, 1e-4, 0.0}) {
+    core::Weights weights;
+    weights.alpha = 1.0;
+    weights.beta = beta;
+    core::Problem problem(wds, physics, weights);
+
+    core::OptimizerOptions opts;
+    opts.max_iterations = 700;
+    opts.seed = 11;
+    opts.stall_limit = 250;
+    opts.keep_trace = false;
+    const auto outcome = core::CoverageOptimizer(problem, opts).run();
+
+    double periphery = 0.0, worst_exposure = 0.0;
+    for (std::size_t i = 1; i < 6; ++i) {
+      periphery += outcome.metrics.c_share[i];
+      worst_exposure = std::max(worst_exposure, outcome.metrics.exposure[i]);
+    }
+    t.add_row({util::fmt(beta, 6), util::fmt(outcome.metrics.c_share[0], 3),
+               util::fmt(periphery / 5.0, 3), util::fmt(worst_exposure, 2),
+               util::fmt(outcome.metrics.delta_c, 6)});
+  }
+  t.print(std::cout);
+  std::cout << "\nreading the table: large beta keeps every entry point "
+               "checked frequently (low exposure) at the cost of the centre "
+               "share; beta -> 0 concentrates on the centre and lets "
+               "periphery delays grow.\n";
+  return 0;
+}

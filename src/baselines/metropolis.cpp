@@ -1,0 +1,93 @@
+#include "src/baselines/metropolis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mocos::baselines {
+
+namespace {
+void validate_target(const std::vector<double>& target) {
+  if (target.size() < 2)
+    throw std::invalid_argument("metropolis: need at least two states");
+  double sum = 0.0;
+  for (double t : target) {
+    if (t <= 0.0)
+      throw std::invalid_argument(
+          "metropolis: target masses must be strictly positive");
+    sum += t;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("metropolis: target must sum to 1");
+}
+}  // namespace
+
+markov::TransitionMatrix metropolis_chain(const std::vector<double>& target) {
+  validate_target(target);
+  const std::size_t n = target.size();
+  linalg::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double a = std::min(1.0, target[j] / target[i]);
+      p(i, j) = a / static_cast<double>(n);
+      off += p(i, j);
+    }
+    p(i, i) = 1.0 - off;
+  }
+  return markov::TransitionMatrix(std::move(p));
+}
+
+markov::TransitionMatrix metropolis_chain_knn(
+    const std::vector<double>& target, const linalg::Matrix& distances,
+    std::size_t k) {
+  validate_target(target);
+  const std::size_t n = target.size();
+  if (distances.rows() != n || distances.cols() != n)
+    throw std::invalid_argument("metropolis_knn: distance matrix size");
+  if (k == 0 || k >= n)
+    throw std::invalid_argument("metropolis_knn: k must be in [1, n-1]");
+
+  // Directed k-NN sets, then symmetrized (i~j iff either is in the other's
+  // k-NN) so the uniform-over-neighbors proposal stays symmetric enough for
+  // the Metropolis ratio with degree correction.
+  std::vector<std::vector<std::size_t>> nbrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> order;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) order.push_back(j);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return distances(i, a) < distances(i, b);
+    });
+    order.resize(k);
+    nbrs[i] = std::move(order);
+  }
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j : nbrs[i]) adj[i][j] = adj[j][i] = 1;
+
+  std::vector<std::size_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    degree[i] = static_cast<std::size_t>(
+        std::count(adj[i].begin(), adj[i].end(), char(1)));
+
+  linalg::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !adj[i][j]) continue;
+      // Metropolis–Hastings with proposal q_ij = 1/deg(i):
+      // accept = min(1, (π_j q_ji)/(π_i q_ij)).
+      const double qij = 1.0 / static_cast<double>(degree[i]);
+      const double qji = 1.0 / static_cast<double>(degree[j]);
+      const double a = std::min(1.0, (target[j] * qji) / (target[i] * qij));
+      p(i, j) = qij * a;
+      off += p(i, j);
+    }
+    p(i, i) = 1.0 - off;
+  }
+  return markov::TransitionMatrix(std::move(p));
+}
+
+}  // namespace mocos::baselines

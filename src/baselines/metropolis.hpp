@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::baselines {
+
+/// Metropolis–Hastings chain construction (the MCMC approach of §II): builds
+/// a transition matrix whose stationary distribution equals `target` using a
+/// uniform proposal over all states and acceptance min(1, π_j/π_i):
+///
+///   p_ij = (1/M) min(1, π_j/π_i)            for j ≠ i,
+///   p_ii = 1 − Σ_{j≠i} p_ij.
+///
+/// This pins only the *visit* distribution; it cannot trade off exposure
+/// against coverage (the paper's core criticism) and ignores travel-time
+/// weighting of the coverage shares.
+markov::TransitionMatrix metropolis_chain(const std::vector<double>& target);
+
+/// Same construction with a restricted proposal: only moves to the `k`
+/// nearest neighbors (by the given distance matrix rows) are proposed,
+/// modeling a locality-constrained patroller. Proposal stays symmetric
+/// (mutual k-NN), so the acceptance rule is unchanged.
+markov::TransitionMatrix metropolis_chain_knn(
+    const std::vector<double>& target, const linalg::Matrix& distances,
+    std::size_t k);
+
+}  // namespace mocos::baselines

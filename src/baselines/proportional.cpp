@@ -1,0 +1,42 @@
+#include "src/baselines/proportional.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mocos::baselines {
+
+markov::TransitionMatrix proportional_chain(
+    const std::vector<double>& weights) {
+  if (weights.size() < 2)
+    throw std::invalid_argument("proportional_chain: need >= 2 weights");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0)
+      throw std::invalid_argument("proportional_chain: weights must be > 0");
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("proportional_chain: weights must sum to 1");
+  const std::size_t n = weights.size();
+  linalg::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) p(i, j) = weights[j] / sum;
+  return markov::TransitionMatrix(std::move(p));
+}
+
+std::vector<double> weights_from_targets(const std::vector<double>& targets) {
+  if (targets.empty())
+    throw std::invalid_argument("weights_from_targets: empty");
+  std::vector<double> w = targets;
+  double sum = 0.0;
+  for (double& x : w) {
+    // SFQ cannot express a zero service rate without starving the client
+    // forever; floor tiny targets.
+    x = std::max(x, 1e-6);
+    sum += x;
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+}  // namespace mocos::baselines

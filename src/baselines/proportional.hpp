@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::baselines {
+
+/// SFQ/lottery-style stateless scheduler (§I, §II): every decision is an
+/// independent draw from fixed weights, irrespective of the current
+/// location — i.e. p_ij = w_j for all i. This is the "coin toss with target
+/// rates only" baseline: it cannot decouple the visit rate from fairness
+/// (return times), which is exactly the coupling the paper's optimizer
+/// breaks.
+markov::TransitionMatrix proportional_chain(const std::vector<double>& weights);
+
+/// Weight calibration helper: visit weights that would equal the target
+/// coverage shares if all transitions took equal time (the implicit SFQ
+/// assumption). With real geometry the achieved C̄_i then drifts from Φ —
+/// the drift the baseline-comparison bench quantifies.
+std::vector<double> weights_from_targets(const std::vector<double>& targets);
+
+}  // namespace mocos::baselines

@@ -1,0 +1,159 @@
+#include "src/baselines/tour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::baselines {
+
+TourSchedule::TourSchedule(const sensing::MotionModel& model,
+                           std::vector<std::size_t> sequence)
+    : model_(model), sequence_(std::move(sequence)) {
+  const std::size_t n = model_.num_pois();
+  if (sequence_.empty()) throw std::invalid_argument("TourSchedule: empty");
+  std::vector<char> seen(n, 0);
+  for (std::size_t s : sequence_) {
+    if (s >= n) throw std::invalid_argument("TourSchedule: index out of range");
+    seen[s] = 1;
+  }
+  for (char c : seen)
+    if (!c)
+      throw std::invalid_argument(
+          "TourSchedule: every PoI must appear in the cycle");
+}
+
+std::vector<double> TourSchedule::coverage_shares() const {
+  const std::size_t n = model_.num_pois();
+  const std::size_t len = sequence_.size();
+  std::vector<double> cov(n, 0.0);
+  double total = 0.0;
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t j = sequence_[t];
+    const std::size_t k = sequence_[(t + 1) % len];
+    total += model_.transition_duration(j, k);
+    for (std::size_t i = 0; i < n; ++i)
+      cov[i] += model_.coverage_during(j, k, i);
+  }
+  for (double& c : cov) c /= total;
+  return cov;
+}
+
+std::vector<double> TourSchedule::mean_exposure_steps() const {
+  const std::size_t n = model_.num_pois();
+  const std::size_t len = sequence_.size();
+  std::vector<double> total(n, 0.0);
+  std::vector<std::size_t> count(n, 0);
+  // Cyclic gaps between consecutive occurrences of each PoI; a gap of g
+  // transitions corresponds to an exposure of g-1 (the interval opens one
+  // step after departure, per the paper's convention). Gap 1 = the sensor
+  // stayed; no exposure interval.
+  std::vector<std::vector<std::size_t>> occurrences(n);
+  for (std::size_t t = 0; t < len; ++t) occurrences[sequence_[t]].push_back(t);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& occ = occurrences[i];
+    for (std::size_t a = 0; a < occ.size(); ++a) {
+      const std::size_t next = occ[(a + 1) % occ.size()];
+      const std::size_t gap =
+          (next + len - occ[a]) % len == 0 ? len : (next + len - occ[a]) % len;
+      if (gap >= 2) {
+        total[i] += static_cast<double>(gap - 1);
+        count[i] += 1;
+      }
+    }
+  }
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = count[i] == 0 ? 0.0 : total[i] / static_cast<double>(count[i]);
+  return out;
+}
+
+double TourSchedule::delta_c(const std::vector<double>& targets) const {
+  const std::size_t n = model_.num_pois();
+  if (targets.size() != n)
+    throw std::invalid_argument("TourSchedule::delta_c: target size");
+  const std::size_t len = sequence_.size();
+  std::vector<double> cov(n, 0.0);
+  double total = 0.0;
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t j = sequence_[t];
+    const std::size_t k = sequence_[(t + 1) % len];
+    total += model_.transition_duration(j, k);
+    for (std::size_t i = 0; i < n; ++i)
+      cov[i] += model_.coverage_during(j, k, i);
+  }
+  double dc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = (cov[i] - targets[i] * total) / static_cast<double>(len);
+    dc += g * g;
+  }
+  return dc;
+}
+
+double TourSchedule::e_bar() const {
+  double s = 0.0;
+  for (double e : mean_exposure_steps()) s += e * e;
+  return std::sqrt(s);
+}
+
+std::vector<std::size_t> weighted_tour(const std::vector<double>& targets,
+                                       std::size_t frame) {
+  const std::size_t n = targets.size();
+  if (n < 2) throw std::invalid_argument("weighted_tour: need >= 2 targets");
+  if (frame < n)
+    throw std::invalid_argument("weighted_tour: frame shorter than PoI count");
+
+  // Largest-remainder apportionment of `frame` slots.
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = targets[i] * static_cast<double>(frame);
+    counts[i] = static_cast<std::size_t>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t k = 0; assigned < frame; ++k, ++assigned)
+    counts[remainders[k % n].second] += 1;
+
+  // Every PoI must appear at least once (finite exposure): steal from the
+  // largest counts.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (counts[i] == 0) {
+      const std::size_t donor = static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      if (counts[donor] <= 1)
+        throw std::logic_error("weighted_tour: cannot cover all PoIs");
+      counts[donor] -= 1;
+      counts[i] += 1;
+    }
+  }
+
+  // Spread occurrences evenly: PoI i's k-th appearance at phase (k+0.5)/c_i.
+  std::vector<std::pair<double, std::size_t>> events;
+  events.reserve(frame);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < counts[i]; ++k) {
+      events.emplace_back((static_cast<double>(k) + 0.5) /
+                              static_cast<double>(counts[i]),
+                          i);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  std::vector<std::size_t> seq;
+  seq.reserve(frame);
+  for (const auto& [phase, poi] : events) seq.push_back(poi);
+  return seq;
+}
+
+std::vector<std::size_t> round_robin_tour(std::size_t num_pois) {
+  if (num_pois < 2)
+    throw std::invalid_argument("round_robin_tour: need >= 2 PoIs");
+  std::vector<std::size_t> seq(num_pois);
+  std::iota(seq.begin(), seq.end(), std::size_t{0});
+  return seq;
+}
+
+}  // namespace mocos::baselines

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sensing/motion_model.hpp"
+
+namespace mocos::baselines {
+
+/// Deterministic cyclic patrol baseline: the sensor repeats a fixed visit
+/// sequence forever (the WFQ/stride-scheduling analogue for coverage —
+/// perfectly predictable, zero entropy, no tunable trade-off).
+class TourSchedule {
+ public:
+  /// `sequence` is one period of the cycle (indices into the model's PoIs);
+  /// must contain every PoI at least once so all exposures are finite.
+  TourSchedule(const sensing::MotionModel& model,
+               std::vector<std::size_t> sequence);
+
+  const std::vector<std::size_t>& sequence() const { return sequence_; }
+
+  /// Exact long-run per-PoI coverage shares C̄_i of the cyclic schedule
+  /// (coverage time per period / period duration), including pass-bys.
+  std::vector<double> coverage_shares() const;
+
+  /// Exact mean exposure per PoI in unit-transition counts (interval between
+  /// consecutive visits, measured with the paper's convention).
+  std::vector<double> mean_exposure_steps() const;
+
+  /// ΔC of the cycle against targets, on the same per-transition scale as
+  /// Eq. 12 (so it is directly comparable with the optimizer's metric).
+  double delta_c(const std::vector<double>& targets) const;
+
+  /// Ē of the cycle (Eq. 13 analogue).
+  double e_bar() const;
+
+ private:
+  const sensing::MotionModel& model_;
+  std::vector<std::size_t> sequence_;
+};
+
+/// Builds a frame of length `frame` where PoI i appears ~targets[i]*frame
+/// times (largest-remainder apportionment), with appearances spread as
+/// evenly as possible — the natural deterministic competitor to the paper's
+/// stochastic schedule.
+std::vector<std::size_t> weighted_tour(const std::vector<double>& targets,
+                                       std::size_t frame);
+
+/// Simple round-robin visiting each PoI once per period.
+std::vector<std::size_t> round_robin_tour(std::size_t num_pois);
+
+}  // namespace mocos::baselines

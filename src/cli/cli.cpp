@@ -1,0 +1,276 @@
+#include "src/cli/cli.hpp"
+
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/core/optimizer.hpp"
+#include "src/core/pareto.hpp"
+#include "src/core/serialization.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/markov/entropy.hpp"
+#include "src/markov/spectral.hpp"
+#include "src/sensing/routed_travel_model.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/table.hpp"
+
+namespace mocos::cli {
+
+namespace {
+
+geometry::Topology parse_topology(const util::Config& config) {
+  const std::string spec = config.require_string("topology");
+  const double cell = config.get_double("cell", 1.0);
+
+  auto parse_targets = [&](std::size_t n) {
+    if (!config.has("targets")) return geometry::uniform_targets(n);
+    const auto pieces = util::split(config.get_string("targets", ""), ',');
+    if (pieces.size() != n)
+      throw std::invalid_argument(
+          "targets: expected " + std::to_string(n) + " values, got " +
+          std::to_string(pieces.size()));
+    std::vector<double> t;
+    t.reserve(n);
+    for (const auto& p : pieces) t.push_back(util::parse_double(p));
+    return t;
+  };
+
+  if (spec.rfind("grid:", 0) == 0) {
+    const std::string dims = spec.substr(5);
+    const std::size_t x = dims.find('x');
+    if (x == std::string::npos)
+      throw std::invalid_argument("topology: grid spec must be grid:RxC");
+    const auto rows = static_cast<std::size_t>(
+        util::parse_double(dims.substr(0, x)));
+    const auto cols = static_cast<std::size_t>(
+        util::parse_double(dims.substr(x + 1)));
+    return geometry::make_grid("grid:" + dims, rows, cols,
+                               parse_targets(rows * cols), cell);
+  }
+  if (spec.rfind("points:", 0) == 0) {
+    std::vector<geometry::Vec2> pts;
+    for (const auto& pair : util::split(spec.substr(7), ';')) {
+      const auto xy = util::split(pair, ',');
+      if (xy.size() != 2)
+        throw std::invalid_argument("topology: point must be x,y");
+      pts.push_back({util::parse_double(xy[0]), util::parse_double(xy[1])});
+    }
+    const std::size_t n = pts.size();
+    return geometry::Topology("points", std::move(pts), parse_targets(n));
+  }
+  throw std::invalid_argument("topology: must start with grid: or points:");
+}
+
+std::vector<geometry::Polygon> parse_obstacles(const util::Config& config) {
+  std::vector<geometry::Polygon> out;
+  for (const std::string& spec : config.get_all("obstacle")) {
+    if (spec.rfind("rect:", 0) == 0) {
+      const auto nums = util::split(spec.substr(5), ',');
+      if (nums.size() != 4)
+        throw std::invalid_argument(
+            "obstacle: rect needs minx,miny,maxx,maxy");
+      out.push_back(geometry::Polygon::rectangle(
+          {util::parse_double(nums[0]), util::parse_double(nums[1])},
+          {util::parse_double(nums[2]), util::parse_double(nums[3])}));
+    } else if (spec.rfind("poly:", 0) == 0) {
+      std::vector<geometry::Vec2> verts;
+      for (const auto& pair : util::split(spec.substr(5), ';')) {
+        const auto xy = util::split(pair, ',');
+        if (xy.size() != 2)
+          throw std::invalid_argument("obstacle: poly vertex must be x,y");
+        verts.push_back(
+            {util::parse_double(xy[0]), util::parse_double(xy[1])});
+      }
+      out.push_back(geometry::Polygon(std::move(verts)));
+    } else {
+      throw std::invalid_argument("obstacle: must start with rect: or poly:");
+    }
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const util::Config& config,
+                                      const std::string& key) {
+  std::vector<double> out;
+  if (!config.has(key)) return out;
+  for (const auto& piece : util::split(config.get_string(key, ""), ','))
+    out.push_back(util::parse_double(piece));
+  return out;
+}
+
+core::Weights parse_weights(const util::Config& config) {
+  core::Weights w;
+  w.alpha = config.get_double("alpha", 1.0);
+  w.beta = config.get_double("beta", 1.0);
+  // Per-PoI overrides (comma lists matching the PoI count).
+  w.alpha_per_poi = parse_double_list(config, "alpha_i");
+  w.beta_per_poi = parse_double_list(config, "beta_i");
+  w.epsilon = config.get_double("epsilon", 1e-4);
+  w.energy_gamma = config.get_double("energy_gamma", 0.0);
+  w.energy_target = config.get_double("energy_target", 0.0);
+  w.entropy_weight = config.get_double("entropy_weight", 0.0);
+  w.event_rates = parse_double_list(config, "event_rates");
+  w.information_gamma = config.get_double("information_gamma", 1.0);
+  return w;
+}
+
+core::Algorithm parse_algorithm(const util::Config& config) {
+  const std::string a = config.get_string("algorithm", "perturbed");
+  if (a == "basic") return core::Algorithm::kBasic;
+  if (a == "adaptive") return core::Algorithm::kAdaptive;
+  if (a == "perturbed") return core::Algorithm::kPerturbed;
+  throw std::invalid_argument(
+      "algorithm: must be basic, adaptive or perturbed");
+}
+
+}  // namespace
+
+core::Problem build_problem(const util::Config& config) {
+  geometry::Topology topology = parse_topology(config);
+  const core::Weights weights = parse_weights(config);
+  const double speed = config.get_double("speed", 1.0);
+  const double pause = config.get_double("pause", 1.0);
+  const double radius = config.get_double("radius", 0.25);
+
+  auto obstacles = parse_obstacles(config);
+  if (obstacles.empty()) {
+    core::Physics physics;
+    physics.speed = speed;
+    physics.pause = pause;
+    physics.sensing_radius = radius;
+    return core::Problem(std::move(topology), physics, weights);
+  }
+  const double clearance = config.get_double("clearance", 1e-3);
+  return core::Problem(
+      std::make_unique<sensing::RoutedTravelModel>(
+          std::move(topology), std::move(obstacles), speed, pause, radius,
+          clearance),
+      weights);
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.size() != 1) {
+    err << "usage: mocos_cli <config-file>\n"
+           "see src/cli/cli.hpp for the config format\n";
+    return 2;
+  }
+  try {
+    const util::Config config = util::Config::parse_file(args[0]);
+    const core::Problem problem = build_problem(config);
+
+    // Frontier mode: sweep the exposure weight and print the achievable
+    // (DeltaC, E-bar) trade-off curve instead of one schedule.
+    if (config.get_string("mode", "optimize") == "frontier") {
+      core::FrontierOptions fopts;
+      fopts.grid_points = config.get_size("frontier_points", 7);
+      fopts.beta_max = config.get_double("frontier_beta_max", 1.0);
+      fopts.beta_min = config.get_double("frontier_beta_min", 1e-6);
+      fopts.per_point.max_iterations = config.get_size("iterations", 800);
+      fopts.per_point.seed = config.get_size("seed", 1);
+      fopts.per_point.stall_limit = 300;
+      fopts.per_point.keep_trace = false;
+      const auto points = core::tradeoff_sweep(problem, fopts);
+      const auto front = core::pareto_front(points);
+      out << "trade-off frontier for " << problem.topology().name() << " ("
+          << front.size() << " of " << points.size()
+          << " sweep points efficient):\n";
+      util::Table t({"beta", "DeltaC", "E-bar"});
+      for (const auto& pt : front)
+        t.add_row({util::fmt(pt.beta, 7), util::fmt(pt.delta_c, 6),
+                   util::fmt(pt.e_bar, 3)});
+      t.print(out);
+      return 0;
+    }
+
+    core::OptimizerOptions opts;
+    opts.algorithm = parse_algorithm(config);
+    opts.max_iterations = config.get_size("iterations", 2000);
+    opts.seed = config.get_size("seed", 1);
+    opts.random_start = config.get_bool("random_start", false);
+    opts.constant_step = config.get_double("step", 1e-6);
+    opts.keep_trace = false;
+
+    // Audit mode: evaluate a previously saved schedule instead of
+    // optimizing a new one.
+    const std::string load_path = config.get_string("load_schedule", "");
+    core::OptimizationOutcome outcome = [&] {
+      if (!load_path.empty()) {
+        out << "mocos: evaluating saved schedule " << load_path << " on "
+            << problem.topology().name() << '\n' << '\n';
+        markov::TransitionMatrix p = core::load_schedule(load_path);
+        if (p.size() != problem.num_pois())
+          throw std::invalid_argument(
+              "load_schedule: schedule size does not match the topology");
+        cost::Metrics metrics = problem.metrics_of(p);
+        const double report = metrics.cost(problem.weights().alpha,
+                                           problem.weights().beta);
+        const double penalized = problem.make_cost().value(p);
+        return core::OptimizationOutcome{core::Algorithm::kBasic,
+                                         std::move(p),
+                                         penalized,
+                                         std::move(metrics),
+                                         report,
+                                         0,
+                                         descent::Trace{}};
+      }
+      out << "mocos: optimizing " << problem.topology().name() << " ("
+          << problem.num_pois() << " PoIs, algorithm "
+          << core::to_string(opts.algorithm) << ", " << opts.max_iterations
+          << " iterations)\n\n";
+      return core::CoverageOptimizer(problem, opts).run();
+    }();
+    out << outcome.summary() << '\n';
+    out << "transition matrix:\n"
+        << outcome.p.matrix().to_string(4) << "\n";
+
+    const std::string save_path = config.get_string("save_schedule", "");
+    if (!save_path.empty()) {
+      core::save_schedule(save_path, outcome.p);
+      out << "\nschedule saved to " << save_path << '\n';
+    }
+
+    if (config.get_bool("report_spectral", false)) {
+      const auto chain = markov::analyze_chain(outcome.p);
+      out << "\nspectral diagnostics:\n"
+          << "  SLEM: " << util::fmt(markov::slem(outcome.p), 4) << '\n'
+          << "  relaxation time: "
+          << util::fmt(markov::relaxation_time(outcome.p), 2) << '\n'
+          << "  mixing time (TV<=0.05): "
+          << markov::mixing_time(outcome.p, 0.05) << " transitions\n"
+          << "  Kemeny constant: "
+          << util::fmt(markov::kemeny_constant(chain), 2) << '\n'
+          << "  entropy rate: "
+          << util::fmt(markov::entropy_rate(outcome.p), 3) << " / "
+          << util::fmt(markov::max_entropy_rate(problem.num_pois()), 3)
+          << " nats\n";
+    }
+
+    const std::size_t sim_steps = config.get_size("simulate", 0);
+    if (sim_steps > 0) {
+      sim::SimulationConfig sim_cfg;
+      sim_cfg.num_transitions = sim_steps;
+      sim::MarkovCoverageSimulator simulator(problem.model(), sim_cfg);
+      util::Rng rng(opts.seed + 1);
+      const auto res = simulator.run(outcome.p, rng);
+      out << "\nvalidation simulation (" << sim_steps << " transitions):\n";
+      util::Table t({"PoI", "target", "analytic share", "simulated share",
+                     "mean exposure", "p95 exposure", "max exposure"});
+      for (std::size_t i = 0; i < problem.num_pois(); ++i)
+        t.add_row({std::to_string(i + 1),
+                   util::fmt(problem.targets()[i], 3),
+                   util::fmt(outcome.metrics.c_share[i], 3),
+                   util::fmt(res.coverage_share[i], 3),
+                   util::fmt(res.exposure_steps[i], 2),
+                   util::fmt(res.exposure_steps_p95[i], 2),
+                   util::fmt(res.exposure_steps_max[i], 2)});
+      t.print(out);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "mocos: error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace mocos::cli

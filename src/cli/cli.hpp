@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/problem.hpp"
+#include "src/util/config.hpp"
+
+namespace mocos::cli {
+
+/// Builds a Problem from a parsed config. Recognized keys:
+///
+///   topology  = grid:RxC | points:x,y;x,y;...     (required)
+///   targets   = t1,t2,...                          (default: uniform)
+///   cell      = <double>                           (grid cell size, def. 1)
+///   speed, pause, radius                           (physics; defaults 1/1/.25)
+///   alpha, beta, epsilon                           (objective weights)
+///   energy_gamma, energy_target, entropy_weight    (§VII extensions)
+///   obstacle  = rect:minx,miny,maxx,maxy | poly:x,y;x,y;...   (repeatable;
+///               switches to the obstacle-aware routed motion model)
+///   clearance = <double>                           (route corner margin)
+///
+/// Throws std::invalid_argument / std::runtime_error with a message naming
+/// the offending key on any malformed input.
+core::Problem build_problem(const util::Config& config);
+
+/// Runs the full CLI: parse the config file named by args[0], optimize, and
+/// print the outcome (plus an optional validation simulation when
+/// `simulate = <transitions>` is set). Optimizer keys:
+///
+///   algorithm  = basic | adaptive | perturbed      (default perturbed)
+///   iterations = <n>         seed = <n>            random_start = <bool>
+///   step       = <double>    (basic algorithm's Δt)
+///
+/// Returns a process exit code (0 on success; 2 on usage errors; 1 on
+/// runtime failures), reporting problems on `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace mocos::cli

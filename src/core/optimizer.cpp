@@ -1,0 +1,75 @@
+#include "src/core/optimizer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/descent/initializers.hpp"
+
+namespace mocos::core {
+
+CoverageOptimizer::CoverageOptimizer(const Problem& problem,
+                                     OptimizerOptions options)
+    : problem_(problem), options_(options) {
+  if (options_.max_iterations == 0)
+    throw std::invalid_argument("CoverageOptimizer: max_iterations == 0");
+}
+
+OptimizationOutcome CoverageOptimizer::finish(Algorithm algorithm,
+                                              markov::TransitionMatrix best,
+                                              double cost,
+                                              std::size_t iterations,
+                                              descent::Trace trace) const {
+  cost::Metrics metrics = problem_.metrics_of(best);
+  const double report =
+      metrics.cost(problem_.weights().alpha, problem_.weights().beta);
+  return OptimizationOutcome{algorithm, std::move(best),    cost,
+                             std::move(metrics), report, iterations,
+                             std::move(trace)};
+}
+
+OptimizationOutcome CoverageOptimizer::run() const {
+  util::Rng rng(options_.seed);
+  const markov::TransitionMatrix start =
+      options_.random_start ? descent::random_start(problem_.num_pois(), rng)
+                            : descent::uniform_start(problem_.num_pois());
+  return run(start);
+}
+
+OptimizationOutcome CoverageOptimizer::run(
+    const markov::TransitionMatrix& start) const {
+  const cost::CompositeCost cost = problem_.make_cost();
+
+  if (options_.algorithm == Algorithm::kPerturbed) {
+    descent::PerturbedConfig cfg;
+    cfg.base.step_policy = descent::StepPolicy::kLineSearch;
+    cfg.base.keep_trace = options_.keep_trace;
+    cfg.noise_sigma = options_.noise_sigma;
+    cfg.annealing_k = options_.annealing_k;
+    cfg.max_iterations = options_.max_iterations;
+    cfg.stall_limit = options_.stall_limit;
+    cfg.keep_trace = options_.keep_trace;
+    descent::PerturbedDescent driver(cost, cfg);
+    // The RNG must differ from the one used for the start matrix so reruns
+    // from an explicit start stay reproducible from the seed alone.
+    util::Rng rng(options_.seed ^ 0x5eedULL);
+    descent::PerturbedResult res = driver.run(start, rng);
+    return finish(Algorithm::kPerturbed, std::move(res.best_p), res.best_cost,
+                  res.iterations, std::move(res.trace));
+  }
+
+  descent::DescentConfig cfg;
+  cfg.max_iterations = options_.max_iterations;
+  cfg.keep_trace = options_.keep_trace;
+  if (options_.algorithm == Algorithm::kAdaptive) {
+    cfg.step_policy = descent::StepPolicy::kLineSearch;
+  } else {
+    cfg.step_policy = descent::StepPolicy::kConstant;
+    cfg.constant_step = options_.constant_step;
+  }
+  descent::SteepestDescent driver(cost, cfg);
+  descent::DescentResult res = driver.run(start);
+  return finish(options_.algorithm, std::move(res.p), res.cost, res.iterations,
+                std::move(res.trace));
+}
+
+}  // namespace mocos::core

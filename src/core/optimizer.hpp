@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/problem.hpp"
+#include "src/core/result.hpp"
+#include "src/descent/perturbed_descent.hpp"
+#include "src/descent/steepest_descent.hpp"
+
+namespace mocos::core {
+
+struct OptimizerOptions {
+  Algorithm algorithm = Algorithm::kPerturbed;
+  /// V2: start from a random ergodic matrix instead of the uniform one.
+  bool random_start = false;
+  std::uint64_t seed = 1;
+  std::size_t max_iterations = 2000;
+  /// V1 constant step (the paper's Δt = 1e-6 in §VI).
+  double constant_step = 1e-6;
+  /// V4 parameters.
+  double noise_sigma = 2.0;
+  double annealing_k = 10000.0;
+  std::size_t stall_limit = 400;  // early exit for the perturbed algorithm
+  bool keep_trace = true;
+};
+
+/// Facade tying the problem, the cost construction, and the §V algorithm
+/// variants into one call — the typical downstream entry point:
+///
+///   core::Problem problem(topology, {}, {.alpha = 1, .beta = 1});
+///   core::CoverageOptimizer opt(problem, {});
+///   auto outcome = opt.run();
+///   // outcome.p drives the sensor; outcome.metrics reports ΔC, Ē, ...
+class CoverageOptimizer {
+ public:
+  CoverageOptimizer(const Problem& problem, OptimizerOptions options);
+
+  /// Runs with a start matrix chosen per options (uniform or V2-random).
+  OptimizationOutcome run() const;
+
+  /// Runs from an explicit start matrix.
+  OptimizationOutcome run(const markov::TransitionMatrix& start) const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  OptimizationOutcome finish(Algorithm algorithm,
+                             markov::TransitionMatrix best, double cost,
+                             std::size_t iterations,
+                             descent::Trace trace) const;
+
+  const Problem& problem_;
+  OptimizerOptions options_;
+};
+
+}  // namespace mocos::core

@@ -1,0 +1,71 @@
+#include "src/core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/sensing/travel_model.hpp"
+
+namespace mocos::core {
+
+std::vector<TradeoffPoint> tradeoff_sweep(const Problem& problem_template,
+                                          const FrontierOptions& options) {
+  if (options.beta_min <= 0.0 || options.beta_max <= options.beta_min)
+    throw std::invalid_argument("tradeoff_sweep: need 0 < beta_min < beta_max");
+  if (options.grid_points < 2)
+    throw std::invalid_argument("tradeoff_sweep: need >= 2 grid points");
+  if (dynamic_cast<const sensing::TravelModel*>(&problem_template.model()) ==
+      nullptr)
+    throw std::invalid_argument(
+        "tradeoff_sweep: requires the straight-line TravelModel (the "
+        "problem is re-built per grid point)");
+
+  std::vector<double> betas;
+  const double log_hi = std::log(options.beta_max);
+  const double log_lo = std::log(options.beta_min);
+  for (std::size_t g = 0; g < options.grid_points; ++g) {
+    const double t = static_cast<double>(g) /
+                     static_cast<double>(options.grid_points - 1);
+    betas.push_back(std::exp(log_hi + t * (log_lo - log_hi)));
+  }
+  if (options.include_beta_zero) betas.push_back(0.0);
+
+  std::vector<TradeoffPoint> out;
+  out.reserve(betas.size());
+  for (double beta : betas) {
+    Weights w = problem_template.weights();
+    w.alpha = 1.0;
+    w.beta = beta;
+    w.alpha_per_poi.clear();
+    w.beta_per_poi.clear();
+    const Problem sub(geometry::Topology(problem_template.topology()),
+                      problem_template.physics(), w);
+    auto outcome = CoverageOptimizer(sub, options.per_point).run();
+    out.push_back(TradeoffPoint{beta, outcome.metrics.delta_c,
+                                outcome.metrics.e_bar, std::move(outcome.p)});
+  }
+  return out;
+}
+
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const bool no_worse = points[j].delta_c <= points[i].delta_c &&
+                            points[j].e_bar <= points[i].e_bar;
+      const bool better = points[j].delta_c < points[i].delta_c ||
+                          points[j].e_bar < points[i].e_bar;
+      dominated = no_worse && better;
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              return a.delta_c < b.delta_c;
+            });
+  return front;
+}
+
+}  // namespace mocos::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "src/core/optimizer.hpp"
+
+namespace mocos::core {
+
+/// One point on the coverage/exposure trade-off curve: the schedule obtained
+/// at a particular β (with α = 1), and its two competing metrics.
+struct TradeoffPoint {
+  double beta = 0.0;
+  double delta_c = 0.0;  // Eq. 12
+  double e_bar = 0.0;    // Eq. 13
+  markov::TransitionMatrix p;
+};
+
+struct FrontierOptions {
+  /// Log-spaced β grid from beta_max down to beta_min, plus the exact
+  /// endpoints {beta = 0} when include_beta_zero is set.
+  double beta_max = 1.0;
+  double beta_min = 1e-6;
+  std::size_t grid_points = 7;
+  bool include_beta_zero = true;
+  /// Per-point optimizer settings.
+  OptimizerOptions per_point;
+};
+
+/// Sweeps the exposure weight β (α fixed at 1) over a log grid, optimizing a
+/// schedule per point — §VI-B's Tables I/II as a first-class API — and
+/// returns the points sorted by descending β.
+///
+/// `problem_template` supplies topology/physics; its α/β weights are
+/// overridden per grid point (straight-line motion model only, since the
+/// problem must be re-built per β).
+std::vector<TradeoffPoint> tradeoff_sweep(const Problem& problem_template,
+                                          const FrontierOptions& options);
+
+/// Filters a set of trade-off points down to the Pareto-efficient subset
+/// (no other point is at least as good in both ΔC and Ē and strictly better
+/// in one), sorted by ascending ΔC.
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points);
+
+}  // namespace mocos::core

@@ -1,0 +1,87 @@
+#include "src/core/problem.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/cost/barrier_term.hpp"
+#include "src/cost/coverage_term.hpp"
+#include "src/cost/energy_term.hpp"
+#include "src/cost/entropy_term.hpp"
+#include "src/cost/exposure_term.hpp"
+#include "src/cost/information_term.hpp"
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::core {
+
+Problem::Problem(geometry::Topology topology, Physics physics, Weights weights)
+    : physics_(physics),
+      weights_(weights),
+      model_(std::make_unique<sensing::TravelModel>(
+          std::move(topology), physics.speed, physics.pause,
+          physics.sensing_radius)),
+      tensors_(*model_) {}
+
+Problem::Problem(std::unique_ptr<sensing::MotionModel> model, Weights weights)
+    : weights_(weights),
+      model_([&]() -> std::unique_ptr<sensing::MotionModel> {
+        if (!model) throw std::invalid_argument("Problem: null motion model");
+        return std::move(model);
+      }()),
+      tensors_(*model_) {}
+
+namespace {
+// Resolves the scalar/per-PoI weight pair into a per-PoI vector; an empty
+// override means "use the scalar everywhere". Returns an empty vector when
+// the term is disabled (all weights zero).
+std::vector<double> resolve_weights(double scalar,
+                                    const std::vector<double>& per_poi,
+                                    std::size_t n, const char* name) {
+  std::vector<double> w = per_poi;
+  if (w.empty()) w.assign(n, scalar);
+  if (w.size() != n)
+    throw std::invalid_argument(std::string("Weights: ") + name +
+                                "_per_poi size mismatch");
+  bool any = false;
+  for (double x : w) {
+    if (x < 0.0)
+      throw std::invalid_argument(std::string("Weights: negative ") + name);
+    any = any || x != 0.0;
+  }
+  if (!any) w.clear();
+  return w;
+}
+}  // namespace
+
+cost::CompositeCost Problem::make_cost() const {
+  cost::CompositeCost u;
+  const auto alphas = resolve_weights(weights_.alpha, weights_.alpha_per_poi,
+                                      num_pois(), "alpha");
+  if (!alphas.empty())
+    u.add(std::make_unique<cost::CoverageDeviationTerm>(tensors_, targets(),
+                                                        alphas));
+  const auto betas = resolve_weights(weights_.beta, weights_.beta_per_poi,
+                                     num_pois(), "beta");
+  if (!betas.empty())
+    u.add(std::make_unique<cost::ExposureTerm>(betas));
+  u.add(std::make_unique<cost::BarrierTerm>(weights_.epsilon));
+  if (weights_.energy_gamma != 0.0)
+    u.add(std::make_unique<cost::EnergyTerm>(tensors_, weights_.energy_gamma,
+                                             weights_.energy_target));
+  if (weights_.entropy_weight != 0.0)
+    u.add(std::make_unique<cost::EntropyTerm>(weights_.entropy_weight));
+  if (!weights_.event_rates.empty())
+    u.add(std::make_unique<cost::InformationCaptureTerm>(
+        tensors_, weights_.event_rates, weights_.information_gamma));
+  return u;
+}
+
+cost::Metrics Problem::metrics_of(const markov::TransitionMatrix& p) const {
+  return cost::compute_metrics(markov::analyze_chain(p), tensors_, targets());
+}
+
+double Problem::report_cost(const markov::TransitionMatrix& p) const {
+  return metrics_of(p).cost(weights_.alpha, weights_.beta);
+}
+
+}  // namespace mocos::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+
+#include "src/cost/composite_cost.hpp"
+#include "src/cost/metrics.hpp"
+#include "src/geometry/topology.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+#include "src/sensing/motion_model.hpp"
+#include "src/sensing/travel_model.hpp"
+
+namespace mocos::core {
+
+/// Objective weights of the penalized cost U_ε (Eq. 9) plus the §VII
+/// extension objectives.
+struct Weights {
+  double alpha = 1.0;          // coverage-deviation weight (all PoIs)
+  double beta = 1.0;           // exposure weight (all PoIs)
+  /// Per-PoI overrides of the paper's general α_i / β_i form (Eq. 1). When
+  /// non-empty they must match the PoI count and replace the scalar values.
+  std::vector<double> alpha_per_poi;
+  std::vector<double> beta_per_poi;
+  double epsilon = 1e-4;       // barrier ε (the paper's experiments use 1e-4)
+  double energy_gamma = 0.0;   // §VII energy objective; 0 disables
+  double energy_target = 0.0;  // prescribed movement per transition
+  double entropy_weight = 0.0; // §VII entropy objective; 0 disables
+  /// §III information-capture objective: event rates λ_i (empty disables)
+  /// and its weight γ.
+  std::vector<double> event_rates;
+  double information_gamma = 1.0;
+};
+
+/// Physical motion parameters; the defaults match the reconstructed Fig.-1
+/// setups (unit cells, unit speed, unit pause, quarter-cell sensing radius).
+struct Physics {
+  double speed = 1.0;
+  double pause = 1.0;
+  double sensing_radius = 0.25;
+};
+
+/// A complete problem instance: where the PoIs are, what the target coverage
+/// allocation is, how the sensor moves, and how the objectives are weighted.
+/// This is the main entry point of the public API.
+class Problem {
+ public:
+  /// Straight-line motion (the paper's setting).
+  Problem(geometry::Topology topology, Physics physics, Weights weights);
+
+  /// Custom motion model (e.g. sensing::RoutedTravelModel around obstacles).
+  Problem(std::unique_ptr<sensing::MotionModel> model, Weights weights);
+
+  std::size_t num_pois() const { return model_->num_pois(); }
+  const geometry::Topology& topology() const { return model_->topology(); }
+  const sensing::MotionModel& model() const { return *model_; }
+  const sensing::CoverageTensors& tensors() const { return tensors_; }
+  const std::vector<double>& targets() const {
+    return model_->topology().targets();
+  }
+  const Weights& weights() const { return weights_; }
+  const Physics& physics() const { return physics_; }
+
+  /// Builds the penalized multi-objective cost U_ε for these weights. The
+  /// returned cost owns copies of everything it needs and outlives the
+  /// Problem safely.
+  cost::CompositeCost make_cost() const;
+
+  /// Paper metrics (Eqs. 2, 3, 12, 13) at a candidate schedule.
+  cost::Metrics metrics_of(const markov::TransitionMatrix& p) const;
+
+  /// Eq.-14 cost ½αΔC + ½βĒ² at a candidate (no barrier) — the number the
+  /// paper's tables report.
+  double report_cost(const markov::TransitionMatrix& p) const;
+
+ private:
+  Physics physics_;
+  Weights weights_;
+  std::unique_ptr<sensing::MotionModel> model_;
+  sensing::CoverageTensors tensors_;
+};
+
+}  // namespace mocos::core

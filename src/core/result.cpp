@@ -1,0 +1,38 @@
+#include "src/core/result.hpp"
+
+#include <sstream>
+
+#include "src/util/table.hpp"
+
+namespace mocos::core {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBasic:
+      return "basic";
+    case Algorithm::kAdaptive:
+      return "adaptive";
+    case Algorithm::kPerturbed:
+      return "perturbed";
+  }
+  return "unknown";
+}
+
+std::string OptimizationOutcome::summary() const {
+  std::ostringstream oss;
+  oss << "algorithm: " << to_string(algorithm) << '\n'
+      << "iterations: " << iterations << '\n'
+      << "penalized cost U_eps: " << util::fmt(penalized_cost, 8) << '\n'
+      << "report cost U (Eq.14): " << util::fmt(report_cost, 8) << '\n'
+      << "delta_C (Eq.12): " << util::fmt(metrics.delta_c, 8) << '\n'
+      << "E_bar (Eq.13): " << util::fmt(metrics.e_bar, 6) << '\n';
+  util::Table t({"PoI", "coverage share C_i", "mean exposure E_i"});
+  for (std::size_t i = 0; i < metrics.c_share.size(); ++i) {
+    t.add_row({std::to_string(i + 1), util::fmt(metrics.c_share[i], 4),
+               util::fmt(metrics.exposure[i], 4)});
+  }
+  oss << t.to_string();
+  return oss.str();
+}
+
+}  // namespace mocos::core

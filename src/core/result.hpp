@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "src/cost/metrics.hpp"
+#include "src/descent/trace.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::core {
+
+/// Which algorithm variant produced a result (§V naming).
+enum class Algorithm {
+  kBasic,      // V1 (+V2 if started from a random matrix)
+  kAdaptive,   // V1+V2+V3: random start + trisection line search
+  kPerturbed   // V1+V2+V3+V4: + gradient noise and annealed acceptance
+};
+
+std::string to_string(Algorithm a);
+
+/// Outcome of one optimization run through the CoverageOptimizer facade.
+struct OptimizationOutcome {
+  Algorithm algorithm = Algorithm::kBasic;
+  markov::TransitionMatrix p;   // best schedule found
+  double penalized_cost = 0.0;  // U_ε at p
+  cost::Metrics metrics;        // ΔC, Ē, C̄_i, Ē_i at p
+  double report_cost = 0.0;     // Eq. 14: ½αΔC + ½βĒ²
+  std::size_t iterations = 0;
+  descent::Trace trace;
+
+  /// Multi-line human-readable summary (used by the examples).
+  std::string summary() const;
+};
+
+}  // namespace mocos::core

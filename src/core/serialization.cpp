@@ -1,0 +1,69 @@
+#include "src/core/serialization.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mocos::core {
+
+namespace {
+constexpr const char* kHeader = "mocos-schedule v1";
+}
+
+std::string serialize_schedule(const markov::TransitionMatrix& p) {
+  std::ostringstream out;
+  out << kHeader << '\n' << "pois " << p.size() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j)
+      out << p(i, j) << (j + 1 < p.size() ? " " : "\n");
+  }
+  return out.str();
+}
+
+markov::TransitionMatrix deserialize_schedule(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw std::invalid_argument(
+        "deserialize_schedule: missing 'mocos-schedule v1' header");
+  std::string keyword;
+  std::size_t n = 0;
+  if (!(in >> keyword >> n) || keyword != "pois" || n < 2)
+    throw std::invalid_argument(
+        "deserialize_schedule: expected 'pois <M>' with M >= 2");
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      if (!(in >> v))
+        throw std::invalid_argument(
+            "deserialize_schedule: truncated matrix data");
+      m(i, j) = v;
+    }
+  }
+  double extra;
+  if (in >> extra)
+    throw std::invalid_argument("deserialize_schedule: trailing data");
+  return markov::TransitionMatrix(std::move(m));
+}
+
+void save_schedule(const std::string& path,
+                   const markov::TransitionMatrix& p) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_schedule: cannot write " + path);
+  out << serialize_schedule(p);
+  if (!out) throw std::runtime_error("save_schedule: write failed " + path);
+}
+
+markov::TransitionMatrix load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_schedule: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_schedule(buf.str());
+}
+
+}  // namespace mocos::core

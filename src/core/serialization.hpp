@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::core {
+
+/// Plain-text schedule format (round-trips at full double precision):
+///
+///   mocos-schedule v1
+///   pois <M>
+///   <p_00> <p_01> ... <p_0,M-1>
+///   ...
+///
+/// The deserializer re-validates row-stochasticity, so a hand-edited file
+/// that is not a transition matrix is rejected loudly.
+std::string serialize_schedule(const markov::TransitionMatrix& p);
+markov::TransitionMatrix deserialize_schedule(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_schedule(const std::string& path,
+                   const markov::TransitionMatrix& p);
+markov::TransitionMatrix load_schedule(const std::string& path);
+
+}  // namespace mocos::core

@@ -1,0 +1,67 @@
+#include "src/cost/barrier_term.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mocos::cost {
+
+BarrierTerm::BarrierTerm(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 0.5))
+    throw std::invalid_argument("BarrierTerm: epsilon must be in (0, 1/2)");
+}
+
+double BarrierTerm::entry_value(double p) const {
+  if (p <= 0.0 || p >= 1.0) return std::numeric_limits<double>::infinity();
+  double v = 0.0;
+  if (p <= epsilon_) {
+    const double d = epsilon_ - p;
+    v += -(1.0 / epsilon_) * std::log(p) * d * d;
+  }
+  if (p >= 1.0 - epsilon_) {
+    const double d = 1.0 - epsilon_ - p;
+    v += -(1.0 / epsilon_) * std::log(1.0 - p) * d * d;
+  }
+  return v;
+}
+
+double BarrierTerm::entry_derivative(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::domain_error("BarrierTerm: derivative outside (0,1)");
+  double g = 0.0;
+  if (p <= epsilon_) {
+    const double d = epsilon_ - p;
+    // d/dp [ -(1/ε)(ε-p)² ln p ] = (2(ε-p) ln p)/ε − (ε-p)²/(ε p)
+    g += (2.0 * d * std::log(p)) / epsilon_ - (d * d) / (epsilon_ * p);
+  }
+  if (p >= 1.0 - epsilon_) {
+    const double d = 1.0 - epsilon_ - p;
+    // d/dp [ -(1/ε)(1-ε-p)² ln(1-p) ]
+    //   = (2(1-ε-p) ln(1-p))/ε + (1-ε-p)²/(ε (1-p))
+    g += (2.0 * d * std::log(1.0 - p)) / epsilon_ +
+         (d * d) / (epsilon_ * (1.0 - p));
+  }
+  return g;
+}
+
+double BarrierTerm::value(const markov::ChainAnalysis& chain) const {
+  const std::size_t n = chain.p.size();
+  double u = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      u += entry_value(chain.p(i, j));
+      if (std::isinf(u)) return u;
+    }
+  }
+  return u;
+}
+
+void BarrierTerm::accumulate_partials(const markov::ChainAnalysis& chain,
+                                      Partials& out) const {
+  const std::size_t n = chain.p.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      out.du_dp(i, j) += entry_derivative(chain.p(i, j));
+}
+
+}  // namespace mocos::cost

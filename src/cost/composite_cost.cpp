@@ -1,0 +1,47 @@
+#include "src/cost/composite_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::cost {
+
+CompositeCost& CompositeCost::add(std::unique_ptr<CostTerm> term) {
+  if (!term) throw std::invalid_argument("CompositeCost::add: null term");
+  terms_.push_back(std::move(term));
+  return *this;
+}
+
+const CostTerm& CompositeCost::term(std::size_t i) const {
+  if (i >= terms_.size()) throw std::out_of_range("CompositeCost::term");
+  return *terms_[i];
+}
+
+double CompositeCost::value(const markov::ChainAnalysis& chain) const {
+  double u = 0.0;
+  for (const auto& t : terms_) {
+    u += t->value(chain);
+    if (std::isinf(u)) return u;
+  }
+  return u;
+}
+
+double CompositeCost::value(const markov::TransitionMatrix& p) const {
+  return value(markov::analyze_chain(p));
+}
+
+Partials CompositeCost::partials(const markov::ChainAnalysis& chain) const {
+  Partials out(chain.p.size());
+  for (const auto& t : terms_) t->accumulate_partials(chain, out);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> CompositeCost::breakdown(
+    const markov::ChainAnalysis& chain) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(terms_.size());
+  for (const auto& t : terms_) out.emplace_back(t->name(), t->value(chain));
+  return out;
+}
+
+}  // namespace mocos::cost

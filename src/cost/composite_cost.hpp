@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/cost/cost_term.hpp"
+
+namespace mocos::cost {
+
+/// Weighted multi-objective cost U_ε: the sum of its terms. The term weights
+/// (α_i, β_i, γ, ...) live inside the terms themselves; this class only sums
+/// values and partials and hands the result to the chain rule.
+class CompositeCost {
+ public:
+  CompositeCost() = default;
+
+  CompositeCost& add(std::unique_ptr<CostTerm> term);
+  std::size_t num_terms() const { return terms_.size(); }
+  const CostTerm& term(std::size_t i) const;
+
+  /// Total cost at an analyzed chain; +infinity if any term diverges (e.g.
+  /// barrier at the boundary).
+  double value(const markov::ChainAnalysis& chain) const;
+
+  /// Convenience: analyzes the chain internally.
+  double value(const markov::TransitionMatrix& p) const;
+
+  /// Sum of per-term partials (∂U/∂π, ∂U/∂Z, ∂U/∂P).
+  Partials partials(const markov::ChainAnalysis& chain) const;
+
+  /// Per-term breakdown, for reporting.
+  std::vector<std::pair<std::string, double>> breakdown(
+      const markov::ChainAnalysis& chain) const;
+
+ private:
+  std::vector<std::unique_ptr<CostTerm>> terms_;
+};
+
+}  // namespace mocos::cost

@@ -1,0 +1,73 @@
+#include "src/cost/coverage_term.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::cost {
+
+CoverageDeviationTerm::CoverageDeviationTerm(
+    const sensing::CoverageTensors& tensors, const std::vector<double>& targets,
+    std::vector<double> alphas)
+    : kernels_(tensors.deviation_kernels(targets)),
+      alphas_(std::move(alphas)) {
+  if (alphas_.size() != kernels_.size())
+    throw std::invalid_argument("CoverageDeviationTerm: alpha count mismatch");
+  for (double a : alphas_)
+    if (a < 0.0)
+      throw std::invalid_argument("CoverageDeviationTerm: negative alpha");
+}
+
+CoverageDeviationTerm::CoverageDeviationTerm(
+    const sensing::CoverageTensors& tensors, const std::vector<double>& targets,
+    double alpha)
+    : CoverageDeviationTerm(tensors, targets,
+                            std::vector<double>(tensors.num_pois(), alpha)) {}
+
+linalg::Vector CoverageDeviationTerm::discrepancies(
+    const markov::ChainAnalysis& chain) const {
+  const std::size_t n = chain.p.size();
+  if (n != kernels_.size())
+    throw std::invalid_argument("CoverageDeviationTerm: chain size mismatch");
+  linalg::Vector g(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const linalg::Matrix& b = kernels_[i];
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pj = chain.pi[j];
+      for (std::size_t k = 0; k < n; ++k) s += pj * chain.p(j, k) * b(j, k);
+    }
+    g[i] = s;
+  }
+  return g;
+}
+
+double CoverageDeviationTerm::value(const markov::ChainAnalysis& chain) const {
+  const linalg::Vector g = discrepancies(chain);
+  double u = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) u += 0.5 * alphas_[i] * g[i] * g[i];
+  return u;
+}
+
+void CoverageDeviationTerm::accumulate_partials(
+    const markov::ChainAnalysis& chain, Partials& out) const {
+  const std::size_t n = chain.p.size();
+  const linalg::Vector g = discrepancies(chain);
+  // dU = Σ_i α_i g_i dg_i with
+  //   ∂g_i/∂π_j     = Σ_k p_jk B^i_jk
+  //   ∂g_i/∂p_jk    = π_j B^i_jk
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = alphas_[i] * g[i];
+    if (w == 0.0) continue;
+    const linalg::Matrix& b = kernels_[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      double row_dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        row_dot += chain.p(j, k) * b(j, k);
+        out.du_dp(j, k) += w * chain.pi[j] * b(j, k);
+      }
+      out.du_dpi[j] += w * row_dot;
+    }
+  }
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/cost/cost_term.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+
+namespace mocos::cost {
+
+/// Coverage-time deviation objective (the α part of Eq. 4/9):
+///
+///   U_cov = Σ_i ½ α_i g_i²,   g_i = Σ_{j,k} π_j p_jk (T_jk,i − Φ_i T_jk).
+///
+/// g_i measures, per unit of expected transition, how far PoI i's covered
+/// time runs above/below its target share of the total elapsed time. The
+/// deviation kernels B^i_jk = T_jk,i − Φ_i T_jk are precomputed.
+class CoverageDeviationTerm final : public CostTerm {
+ public:
+  /// `alphas` are the per-PoI weights α_i (all equal in the paper's §VI).
+  CoverageDeviationTerm(const sensing::CoverageTensors& tensors,
+                        const std::vector<double>& targets,
+                        std::vector<double> alphas);
+
+  /// Uniform-weight convenience (α_i = alpha for all i).
+  CoverageDeviationTerm(const sensing::CoverageTensors& tensors,
+                        const std::vector<double>& targets, double alpha);
+
+  std::string name() const override { return "coverage_deviation"; }
+  double value(const markov::ChainAnalysis& chain) const override;
+  void accumulate_partials(const markov::ChainAnalysis& chain,
+                           Partials& out) const override;
+
+  /// The per-PoI discrepancies g_i at the given chain — also what the ΔC
+  /// metric (Eq. 12) is built from.
+  linalg::Vector discrepancies(const markov::ChainAnalysis& chain) const;
+
+ private:
+  std::vector<linalg::Matrix> kernels_;  // B^i
+  std::vector<double> alphas_;
+};
+
+}  // namespace mocos::cost

@@ -1,0 +1,47 @@
+#include "src/cost/energy_term.hpp"
+
+#include <stdexcept>
+
+namespace mocos::cost {
+
+EnergyTerm::EnergyTerm(const sensing::CoverageTensors& tensors, double gamma,
+                       double target)
+    : distances_(tensors.distances()), gamma_(gamma), target_(target) {
+  if (gamma_ < 0.0) throw std::invalid_argument("EnergyTerm: negative gamma");
+  if (target_ < 0.0) throw std::invalid_argument("EnergyTerm: negative target");
+}
+
+double EnergyTerm::expected_distance(
+    const markov::ChainAnalysis& chain) const {
+  const std::size_t n = chain.p.size();
+  if (n != distances_.rows())
+    throw std::invalid_argument("EnergyTerm: chain size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      d += chain.pi[i] * chain.p(i, j) * distances_(i, j);
+  return d;
+}
+
+double EnergyTerm::value(const markov::ChainAnalysis& chain) const {
+  const double diff = expected_distance(chain) - target_;
+  return 0.5 * gamma_ * diff * diff;
+}
+
+void EnergyTerm::accumulate_partials(const markov::ChainAnalysis& chain,
+                                     Partials& out) const {
+  const std::size_t n = chain.p.size();
+  const double w = gamma_ * (expected_distance(chain) - target_);
+  if (w == 0.0) return;
+  // ∂D/∂π_i = Σ_j p_ij d_ij ;  ∂D/∂p_ij = π_i d_ij.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row += chain.p(i, j) * distances_(i, j);
+      out.du_dp(i, j) += w * chain.pi[i] * distances_(i, j);
+    }
+    out.du_dpi[i] += w * row;
+  }
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,44 @@
+#include "src/cost/entropy_term.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/markov/entropy.hpp"
+
+namespace mocos::cost {
+
+namespace {
+// ln clamp: the barrier keeps p_ij > 0, but defensive clamping keeps any
+// boundary probe finite instead of NaN.
+constexpr double kMinProb = 1e-300;
+}  // namespace
+
+EntropyTerm::EntropyTerm(double weight) : weight_(weight) {
+  if (weight_ < 0.0) throw std::invalid_argument("EntropyTerm: negative w");
+}
+
+double EntropyTerm::value(const markov::ChainAnalysis& chain) const {
+  return -weight_ * markov::entropy_rate(chain.p.matrix(), chain.pi);
+}
+
+void EntropyTerm::accumulate_partials(const markov::ChainAnalysis& chain,
+                                      Partials& out) const {
+  if (weight_ == 0.0) return;
+  const std::size_t n = chain.p.size();
+  // U_H = -w H:
+  //   ∂U_H/∂π_i  = w Σ_j p_ij ln p_ij
+  //   ∂U_H/∂p_ij = w π_i (ln p_ij + 1)
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p = std::max(chain.p(i, j), kMinProb);
+      const double lp = std::log(p);
+      row += chain.p(i, j) * lp;
+      out.du_dp(i, j) += weight_ * chain.pi[i] * (lp + 1.0);
+    }
+    out.du_dpi[i] += weight_ * row;
+  }
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/cost/cost_term.hpp"
+
+namespace mocos::cost {
+
+/// Exposure-time objective (the β part of Eq. 4/9):
+///
+///   U_exp = Σ_i ½ β_i Ē_i²,
+///   Ē_i = Σ_{j≠i} p_ij R_ji / (1 − p_ii),
+///   R_ji = (δ_ji − z_ji + z_ii)/π_i   (unit-transition first passage time).
+///
+/// Ē_i is the expected length (in transitions) of a continuous interval
+/// during which PoI i is out of the sensor's range, measured from the PoI
+/// the sensor moves to right after leaving i, under the paper's simplifying
+/// assumptions (pass-bys are not return visits; each transition takes one
+/// time unit).
+class ExposureTerm final : public CostTerm {
+ public:
+  explicit ExposureTerm(std::vector<double> betas);
+  ExposureTerm(std::size_t n, double beta);
+
+  std::string name() const override { return "exposure"; }
+  double value(const markov::ChainAnalysis& chain) const override;
+  void accumulate_partials(const markov::ChainAnalysis& chain,
+                           Partials& out) const override;
+
+  /// Per-PoI mean exposures Ē_i (Eq. 3) — also what the Ē metric (Eq. 13)
+  /// is built from.
+  linalg::Vector mean_exposures(const markov::ChainAnalysis& chain) const;
+
+  /// Static helper so metrics code can reuse the formula without a term.
+  static linalg::Vector compute_mean_exposures(
+      const markov::ChainAnalysis& chain);
+
+ private:
+  std::vector<double> betas_;
+};
+
+}  // namespace mocos::cost

@@ -1,0 +1,19 @@
+#include "src/cost/gradient.hpp"
+
+#include "src/cost/projection.hpp"
+#include "src/markov/sensitivity.hpp"
+
+namespace mocos::cost {
+
+linalg::Matrix cost_gradient(const CompositeCost& cost,
+                             const markov::ChainAnalysis& chain) {
+  const Partials p = cost.partials(chain);
+  return markov::chain_rule_gradient(chain, p.du_dpi, p.du_dz, p.du_dp);
+}
+
+linalg::Matrix projected_cost_gradient(const CompositeCost& cost,
+                                       const markov::ChainAnalysis& chain) {
+  return project_row_sum_zero(cost_gradient(cost, chain));
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,57 @@
+#include "src/cost/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/cost/exposure_term.hpp"
+
+namespace mocos::cost {
+
+std::vector<double> coverage_shares(const markov::ChainAnalysis& chain,
+                                    const sensing::CoverageTensors& tensors) {
+  const std::size_t n = chain.p.size();
+  if (tensors.num_pois() != n)
+    throw std::invalid_argument("coverage_shares: size mismatch");
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < n; ++k)
+      total += chain.pi[j] * chain.p(j, k) * tensors.durations()(j, k);
+  std::vector<double> shares(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const linalg::Matrix& cov = tensors.coverage_of(i);
+    double c = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        c += chain.pi[j] * chain.p(j, k) * cov(j, k);
+    shares[i] = c / total;
+  }
+  return shares;
+}
+
+Metrics compute_metrics(const markov::ChainAnalysis& chain,
+                        const sensing::CoverageTensors& tensors,
+                        const std::vector<double>& targets) {
+  const std::size_t n = chain.p.size();
+  if (targets.size() != n)
+    throw std::invalid_argument("compute_metrics: target size mismatch");
+  Metrics m;
+  m.c_share = coverage_shares(chain, tensors);
+
+  const auto kernels = tensors.deviation_kernels(targets);
+  for (std::size_t i = 0; i < n; ++i) {
+    double g = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        g += chain.pi[j] * chain.p(j, k) * kernels[i](j, k);
+    m.delta_c += g * g;
+  }
+
+  linalg::Vector e = ExposureTerm::compute_mean_exposures(chain);
+  m.exposure.assign(e.begin(), e.end());
+  double sum_sq = 0.0;
+  for (double x : e) sum_sq += x * x;
+  m.e_bar = std::sqrt(sum_sq);
+  return m;
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/markov/fundamental.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+
+namespace mocos::cost {
+
+/// The scalar performance metrics the paper reports (§VI):
+///
+///   ΔC = Σ_i [Σ_{j,k} π_j p_jk (T_jk,i − Φ_i T_jk)]²   (Eq. 12)
+///   Ē  = sqrt(Σ_i Ē_i²)                                 (Eq. 13)
+///   U  = ½ α ΔC + ½ β Ē²                                (Eq. 14)
+///
+/// plus the long-run per-PoI shares C̄_i (Eq. 2) and exposures Ē_i (Eq. 3)
+/// reported in Tables I/II.
+struct Metrics {
+  double delta_c = 0.0;          // Eq. 12
+  double e_bar = 0.0;            // Eq. 13
+  std::vector<double> c_share;   // C̄_i, Eq. 2
+  std::vector<double> exposure;  // Ē_i, Eq. 3
+
+  /// Eq. 14 for scalar weights α, β.
+  double cost(double alpha, double beta) const {
+    return 0.5 * alpha * delta_c + 0.5 * beta * e_bar * e_bar;
+  }
+};
+
+Metrics compute_metrics(const markov::ChainAnalysis& chain,
+                        const sensing::CoverageTensors& tensors,
+                        const std::vector<double>& targets);
+
+/// Long-run coverage shares C̄_i (Eq. 2) alone.
+std::vector<double> coverage_shares(const markov::ChainAnalysis& chain,
+                                    const sensing::CoverageTensors& tensors);
+
+}  // namespace mocos::cost

@@ -1,0 +1,16 @@
+#include "src/cost/partials.hpp"
+
+#include <stdexcept>
+
+namespace mocos::cost {
+
+Partials& Partials::operator+=(const Partials& rhs) {
+  if (rhs.size() != size())
+    throw std::invalid_argument("Partials::+=: size mismatch");
+  for (std::size_t i = 0; i < du_dpi.size(); ++i) du_dpi[i] += rhs.du_dpi[i];
+  du_dz += rhs.du_dz;
+  du_dp += rhs.du_dp;
+  return *this;
+}
+
+}  // namespace mocos::cost

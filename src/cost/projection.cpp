@@ -1,0 +1,29 @@
+#include "src/cost/projection.hpp"
+
+#include <cmath>
+
+namespace mocos::cost {
+
+linalg::Matrix project_row_sum_zero(const linalg::Matrix& grad) {
+  linalg::Matrix out(grad.rows(), grad.cols());
+  for (std::size_t i = 0; i < grad.rows(); ++i) {
+    double mean = 0.0;
+    for (std::size_t j = 0; j < grad.cols(); ++j) mean += grad(i, j);
+    mean /= static_cast<double>(grad.cols());
+    for (std::size_t j = 0; j < grad.cols(); ++j)
+      out(i, j) = grad(i, j) - mean;
+  }
+  return out;
+}
+
+double max_abs_row_sum(const linalg::Matrix& m) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) s += m(i, j);
+    best = std::max(best, std::abs(s));
+  }
+  return best;
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::cost {
+
+/// Orthogonal projection of a gradient matrix onto the subspace of matrices
+/// whose rows each sum to zero (Eq. 11):
+///
+///   Π_ij = U_ij − (Σ_k U_ik)/M.
+///
+/// Moving P along −Π keeps every row sum of P equal to 1, so the iterate
+/// stays a (sub)stochastic matrix as long as the step also respects the
+/// entrywise bounds (handled by descent/step_bounds).
+linalg::Matrix project_row_sum_zero(const linalg::Matrix& grad);
+
+/// Max-abs row-sum — used by tests to assert the projection's invariant and
+/// by the descent loop to detect drift that would need re-normalization.
+double max_abs_row_sum(const linalg::Matrix& m);
+
+}  // namespace mocos::cost

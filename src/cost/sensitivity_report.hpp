@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/markov/fundamental.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+
+namespace mocos::cost {
+
+/// Robustness analysis of a schedule: the (projected) gradients of the two
+/// headline metrics with respect to every transition probability,
+///
+///   delta_c(k,l) = ∂ΔC/∂p_kl,   e_bar(k,l) = ∂Ē/∂p_kl,
+///
+/// restricted to the row-sum-zero subspace (feasible perturbations). Large
+/// entries mark the coin tosses whose mis-implementation (hardware bias,
+/// quantization to a lookup table, ...) hurts the most — where a deployment
+/// should spend its precision budget.
+struct MetricSensitivity {
+  linalg::Matrix delta_c;
+  linalg::Matrix e_bar;
+};
+
+MetricSensitivity metric_sensitivity(const markov::ChainAnalysis& chain,
+                                     const sensing::CoverageTensors& tensors,
+                                     const std::vector<double>& targets);
+
+}  // namespace mocos::cost

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "src/cost/composite_cost.hpp"
+#include "src/descent/trace.hpp"
+#include "src/markov/transition_matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::descent {
+
+/// Gradient-free simulated annealing over transition matrices — the control
+/// arm for the paper's central design decision. V4 combines *gradient*
+/// directions with annealed acceptance; this baseline keeps the annealing
+/// but replaces the gradient with random row-sum-zero proposals. Comparing
+/// the two isolates what the closed-form [D_P U] (Eq. 10) buys.
+struct AnnealingConfig {
+  std::size_t max_iterations = 4000;
+  /// Proposal scale: entries move by roughly this magnitude per step
+  /// (cooled over time on the same log schedule as the temperature).
+  double proposal_scale = 0.1;
+  /// Temperature schedule T(t) = k / log(t + 2), as in V4 — but with a far
+  /// smaller default k: without gradient guidance the proposals are mostly
+  /// uphill, and V4's near-always-accept temperature would turn the search
+  /// into a diverging random walk. k ~ 0.5 gives a genuine Metropolis
+  /// criterion on the normalized cost deltas.
+  double annealing_k = 0.5;
+  double probability_margin = 1e-12;
+};
+
+struct AnnealingResult {
+  markov::TransitionMatrix best_p;
+  double best_cost = 0.0;
+  std::size_t iterations = 0;
+  std::size_t accepted = 0;
+};
+
+AnnealingResult anneal_schedule(const cost::CompositeCost& cost,
+                                const markov::TransitionMatrix& start,
+                                const AnnealingConfig& config, util::Rng& rng);
+
+}  // namespace mocos::descent

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/markov/transition_matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::descent {
+
+/// V1 initial condition: p_ij = 1/M.
+markov::TransitionMatrix uniform_start(std::size_t n);
+
+/// V2 initial condition: the paper's random row-stochastic construction.
+/// Retries (bounded) until the sampled chain is ergodic with every entry
+/// strictly positive, which the construction almost surely yields anyway.
+markov::TransitionMatrix random_start(std::size_t n, util::Rng& rng);
+
+/// A blend (1-w)*uniform + w*random — useful in tests to sample matrices at
+/// controlled distances from the uniform chain.
+markov::TransitionMatrix blended_start(std::size_t n, double w,
+                                       util::Rng& rng);
+
+}  // namespace mocos::descent

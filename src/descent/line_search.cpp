@@ -1,0 +1,65 @@
+#include "src/descent/line_search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mocos::descent {
+
+LineSearchResult trisection_search(const std::function<double(double)>& phi,
+                                   double phi_at_zero, double max_step,
+                                   const LineSearchConfig& config) {
+  if (!(max_step >= 0.0))
+    throw std::invalid_argument("trisection_search: max_step < 0");
+  LineSearchResult result;
+  result.step = 0.0;
+  result.value = phi_at_zero;
+  if (max_step == 0.0) return result;
+
+  double lo = 0.0;
+  double hi = max_step;
+  const double width0 = hi - lo;
+
+  double best_step = 0.0;
+  double best_value = phi_at_zero;
+  auto consider = [&](double step, double value) {
+    if (value < best_value) {
+      best_value = value;
+      best_step = step;
+    }
+  };
+
+  // Seed with the endpoint; infinite values (barrier) simply never win.
+  consider(hi, phi(hi));
+  ++result.evaluations;
+
+  while (result.evaluations + 2 <= config.max_evaluations) {
+    const double width = hi - lo;
+    if (width <= config.relative_tolerance * width0 +
+                     config.absolute_tolerance)
+      break;
+    const double m1 = lo + width / 3.0;
+    const double m2 = lo + 2.0 * width / 3.0;
+    const double f1 = phi(m1);
+    const double f2 = phi(m2);
+    result.evaluations += 2;
+    consider(m1, f1);
+    consider(m2, f2);
+    // Conservative trisection: drop only the worse outer third.
+    if (f1 < f2) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+
+  const double margin =
+      config.improvement_margin +
+      config.relative_improvement_margin * std::abs(phi_at_zero);
+  if (best_value < phi_at_zero - margin) {
+    result.step = best_step;
+    result.value = best_value;
+  }
+  return result;
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,145 @@
+#include "src/descent/perturbed_descent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/cost/gradient.hpp"
+#include "src/cost/projection.hpp"
+#include "src/descent/step_bounds.hpp"
+#include "src/linalg/norms.hpp"
+
+namespace mocos::descent {
+
+PerturbedDescent::PerturbedDescent(const cost::CompositeCost& cost,
+                                   PerturbedConfig config)
+    : cost_(cost), config_(config) {
+  if (config_.noise_sigma < 0.0)
+    throw std::invalid_argument("PerturbedDescent: noise_sigma < 0");
+  if (config_.annealing_k <= 0.0)
+    throw std::invalid_argument("PerturbedDescent: annealing_k <= 0");
+  if (config_.max_iterations == 0)
+    throw std::invalid_argument("PerturbedDescent: max_iterations == 0");
+}
+
+PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
+                                      util::Rng& rng) const {
+  markov::TransitionMatrix p = start;
+  double current = safe_cost(cost_, p);
+  if (std::isinf(current))
+    throw std::invalid_argument("PerturbedDescent: infeasible start matrix");
+
+  PerturbedResult result{p, current, p, current, 0, 0, 0, Trace{}};
+  const double margin = config_.base.probability_margin;
+  std::size_t since_improvement = 0;
+  double initial_rms = 0.0;  // anchor for the relative-noise floor
+
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    const markov::ChainAnalysis chain = markov::analyze_chain(p);
+    linalg::Matrix grad = cost::cost_gradient(cost_, chain);
+
+    // V4: mean-zero Gaussian perturbation of [D_P U].
+    if (config_.noise_sigma > 0.0) {
+      double sigma = config_.noise_sigma;
+      if (config_.relative_noise) {
+        const double rms =
+            linalg::frobenius_norm(grad) /
+            std::sqrt(static_cast<double>(grad.rows() * grad.cols()));
+        if (it == 0) initial_rms = rms;
+        // Floor at a fraction of the initial gradient scale: near critical
+        // points the gradient (and with it a purely relative noise) would
+        // collapse exactly when escaping a local optimum needs the noise
+        // most.
+        sigma *= std::max({rms, 0.1 * initial_rms, 1e-12});
+      }
+      if (config_.decay_noise)
+        sigma *= std::log(2.0) / std::log(static_cast<double>(it) + 2.0);
+      for (std::size_t i = 0; i < grad.rows(); ++i)
+        for (std::size_t j = 0; j < grad.cols(); ++j)
+          grad(i, j) += rng.gaussian(0.0, sigma);
+    }
+    const linalg::Matrix direction =
+        cost::project_row_sum_zero(grad) * (-1.0);
+    const double grad_norm = linalg::frobenius_norm(direction);
+    const double max_step = max_feasible_step(p.matrix(), direction, margin);
+
+    auto phi = [&](double t) {
+      return safe_cost(cost_, apply_step(p, direction, t, margin));
+    };
+    const LineSearchResult ls =
+        trisection_search(phi, current, max_step, config_.base.line_search);
+
+    double step = ls.step;
+    if (step == 0.0 && max_step > 0.0) {
+      // Line search is stuck (Δt* = 0): take a random feasible step, the
+      // paper's escape move.
+      step = rng.uniform(0.0, max_step);
+      ++result.random_steps;
+    }
+    if (step == 0.0) {
+      ++result.iterations;
+      continue;  // direction pinned against the boundary; resample noise
+    }
+
+    const markov::TransitionMatrix candidate =
+        apply_step(p, direction, step, margin);
+    const double cand_cost = safe_cost(cost_, candidate);
+
+    bool accept = cand_cost < current;
+    if (!accept && std::isfinite(cand_cost)) {
+      // Normalized worsening; temperature cools as k / log(count + 2).
+      const double denom = std::max(std::abs(result.best_cost), 1e-300);
+      const double delta_u = (cand_cost - current) / denom;
+      const double temperature =
+          config_.annealing_k /
+          std::log(static_cast<double>(it) + 2.0);
+      accept = rng.bernoulli(std::exp(-delta_u / temperature));
+      if (accept) ++result.accepted_worsening;
+    }
+
+    ++result.iterations;
+    if (accept) {
+      p = candidate;
+      current = cand_cost;
+      if (current < result.best_cost) {
+        const double gain = (result.best_cost - current) /
+                            std::max(std::abs(result.best_cost), 1e-300);
+        result.best_cost = current;
+        result.best_p = p;
+        since_improvement =
+            (gain > config_.stall_relative_improvement) ? 0
+                                                        : since_improvement + 1;
+      } else {
+        ++since_improvement;
+      }
+    } else {
+      ++since_improvement;
+    }
+
+    if (config_.keep_trace)
+      result.trace.record(
+          {result.iterations, current, step, grad_norm, accept});
+
+    if (config_.stall_limit > 0 && since_improvement >= config_.stall_limit)
+      break;
+  }
+
+  if (config_.polish_iterations > 0) {
+    DescentConfig quench = config_.base;
+    quench.step_policy = StepPolicy::kLineSearch;
+    quench.max_iterations = config_.polish_iterations;
+    quench.keep_trace = false;
+    const DescentResult polished =
+        SteepestDescent(cost_, quench).run(result.best_p);
+    if (polished.cost < result.best_cost) {
+      result.best_cost = polished.cost;
+      result.best_p = polished.p;
+    }
+  }
+
+  result.final_p = p;
+  result.final_cost = current;
+  return result;
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,153 @@
+#include "src/descent/steepest_descent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/cost/gradient.hpp"
+#include "src/descent/step_bounds.hpp"
+#include "src/linalg/norms.hpp"
+
+namespace mocos::descent {
+
+double safe_cost(const cost::CompositeCost& cost,
+                 const markov::TransitionMatrix& p) {
+  try {
+    const double u = cost.value(p);
+    return std::isnan(u) ? std::numeric_limits<double>::infinity() : u;
+  } catch (const std::exception&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+markov::TransitionMatrix apply_step(const markov::TransitionMatrix& p,
+                                    const linalg::Matrix& v, double t,
+                                    double margin) {
+  const std::size_t n = p.size();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double x =
+          std::clamp(p(i, j) + t * v(i, j), margin, 1.0 - margin);
+      m(i, j) = x;
+      row_sum += x;
+    }
+    // The direction is row-sum-zero, so row_sum ≈ 1 up to clamping;
+    // renormalize exactly.
+    for (std::size_t j = 0; j < n; ++j) m(i, j) /= row_sum;
+  }
+  return markov::TransitionMatrix(std::move(m));
+}
+
+SteepestDescent::SteepestDescent(const cost::CompositeCost& cost,
+                                 DescentConfig config)
+    : cost_(cost), config_(config) {
+  if (config_.constant_step <= 0.0 &&
+      config_.step_policy == StepPolicy::kConstant)
+    throw std::invalid_argument("SteepestDescent: constant_step <= 0");
+  if (config_.max_iterations == 0)
+    throw std::invalid_argument("SteepestDescent: max_iterations == 0");
+  if (config_.direction_policy == DirectionPolicy::kConjugateGradient &&
+      config_.step_policy != StepPolicy::kLineSearch)
+    throw std::invalid_argument(
+        "SteepestDescent: conjugate gradient requires the line-search step "
+        "policy");
+}
+
+DescentResult SteepestDescent::run(
+    const markov::TransitionMatrix& start) const {
+  markov::TransitionMatrix p = start;
+  DescentResult result{p, safe_cost(cost_, p), 0, StopReason::kMaxIterations,
+                       Trace{}};
+  if (std::isinf(result.cost))
+    throw std::invalid_argument("SteepestDescent: infeasible start matrix");
+
+  // Polak–Ribière+ state (only used by the CG direction policy).
+  linalg::Matrix prev_grad;
+  linalg::Matrix prev_direction;
+
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    const markov::ChainAnalysis chain = markov::analyze_chain(p);
+    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, chain);
+    const double grad_norm = linalg::frobenius_norm(grad);
+    if (grad_norm < config_.gradient_tolerance) {
+      result.reason = StopReason::kGradientTolerance;
+      break;
+    }
+    linalg::Matrix direction = grad * (-1.0);
+    if (config_.direction_policy == DirectionPolicy::kConjugateGradient &&
+        !prev_grad.empty()) {
+      // beta = max(0, <g, g - g_prev> / <g_prev, g_prev>)  (PR+).
+      const double denom = linalg::frobenius_dot(prev_grad, prev_grad);
+      if (denom > 0.0) {
+        const double beta = std::max(
+            0.0, linalg::frobenius_dot(grad, grad - prev_grad) / denom);
+        direction += prev_direction * beta;
+        // Restart on non-descent directions.
+        if (linalg::frobenius_dot(direction, grad) >= 0.0)
+          direction = grad * (-1.0);
+      }
+    }
+    if (config_.direction_policy == DirectionPolicy::kConjugateGradient) {
+      prev_grad = grad;
+      prev_direction = direction;
+    }
+    const double max_step =
+        max_feasible_step(p.matrix(), direction, config_.probability_margin);
+
+    double step = 0.0;
+    double new_cost = result.cost;
+    if (config_.step_policy == StepPolicy::kConstant) {
+      step = std::min(config_.constant_step, max_step);
+      const double biggest = linalg::max_abs(direction);
+      if (biggest > 0.0 && config_.max_entry_change > 0.0)
+        step = std::min(step, config_.max_entry_change / biggest);
+      if (step > 0.0) {
+        const markov::TransitionMatrix candidate =
+            apply_step(p, direction, step, config_.probability_margin);
+        new_cost = safe_cost(cost_, candidate);
+        p = candidate;
+      }
+    } else {
+      auto phi = [&](double t) {
+        return safe_cost(
+            cost_, apply_step(p, direction, t, config_.probability_margin));
+      };
+      const LineSearchResult ls = trisection_search(
+          phi, result.cost, max_step, config_.line_search);
+      step = ls.step;
+      if (step > 0.0) {
+        p = apply_step(p, direction, step, config_.probability_margin);
+        new_cost = ls.value;
+      }
+    }
+
+    ++result.iterations;
+    if (config_.keep_trace)
+      result.trace.record({result.iterations, new_cost, step, grad_norm,
+                           /*accepted=*/step > 0.0});
+
+    if (step == 0.0) {
+      // Line search found no descent: the paper's Δt* = 0 termination
+      // (a critical point — possibly one of the many local optima).
+      result.cost = new_cost;
+      result.reason = StopReason::kNoDescentStep;
+      result.p = p;
+      return result;
+    }
+
+    const double change = std::abs(result.cost - new_cost) /
+                          std::max(std::abs(result.cost), 1.0);
+    result.cost = new_cost;
+    if (config_.cost_tolerance > 0.0 && change < config_.cost_tolerance) {
+      result.reason = StopReason::kCostTolerance;
+      break;
+    }
+  }
+  result.p = p;
+  return result;
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <optional>
+
+#include "src/cost/composite_cost.hpp"
+#include "src/descent/line_search.hpp"
+#include "src/descent/trace.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::descent {
+
+enum class StepPolicy {
+  kConstant,   // V1: fixed Δt every iteration
+  kLineSearch  // V3: Δt* from the trisection search along −Π[D_P U]
+};
+
+enum class DirectionPolicy {
+  kSteepest,          // the paper's −Π[D_P U]
+  kConjugateGradient  // Polak–Ribière+ nonlinear CG on the projected
+                      // gradient (extension; same feasible subspace, fewer
+                      // zig-zags in ill-conditioned valleys)
+};
+
+enum class StopReason {
+  kMaxIterations,
+  kGradientTolerance,  // |Π[D_P U]|_F below tolerance
+  kNoDescentStep,      // line search returned Δt* = 0 (local optimum)
+  kCostTolerance       // relative cost change below tolerance
+};
+
+struct DescentConfig {
+  StepPolicy step_policy = StepPolicy::kConstant;
+  /// CG requires the line-search step policy (a constant step breaks the
+  /// conjugacy rationale); validated at construction.
+  DirectionPolicy direction_policy = DirectionPolicy::kSteepest;
+  double constant_step = 1e-6;       // the paper's Δt for V1
+  /// Stability guard for the constant-step policy: no single entry of P may
+  /// move more than this per iteration. Near the simplex boundary the
+  /// barrier gradient grows like 1/p, and Δt·∇U would otherwise catapult an
+  /// entry across the box in one step (the failure mode the paper avoids by
+  /// choosing Δt = 1e-6). The cap leaves ordinary steps untouched.
+  double max_entry_change = 0.05;
+  LineSearchConfig line_search;      // V3 parameters
+  std::size_t max_iterations = 20000;
+  double gradient_tolerance = 1e-12;
+  /// Relative |ΔU|/max(|U|,1) over a full iteration below which we stop;
+  /// 0 disables the test (the paper's V1 runs a fixed iteration budget).
+  double cost_tolerance = 0.0;
+  /// Entries of P are kept within [margin, 1-margin]; preserves ergodicity
+  /// and keeps the barrier finite along the whole trajectory.
+  double probability_margin = 1e-12;
+  /// Record the per-iteration trace (disable for bulk CDF experiments).
+  bool keep_trace = true;
+};
+
+struct DescentResult {
+  markov::TransitionMatrix p;  // final iterate
+  double cost = 0.0;           // U_ε at the final iterate
+  std::size_t iterations = 0;
+  StopReason reason = StopReason::kMaxIterations;
+  Trace trace;
+};
+
+/// Cost of a candidate transition matrix; +infinity when the analysis fails
+/// (non-ergodic probe, singular fundamental matrix) so searches treat such
+/// points as infeasible instead of crashing.
+double safe_cost(const cost::CompositeCost& cost,
+                 const markov::TransitionMatrix& p);
+
+/// Deterministic steepest descent (paper variants V1/V3; the start matrix
+/// selects V1 vs V2). One iteration: analyze chain → gradient (Eq. 10) →
+/// project (Eq. 11) → step along −Π[D_P U] → clamp into the feasible box.
+class SteepestDescent {
+ public:
+  SteepestDescent(const cost::CompositeCost& cost, DescentConfig config);
+
+  DescentResult run(const markov::TransitionMatrix& start) const;
+
+  const DescentConfig& config() const { return config_; }
+
+ private:
+  const cost::CompositeCost& cost_;
+  DescentConfig config_;
+};
+
+/// Applies P + t·V and clamps entries into [margin, 1-margin], renormalizing
+/// rows exactly. Shared by the deterministic and perturbed drivers.
+markov::TransitionMatrix apply_step(const markov::TransitionMatrix& p,
+                                    const linalg::Matrix& v, double t,
+                                    double margin);
+
+}  // namespace mocos::descent

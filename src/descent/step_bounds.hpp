@@ -1,0 +1,17 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::descent {
+
+/// Largest t >= 0 such that every entry of P + t*V stays inside
+/// [margin, 1 - margin] (the "boundaries of δ ... determined with respect to
+/// the constraint 0 <= p_ij <= 1" in variant V3). Returns +infinity when V
+/// never pushes any entry toward a bound.
+///
+/// `margin` > 0 keeps the iterate strictly inside the polytope so the chain
+/// stays ergodic and the barrier terms stay finite.
+double max_feasible_step(const linalg::Matrix& p, const linalg::Matrix& v,
+                         double margin = 0.0);
+
+}  // namespace mocos::descent

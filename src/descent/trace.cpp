@@ -1,0 +1,35 @@
+#include "src/descent/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocos::descent {
+
+std::vector<double> Trace::cost_series() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.cost);
+  return out;
+}
+
+std::vector<IterationRecord> Trace::subsample(std::size_t max_points) const {
+  if (max_points == 0 || records_.empty()) return {};
+  if (records_.size() <= max_points) return records_;
+  std::vector<IterationRecord> out;
+  out.reserve(max_points);
+  const double stride = static_cast<double>(records_.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  std::size_t last = records_.size();  // sentinel: nothing emitted yet
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(std::llround(static_cast<double>(i) * stride),
+                         static_cast<double>(records_.size() - 1)));
+    if (idx != last) {
+      out.push_back(records_[idx]);
+      last = idx;
+    }
+  }
+  return out;
+}
+
+}  // namespace mocos::descent

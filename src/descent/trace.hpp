@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mocos::descent {
+
+/// One optimizer iteration, as recorded for the paper's per-iteration figures
+/// (Figs. 3–5, 8).
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double cost = 0.0;        // U_ε after the iteration's update
+  double step = 0.0;        // Δt actually taken
+  double gradient_norm = 0.0;
+  bool accepted = true;     // false for rejected annealing proposals
+};
+
+/// Full optimization trace with helpers for the figure benches.
+class Trace {
+ public:
+  void record(IterationRecord rec) { records_.push_back(rec); }
+  const std::vector<IterationRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Cost series (one value per iteration).
+  std::vector<double> cost_series() const;
+
+  /// Subsamples ~`max_points` evenly spaced records (always keeping the
+  /// first and last) so benches can print long runs compactly.
+  std::vector<IterationRecord> subsample(std::size_t max_points) const;
+
+ private:
+  std::vector<IterationRecord> records_;
+};
+
+}  // namespace mocos::descent

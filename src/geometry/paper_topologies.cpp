@@ -1,0 +1,28 @@
+#include "src/geometry/paper_topologies.hpp"
+
+#include <stdexcept>
+
+namespace mocos::geometry {
+
+Topology paper_topology(int index) {
+  switch (index) {
+    case 1:
+      return make_grid("Topology 1", 2, 2, {0.25, 0.25, 0.25, 0.25});
+    case 2:
+      return make_grid("Topology 2", 2, 2, {0.70, 0.10, 0.10, 0.10});
+    case 3:
+      return make_grid("Topology 3", 1, 4, {0.40, 0.10, 0.10, 0.40});
+    case 4:
+      return make_grid("Topology 4", 3, 3,
+                       {0.20, 0.10, 0.10, 0.10, 0.20, 0.10, 0.05, 0.05, 0.10});
+    default:
+      throw std::invalid_argument("paper_topology: index must be 1..4");
+  }
+}
+
+std::vector<Topology> all_paper_topologies() {
+  return {paper_topology(1), paper_topology(2), paper_topology(3),
+          paper_topology(4)};
+}
+
+}  // namespace mocos::geometry

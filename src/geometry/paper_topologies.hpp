@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/geometry/topology.hpp"
+
+namespace mocos::geometry {
+
+/// The four simulation topologies of Fig. 1 (reconstructed — the figure
+/// images are not part of the supplied text; Tables I/II pin Topology 3's
+/// targets to (.4,.1,.1,.4)). Cells are unit squares, PoIs at cell centres.
+///
+/// Topology 1: 2x2 grid, uniform targets (.25 each).
+/// Topology 2: 2x2 grid, skewed targets (.7,.1,.1,.1).
+/// Topology 3: 1x4 line, symmetric edge-heavy targets (.4,.1,.1,.4).
+/// Topology 4: 3x3 grid, mixed targets (.2,.1,.1,.1,.2,.1,.05,.05,.1).
+Topology paper_topology(int index);
+
+/// All four, in order.
+std::vector<Topology> all_paper_topologies();
+
+}  // namespace mocos::geometry

@@ -1,0 +1,120 @@
+#include "src/geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::geometry {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  // p collinear with ab assumed; checks p within the bounding box.
+  return std::min(a.x, b.x) - kEps <= p.x && p.x <= std::max(a.x, b.x) + kEps &&
+         std::min(a.y, b.y) - kEps <= p.y && p.y <= std::max(a.y, b.y) + kEps;
+}
+}  // namespace
+
+double orientation(Vec2 a, Vec2 b, Vec2 c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool segments_intersect(const Segment& a, const Segment& b) {
+  const double d1 = orientation(a.a, a.b, b.a);
+  const double d2 = orientation(a.a, a.b, b.b);
+  const double d3 = orientation(b.a, b.b, a.a);
+  const double d4 = orientation(b.a, b.b, a.b);
+
+  // Proper crossing: strict sign changes on both segments.
+  if (((d1 > kEps && d2 < -kEps) || (d1 < -kEps && d2 > kEps)) &&
+      ((d3 > kEps && d4 < -kEps) || (d3 < -kEps && d4 > kEps)))
+    return true;
+
+  // Collinear overlap: any endpoint strictly interior to the other segment.
+  auto strictly_inside = [](Vec2 p, const Segment& s) {
+    if (std::abs(orientation(s.a, s.b, p)) > kEps) return false;
+    if (!on_segment(s.a, s.b, p)) return false;
+    return distance(p, s.a) > 1e-9 && distance(p, s.b) > 1e-9;
+  };
+  return strictly_inside(b.a, a) || strictly_inside(b.b, a) ||
+         strictly_inside(a.a, b) || strictly_inside(a.b, b);
+}
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3)
+    throw std::invalid_argument("Polygon: need at least 3 vertices");
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    for (std::size_t j = i + 1; j < vertices_.size(); ++j)
+      if (distance(vertices_[i], vertices_[j]) < 1e-12)
+        throw std::invalid_argument("Polygon: duplicate vertices");
+}
+
+Polygon Polygon::rectangle(Vec2 min_corner, Vec2 max_corner) {
+  if (min_corner.x >= max_corner.x || min_corner.y >= max_corner.y)
+    throw std::invalid_argument("Polygon::rectangle: degenerate corners");
+  return Polygon({min_corner,
+                  {max_corner.x, min_corner.y},
+                  max_corner,
+                  {min_corner.x, max_corner.y}});
+}
+
+Vec2 Polygon::centroid() const {
+  Vec2 c{0.0, 0.0};
+  for (Vec2 v : vertices_) c = c + v;
+  return c * (1.0 / static_cast<double>(vertices_.size()));
+}
+
+bool Polygon::contains(Vec2 p) const {
+  // Ray casting toward +x, with boundary points reported as outside.
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment edge{vertices_[i], vertices_[(i + 1) % n]};
+    if (std::abs(orientation(edge.a, edge.b, p)) <= kEps &&
+        on_segment(edge.a, edge.b, p))
+      return false;  // on the boundary
+  }
+  bool inside = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % n];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+    if (x_at > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+bool Polygon::blocks(const Segment& seg) const {
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment edge{vertices_[i], vertices_[(i + 1) % n]};
+    if (segments_intersect(seg, edge)) return true;
+  }
+  // Fully-inside segments (no edge crossing) and grazing chords through the
+  // interior: test a few interior sample points.
+  for (double t : {0.25, 0.5, 0.75}) {
+    if (contains(seg.a + t * (seg.b - seg.a))) return true;
+  }
+  return contains(seg.a) || contains(seg.b);
+}
+
+std::vector<Vec2> Polygon::inflated_vertices(double margin) const {
+  if (margin <= 0.0)
+    throw std::invalid_argument("Polygon::inflated_vertices: margin <= 0");
+  const Vec2 c = centroid();
+  std::vector<Vec2> out;
+  out.reserve(vertices_.size());
+  for (Vec2 v : vertices_) {
+    const Vec2 d = v - c;
+    const double len = length(d);
+    // Degenerate (vertex at centroid) cannot happen for valid polygons with
+    // distinct vertices unless symmetric; guard anyway.
+    out.push_back(len < 1e-12 ? v : v + d * (margin / len));
+  }
+  return out;
+}
+
+}  // namespace mocos::geometry

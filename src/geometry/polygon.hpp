@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/segment.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace mocos::geometry {
+
+/// Simple (non-self-intersecting) polygon used as a travel obstacle.
+/// Vertices in order (either winding); at least 3, pairwise distinct.
+class Polygon {
+ public:
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned rectangle convenience.
+  static Polygon rectangle(Vec2 min_corner, Vec2 max_corner);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  Vec2 centroid() const;
+
+  /// Point strictly inside the polygon (boundary counts as outside).
+  bool contains(Vec2 p) const;
+
+  /// True when the open segment crosses the polygon's interior: it properly
+  /// intersects an edge, or has an interior point inside the polygon. Used
+  /// to reject visibility-graph edges.
+  bool blocks(const Segment& seg) const;
+
+  /// Vertices pushed outward from the centroid by `margin` — the nodes a
+  /// route planner can safely navigate through without grazing the boundary.
+  std::vector<Vec2> inflated_vertices(double margin) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Orientation of the triplet (a, b, c): > 0 counter-clockwise,
+/// < 0 clockwise, 0 collinear.
+double orientation(Vec2 a, Vec2 b, Vec2 c);
+
+/// Proper crossing test: the open segments intersect in exactly one interior
+/// point. Shared endpoints and collinear overlaps are handled conservatively
+/// (overlap counts as intersecting; a mere touch at endpoints does not).
+bool segments_intersect(const Segment& a, const Segment& b);
+
+}  // namespace mocos::geometry

@@ -1,0 +1,42 @@
+#include "src/geometry/random_topology.hpp"
+
+#include <stdexcept>
+
+namespace mocos::geometry {
+
+Topology random_topology(const RandomTopologyConfig& config, util::Rng& rng) {
+  if (config.num_pois < 2)
+    throw std::invalid_argument("random_topology: num_pois < 2");
+  if (config.extent <= 0.0 || config.min_separation <= 0.0)
+    throw std::invalid_argument("random_topology: non-positive geometry");
+  if (config.min_weight <= 0.0)
+    throw std::invalid_argument("random_topology: min_weight <= 0");
+
+  std::vector<Vec2> pts;
+  pts.reserve(config.num_pois);
+  std::size_t attempts = 0;
+  while (pts.size() < config.num_pois) {
+    if (++attempts > config.max_attempts)
+      throw std::runtime_error(
+          "random_topology: could not place PoIs with the requested "
+          "separation (extent too small?)");
+    const Vec2 candidate{rng.uniform(0.0, config.extent),
+                         rng.uniform(0.0, config.extent)};
+    bool ok = true;
+    for (const Vec2& p : pts)
+      if (distance(p, candidate) < config.min_separation) ok = false;
+    if (ok) pts.push_back(candidate);
+  }
+
+  std::vector<double> weights;
+  weights.reserve(config.num_pois);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < config.num_pois; ++i) {
+    weights.push_back(config.min_weight + rng.uniform());
+    sum += weights.back();
+  }
+  for (double& w : weights) w /= sum;
+  return Topology("random", std::move(pts), std::move(weights));
+}
+
+}  // namespace mocos::geometry

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "src/geometry/topology.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::geometry {
+
+struct RandomTopologyConfig {
+  std::size_t num_pois = 6;
+  /// PoIs are sampled uniformly in [0, extent]² ...
+  double extent = 10.0;
+  /// ... subject to a minimum pairwise separation (dart throwing).
+  double min_separation = 1.0;
+  /// Target shares are sampled from [min_weight, min_weight + 1) and
+  /// normalized; raise min_weight toward 1 to flatten them.
+  double min_weight = 0.2;
+  /// Dart-throwing attempts before giving up (the configuration may be
+  /// infeasible, e.g. too many PoIs for the extent).
+  std::size_t max_attempts = 10000;
+};
+
+/// Samples a random topology (PoI cloud + targets) for stress tests, fuzz
+/// suites and scaling benchmarks. Deterministic given the Rng state.
+/// Throws std::runtime_error when dart throwing cannot place all PoIs.
+Topology random_topology(const RandomTopologyConfig& config, util::Rng& rng);
+
+}  // namespace mocos::geometry

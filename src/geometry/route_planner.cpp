@@ -1,0 +1,126 @@
+#include "src/geometry/route_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::geometry {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Segment Route::segment(std::size_t i) const {
+  if (i + 1 >= waypoints.size())
+    throw std::out_of_range("Route::segment");
+  return Segment{waypoints[i], waypoints[i + 1]};
+}
+
+RoutePlanner::RoutePlanner(const Topology& topology,
+                           std::vector<Polygon> obstacles, double clearance)
+    : pois_(topology.positions()), obstacles_(std::move(obstacles)) {
+  if (clearance <= 0.0)
+    throw std::invalid_argument("RoutePlanner: clearance <= 0");
+  for (const Polygon& obs : obstacles_) {
+    for (Vec2 p : pois_) {
+      if (obs.contains(p))
+        throw std::invalid_argument(
+            "RoutePlanner: a PoI lies inside an obstacle");
+    }
+  }
+
+  nodes_ = pois_;
+  for (const Polygon& obs : obstacles_) {
+    for (Vec2 v : obs.inflated_vertices(clearance)) {
+      // Skip corner nodes that land inside another obstacle.
+      bool buried = false;
+      for (const Polygon& other : obstacles_)
+        if (other.contains(v)) buried = true;
+      if (!buried) nodes_.push_back(v);
+    }
+  }
+
+  const std::size_t n = nodes_.size();
+  edge_.assign(n, std::vector<double>(n, kInf));
+  for (std::size_t i = 0; i < n; ++i) {
+    edge_[i][i] = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (line_of_sight(nodes_[i], nodes_[j])) {
+        const double d = distance(nodes_[i], nodes_[j]);
+        edge_[i][j] = d;
+        edge_[j][i] = d;
+      }
+    }
+  }
+
+  const std::size_t m = pois_.size();
+  routes_.resize(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    routes_[a].reserve(m);
+    for (std::size_t b = 0; b < m; ++b)
+      routes_[a].push_back(shortest_route(a, b));
+  }
+}
+
+bool RoutePlanner::line_of_sight(Vec2 a, Vec2 b) const {
+  if (distance(a, b) < 1e-15) return true;
+  const Segment seg{a, b};
+  for (const Polygon& obs : obstacles_)
+    if (obs.blocks(seg)) return false;
+  return true;
+}
+
+Route RoutePlanner::shortest_route(std::size_t from, std::size_t to) const {
+  const std::size_t n = nodes_.size();
+  if (from >= pois_.size() || to >= pois_.size())
+    throw std::out_of_range("RoutePlanner::shortest_route");
+  if (from == to) return Route{{nodes_[from]}, 0.0};
+
+  // Dijkstra over the visibility graph.
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> prev(n, n);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (edge_[u][v] == kInf || v == u) continue;
+      const double nd = d + edge_[u][v];
+      if (nd < dist[v] - 1e-15) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[to] == kInf)
+    throw std::runtime_error(
+        "RoutePlanner: PoIs are separated by obstacles (no feasible route)");
+
+  Route route;
+  route.length = dist[to];
+  std::vector<Vec2> rev;
+  for (std::size_t u = to; u != from; u = prev[u]) {
+    if (prev[u] == nodes_.size())
+      throw std::logic_error("RoutePlanner: broken predecessor chain");
+    rev.push_back(nodes_[u]);
+  }
+  rev.push_back(nodes_[from]);
+  route.waypoints.assign(rev.rbegin(), rev.rend());
+  return route;
+}
+
+const Route& RoutePlanner::route(std::size_t from, std::size_t to) const {
+  if (from >= routes_.size() || to >= routes_.size())
+    throw std::out_of_range("RoutePlanner::route");
+  return routes_[from][to];
+}
+
+}  // namespace mocos::geometry

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/topology.hpp"
+
+namespace mocos::geometry {
+
+/// A feasible route between two PoIs: the polyline of waypoints (including
+/// both endpoints) and its total length.
+struct Route {
+  std::vector<Vec2> waypoints;
+  double length = 0.0;
+
+  std::size_t num_segments() const {
+    return waypoints.size() < 2 ? 0 : waypoints.size() - 1;
+  }
+  Segment segment(std::size_t i) const;
+};
+
+/// Shortest feasible routes between PoIs around polygonal obstacles, via a
+/// visibility graph over {PoI positions} ∪ {inflated obstacle vertices} and
+/// Dijkstra. §III requires travel along "a physically feasible route"; this
+/// planner supplies such routes when straight lines are blocked.
+///
+/// Best suited to convex obstacles (vertex inflation is radial from the
+/// centroid); concave obstacles work when their pockets are not needed for
+/// the shortest path.
+class RoutePlanner {
+ public:
+  /// `clearance` is how far route corners stay from obstacle vertices.
+  /// PoIs must not lie inside (or within clearance of) any obstacle.
+  RoutePlanner(const Topology& topology, std::vector<Polygon> obstacles,
+               double clearance = 1e-3);
+
+  const std::vector<Polygon>& obstacles() const { return obstacles_; }
+
+  /// Shortest route from PoI j to PoI k. Throws std::runtime_error when no
+  /// feasible route exists (obstacles fully separate the PoIs).
+  const Route& route(std::size_t from, std::size_t to) const;
+
+  /// True when the straight segment between two points is unobstructed.
+  bool line_of_sight(Vec2 a, Vec2 b) const;
+
+ private:
+  Route shortest_route(std::size_t from, std::size_t to) const;
+
+  std::vector<Vec2> pois_;
+  std::vector<Polygon> obstacles_;
+  std::vector<Vec2> nodes_;  // pois first, then inflated obstacle vertices
+  std::vector<std::vector<double>> edge_;  // adjacency: length or +inf
+  std::vector<std::vector<Route>> routes_;  // all-pairs PoI routes, cached
+};
+
+}  // namespace mocos::geometry

@@ -1,0 +1,43 @@
+#include "src/geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocos::geometry {
+
+std::optional<ChordInterval> chord_interval_in_disk(const Segment& seg,
+                                                    Vec2 c, double r) {
+  if (r <= 0.0) return std::nullopt;
+  const Vec2 d = seg.b - seg.a;
+  const double len = length(d);
+  if (len == 0.0) return std::nullopt;
+
+  // Parameterize the line as a + t*d, t in [0,1]; solve |a + t*d - c| = r.
+  const Vec2 f = seg.a - c;
+  const double qa = length_sq(d);
+  const double qb = 2.0 * dot(f, d);
+  const double qc = length_sq(f) - r * r;
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (disc <= 0.0) return std::nullopt;  // line misses (or grazes) the disk
+
+  const double sq = std::sqrt(disc);
+  const double t0 = std::clamp((-qb - sq) / (2.0 * qa), 0.0, 1.0);
+  const double t1 = std::clamp((-qb + sq) / (2.0 * qa), 0.0, 1.0);
+  if (t1 <= t0) return std::nullopt;  // chord lies outside the segment
+  return ChordInterval{t0 * len, t1 * len};
+}
+
+double chord_length_in_disk(const Segment& seg, Vec2 c, double r) {
+  const auto interval = chord_interval_in_disk(seg, c, r);
+  return interval ? interval->end - interval->begin : 0.0;
+}
+
+double distance_to_segment(const Segment& seg, Vec2 p) {
+  const Vec2 d = seg.b - seg.a;
+  const double len2 = length_sq(d);
+  if (len2 == 0.0) return distance(seg.a, p);
+  const double t = std::clamp(dot(p - seg.a, d) / len2, 0.0, 1.0);
+  return distance(seg.a + t * d, p);
+}
+
+}  // namespace mocos::geometry

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "src/geometry/vec2.hpp"
+
+namespace mocos::geometry {
+
+/// Directed straight-line segment from `a` to `b` — the travel route the
+/// sensor takes between two PoIs (§VI: "the sensor uses the straight-line
+/// path between i and j").
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+};
+
+/// Length of the portion of `seg` lying strictly inside the disk of radius
+/// `r` centred at `c`. This is the pass-by coverage geometry: while the
+/// sensor's position is within distance r of PoI c, that PoI is covered, so
+/// the covered travel time is chord_length / speed.
+///
+/// Degenerate segments (length 0) return 0 — pauses are accounted for
+/// separately by the travel model.
+double chord_length_in_disk(const Segment& seg, Vec2 c, double r);
+
+/// The arc-length interval [begin, end] (measured from seg.a) of the portion
+/// of `seg` inside the disk; nullopt when the segment misses (or merely
+/// grazes) the disk. chord_length_in_disk == end - begin.
+struct ChordInterval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+std::optional<ChordInterval> chord_interval_in_disk(const Segment& seg,
+                                                    Vec2 c, double r);
+
+/// Shortest distance from point `p` to the segment.
+double distance_to_segment(const Segment& seg, Vec2 p);
+
+}  // namespace mocos::geometry

@@ -1,0 +1,86 @@
+#include "src/geometry/topology.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::geometry {
+
+Topology::Topology(std::string name, std::vector<Vec2> positions,
+                   std::vector<double> targets)
+    : name_(std::move(name)),
+      positions_(std::move(positions)),
+      targets_(std::move(targets)) {
+  if (positions_.size() < 2)
+    throw std::invalid_argument("Topology: need at least two PoIs");
+  if (targets_.size() != positions_.size())
+    throw std::invalid_argument("Topology: targets/positions size mismatch");
+  double sum = 0.0;
+  for (double t : targets_) {
+    if (t < 0.0) throw std::invalid_argument("Topology: negative target");
+    sum += t;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("Topology: targets must sum to 1");
+  for (double& t : targets_) t /= sum;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      if (positions_[i] == positions_[j])
+        throw std::invalid_argument("Topology: duplicate PoI positions");
+    }
+  }
+}
+
+Vec2 Topology::position(std::size_t i) const {
+  if (i >= positions_.size()) throw std::out_of_range("Topology::position");
+  return positions_[i];
+}
+
+double Topology::target(std::size_t i) const {
+  if (i >= targets_.size()) throw std::out_of_range("Topology::target");
+  return targets_[i];
+}
+
+double Topology::distance(std::size_t i, std::size_t j) const {
+  return geometry::distance(position(i), position(j));
+}
+
+double Topology::diameter() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < size(); ++i)
+    for (std::size_t j = i + 1; j < size(); ++j)
+      best = std::max(best, distance(i, j));
+  return best;
+}
+
+double Topology::min_separation() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < size(); ++i)
+    for (std::size_t j = i + 1; j < size(); ++j)
+      best = std::min(best, distance(i, j));
+  return best;
+}
+
+Topology make_grid(std::string name, std::size_t rows, std::size_t cols,
+                   std::vector<double> targets, double cell) {
+  if (rows * cols < 2)
+    throw std::invalid_argument("make_grid: need at least two cells");
+  if (cell <= 0.0) throw std::invalid_argument("make_grid: cell size <= 0");
+  std::vector<Vec2> pos;
+  pos.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      pos.push_back({(static_cast<double>(c) + 0.5) * cell,
+                     (static_cast<double>(r) + 0.5) * cell});
+    }
+  }
+  return Topology(std::move(name), std::move(pos), std::move(targets));
+}
+
+std::vector<double> uniform_targets(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_targets: n == 0");
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace mocos::geometry

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/geometry/vec2.hpp"
+
+namespace mocos::geometry {
+
+/// A named set of PoI locations with per-PoI target coverage shares Φ_i
+/// (§III: "the user specifies a target allocation Φ of the sensor's coverage
+/// time among the PoIs").
+///
+/// Invariants enforced at construction:
+///  - at least two PoIs;
+///  - positions, targets the same length;
+///  - targets non-negative and summing to 1 (within 1e-9, then renormalized);
+///  - PoIs pairwise distinct.
+class Topology {
+ public:
+  Topology(std::string name, std::vector<Vec2> positions,
+           std::vector<double> targets);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return positions_.size(); }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  Vec2 position(std::size_t i) const;
+  const std::vector<double>& targets() const { return targets_; }
+  double target(std::size_t i) const;
+
+  /// Euclidean distance between PoIs i and j.
+  double distance(std::size_t i, std::size_t j) const;
+
+  /// Maximum pairwise distance — useful for sizing sensing radii and pauses.
+  double diameter() const;
+
+  /// Smallest pairwise distance; the disjointness condition of §III requires
+  /// the sensing radius r < min_separation()/2.
+  double min_separation() const;
+
+ private:
+  std::string name_;
+  std::vector<Vec2> positions_;
+  std::vector<double> targets_;
+};
+
+/// Builds a rows x cols grid of PoIs on unit cells (PoI i at the centre of
+/// cell i, row-major), with the given target allocation.
+Topology make_grid(std::string name, std::size_t rows, std::size_t cols,
+                   std::vector<double> targets, double cell = 1.0);
+
+/// Uniform target allocation of the given size.
+std::vector<double> uniform_targets(std::size_t n);
+
+}  // namespace mocos::geometry

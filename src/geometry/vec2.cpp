@@ -1,0 +1,15 @@
+#include "src/geometry/vec2.hpp"
+
+#include <cmath>
+
+namespace mocos::geometry {
+
+double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+double length_sq(Vec2 a) { return dot(a, a); }
+
+double length(Vec2 a) { return std::sqrt(length_sq(a)); }
+
+double distance(Vec2 a, Vec2 b) { return length(a - b); }
+
+}  // namespace mocos::geometry

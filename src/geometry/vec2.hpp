@@ -1,0 +1,23 @@
+#pragma once
+
+namespace mocos::geometry {
+
+/// 2-D point/vector in the plane the PoIs live in.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend bool operator==(Vec2 a, Vec2 b) = default;
+};
+
+double dot(Vec2 a, Vec2 b);
+double length(Vec2 a);
+double distance(Vec2 a, Vec2 b);
+/// Squared length, avoiding the sqrt when only comparisons are needed.
+double length_sq(Vec2 a);
+
+}  // namespace mocos::geometry

@@ -1,0 +1,169 @@
+#include "src/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mocos::linalg {
+
+namespace {
+
+using Complex = std::complex<double>;
+using CMatrix = std::vector<std::vector<Complex>>;
+
+/// 2x2 unitary G with G [a; b] = [r; 0], r = hypot(|a|, |b|) real.
+struct Givens {
+  Complex g00, g01, g10, g11;
+};
+
+Givens make_givens(Complex a, Complex b) {
+  const double r = std::sqrt(std::norm(a) + std::norm(b));
+  if (r == 0.0) return {1.0, 0.0, 0.0, 1.0};
+  return {std::conj(a) / r, std::conj(b) / r, -b / r, a / r};
+}
+
+/// Applies G to rows (p, q) of H (left multiplication).
+void apply_left(CMatrix& h, const Givens& g, std::size_t p, std::size_t q,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const Complex hp = h[p][j];
+    const Complex hq = h[q][j];
+    h[p][j] = g.g00 * hp + g.g01 * hq;
+    h[q][j] = g.g10 * hp + g.g11 * hq;
+  }
+}
+
+/// Applies G^H to columns (p, q) of H (right multiplication by the adjoint):
+/// (H G^H)[i][p] = h_ip conj(g00) + h_iq conj(g01),
+/// (H G^H)[i][q] = h_ip conj(g10) + h_iq conj(g11).
+void apply_right_adjoint(CMatrix& h, const Givens& g, std::size_t p,
+                         std::size_t q, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex hp = h[i][p];
+    const Complex hq = h[i][q];
+    h[i][p] = hp * std::conj(g.g00) + hq * std::conj(g.g01);
+    h[i][q] = hp * std::conj(g.g10) + hq * std::conj(g.g11);
+  }
+}
+
+/// Similarity reduction to upper Hessenberg form with Givens rotations.
+void hessenberg(CMatrix& h, std::size_t n) {
+  for (std::size_t j = 0; j + 2 < n; ++j) {
+    for (std::size_t i = j + 2; i < n; ++i) {
+      if (std::abs(h[i][j]) == 0.0) continue;
+      const Givens g = make_givens(h[j + 1][j], h[i][j]);
+      apply_left(h, g, j + 1, i, n);
+      apply_right_adjoint(h, g, j + 1, i, n);
+    }
+  }
+}
+
+/// Eigenvalue of the trailing 2x2 block closest to its (1,1) entry
+/// (Wilkinson shift).
+Complex wilkinson_shift(const CMatrix& h, std::size_t m) {
+  const Complex a = h[m - 1][m - 1];
+  const Complex b = h[m - 1][m];
+  const Complex c = h[m][m - 1];
+  const Complex d = h[m][m];
+  const Complex tr_half = (a + d) / 2.0;
+  const Complex disc = std::sqrt(tr_half * tr_half - (a * d - b * c));
+  const Complex l1 = tr_half + disc;
+  const Complex l2 = tr_half - disc;
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a, double tol,
+                                              std::size_t max_sweeps) {
+  if (!a.is_square()) throw std::invalid_argument("eigenvalues: not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  if (n == 1) return {Complex(a(0, 0), 0.0)};
+
+  CMatrix h(n, std::vector<Complex>(n));
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      h[i][j] = Complex(a(i, j), 0.0);
+      scale = std::max(scale, std::abs(a(i, j)));
+    }
+  if (scale == 0.0) return std::vector<Complex>(n, Complex(0.0, 0.0));
+
+  hessenberg(h, n);
+
+  std::vector<Complex> out;
+  out.reserve(n);
+  std::size_t m = n - 1;  // active block is h[0..m][0..m]
+  std::size_t sweeps = 0;
+  std::size_t stalled = 0;  // sweeps since the last deflation
+
+  while (true) {
+    // Deflate converged trailing eigenvalues.
+    while (m > 0 && std::abs(h[m][m - 1]) <=
+                        tol * (std::abs(h[m - 1][m - 1]) +
+                               std::abs(h[m][m]) + scale * 1e-300)) {
+      out.push_back(h[m][m]);
+      --m;
+      stalled = 0;
+    }
+    if (m == 0) {
+      out.push_back(h[0][0]);
+      break;
+    }
+    if (++sweeps > max_sweeps)
+      throw std::runtime_error("eigenvalues: QR iteration did not converge");
+    ++stalled;
+
+    // Also split at interior negligible subdiagonals (restrict the sweep to
+    // the trailing irreducible block [lo..m]).
+    std::size_t lo = m;
+    while (lo > 0 && std::abs(h[lo][lo - 1]) >
+                         tol * (std::abs(h[lo - 1][lo - 1]) +
+                                std::abs(h[lo][lo]) + scale * 1e-300))
+      --lo;
+
+    // Exceptional shift: symmetric configurations (e.g. permutation
+    // matrices) can stall the Wilkinson shift; a deliberately asymmetric
+    // complex shift breaks the tie (cf. LAPACK's ad-hoc shifts).
+    const Complex mu =
+        (stalled % 12 == 0)
+            ? h[m][m] + Complex(0.75 * std::abs(h[m][m - 1]),
+                                0.4 * std::abs(h[m][m - 1]))
+            : wilkinson_shift(h, m);
+    for (std::size_t i = lo; i <= m; ++i) h[i][i] -= mu;
+
+    // One shifted QR step on the active block. Left phase: Givens
+    // rotations zero the subdiagonal top-down, producing
+    // R = G_{m-1}...G_lo (H - muI), i.e. H - muI = QR with
+    // Q = G_lo^H ... G_{m-1}^H.
+    std::vector<Givens> rotations;
+    rotations.reserve(m - lo);
+    for (std::size_t i = lo; i < m; ++i) {
+      const Givens g = make_givens(h[i][i], h[i + 1][i]);
+      apply_left(h, g, i, i + 1, n);
+      rotations.push_back(g);
+    }
+    // Right phase: H' = RQ + muI = R G_lo^H G_{lo+1}^H ... G_{m-1}^H +
+    // muI - the adjoints applied in the same order the rotations were
+    // created.
+    for (std::size_t r = 0; r < rotations.size(); ++r)
+      apply_right_adjoint(h, rotations[r], lo + r, lo + r + 1, n);
+    for (std::size_t i = lo; i <= m; ++i) h[i][i] += mu;
+  }
+
+  std::sort(out.begin(), out.end(), [](Complex x, Complex y) {
+    const double ax = std::abs(x), ay = std::abs(y);
+    if (ax != ay) return ax > ay;
+    return x.real() > y.real();
+  });
+  return out;
+}
+
+double eigenvalue_modulus(const Matrix& a, std::size_t k) {
+  const auto eig = eigenvalues(a);
+  if (k >= eig.size()) throw std::out_of_range("eigenvalue_modulus: k");
+  return std::abs(eig[k]);
+}
+
+}  // namespace mocos::linalg

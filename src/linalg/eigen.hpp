@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::linalg {
+
+/// Full eigenvalue solver for small dense real matrices: complex Hessenberg
+/// reduction (Givens similarity) followed by the single-shift QR iteration
+/// with Wilkinson shifts in complex arithmetic — which converges for real
+/// matrices with complex conjugate eigenvalue pairs, unlike real
+/// single-shift QR.
+///
+/// Intended for the library's chain-sized matrices (M ≤ a few dozen): O(n³)
+/// per iteration is irrelevant at this scale, and the complex formulation
+/// keeps the implementation compact and testable. Used to validate the
+/// power-based SLEM estimator in markov/spectral and to expose whole-chain
+/// spectra to diagnostics.
+///
+/// Returns all n eigenvalues, sorted by descending modulus (ties broken by
+/// descending real part). Throws std::runtime_error if the QR iteration
+/// fails to converge (does not happen for diagonalizable inputs at these
+/// sizes; the guard is a defect detector, not an expected path).
+std::vector<std::complex<double>> eigenvalues(const Matrix& a,
+                                              double tol = 1e-12,
+                                              std::size_t max_sweeps = 4000);
+
+/// Convenience: the k-th largest eigenvalue modulus (k=0 is the spectral
+/// radius). Throws std::out_of_range for k >= n.
+double eigenvalue_modulus(const Matrix& a, std::size_t k);
+
+}  // namespace mocos::linalg

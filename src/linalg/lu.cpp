@@ -1,0 +1,95 @@
+#include "src/linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  if (!lu_.is_square())
+    throw std::invalid_argument("LuDecomposition: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300)
+      throw std::runtime_error("LuDecomposition: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double diag = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / diag;
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LU::solve: size mismatch");
+  // Apply permutation, then forward substitution with unit-lower L.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back substitution with U.
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  if (b.rows() != size())
+    throw std::invalid_argument("LU::solve: row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector col = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(size()));
+}
+
+double LuDecomposition::determinant() const {
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+double determinant(const Matrix& a) {
+  return LuDecomposition(a).determinant();
+}
+
+}  // namespace mocos::linalg

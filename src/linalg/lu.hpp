@@ -1,0 +1,45 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::linalg {
+
+/// LU decomposition with partial (row) pivoting: PA = LU.
+///
+/// This is the workhorse behind the fundamental-matrix inversion
+/// Z = (I - P + W)^(-1) and all linear solves in the library. Factor once,
+/// then solve against many right-hand sides (each column of the identity for
+/// an explicit inverse).
+class LuDecomposition {
+ public:
+  /// Factors `a` (must be square). Throws std::invalid_argument for
+  /// non-square input and std::runtime_error if the matrix is singular to
+  /// working precision.
+  explicit LuDecomposition(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Explicit inverse (solves against the identity).
+  Matrix inverse() const;
+
+  /// det(A), including the pivot sign.
+  double determinant() const;
+
+ private:
+  Matrix lu_;                      // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int pivot_sign_ = 1;
+};
+
+/// One-shot helpers.
+Vector solve(const Matrix& a, const Vector& b);
+Matrix inverse(const Matrix& a);
+double determinant(const Matrix& a);
+
+}  // namespace mocos::linalg

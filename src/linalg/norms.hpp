@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::linalg {
+
+/// Euclidean norm of a vector.
+double norm2(const Vector& v);
+/// Max-abs entry of a vector.
+double norm_inf(const Vector& v);
+/// Sum of |entries|.
+double norm1(const Vector& v);
+
+/// Frobenius norm of a matrix — used as the gradient magnitude |D_P U| in the
+/// descent's convergence test.
+double frobenius_norm(const Matrix& m);
+/// Max-abs entry of a matrix.
+double max_abs(const Matrix& m);
+
+}  // namespace mocos::linalg

@@ -1,0 +1,81 @@
+#include "src/markov/ergodicity.hpp"
+
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace mocos::markov {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> adjacency(const TransitionMatrix& p,
+                                                double tol, bool reversed) {
+  const std::size_t n = p.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (p(i, j) > tol) adj[reversed ? j : i].push_back(reversed ? i : j);
+  return adj;
+}
+
+bool all_reachable_from_zero(const std::vector<std::vector<std::size_t>>& adj) {
+  std::vector<char> seen(adj.size(), 0);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = 1;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        q.push(v);
+      }
+    }
+  }
+  for (char s : seen)
+    if (!s) return false;
+  return true;
+}
+
+}  // namespace
+
+bool is_irreducible(const TransitionMatrix& p, double tol) {
+  // Strong connectivity <=> every state reachable from 0 in both the forward
+  // and the reversed graph.
+  return all_reachable_from_zero(adjacency(p, tol, /*reversed=*/false)) &&
+         all_reachable_from_zero(adjacency(p, tol, /*reversed=*/true));
+}
+
+bool is_aperiodic(const TransitionMatrix& p, double tol) {
+  // BFS-label method: the period divides |level(u) + 1 - level(v)| for every
+  // edge u->v; the chain is aperiodic iff the gcd over all edges is 1.
+  const auto adj = adjacency(p, tol, false);
+  const std::size_t n = p.size();
+  std::vector<long> level(n, -1);
+  std::queue<std::size_t> q;
+  q.push(0);
+  level[0] = 0;
+  long g = 0;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::size_t v : adj[u]) {
+      if (level[v] < 0) {
+        level[v] = level[u] + 1;
+        q.push(v);
+      } else {
+        g = std::gcd(g, std::abs(level[u] + 1 - level[v]));
+      }
+    }
+  }
+  for (long lv : level)
+    if (lv < 0) return false;  // not even reachable; treat as non-ergodic
+  return g == 1;
+}
+
+bool is_ergodic(const TransitionMatrix& p, double tol) {
+  return is_irreducible(p, tol) && is_aperiodic(p, tol);
+}
+
+}  // namespace mocos::markov

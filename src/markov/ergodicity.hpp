@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Structural checks on the chain's transition graph (edges where
+/// p_ij > tol). The paper assumes ergodicity throughout (§III-A); the barrier
+/// terms of U_ε keep every p_ij strictly inside (0,1), which makes the chain
+/// irreducible and aperiodic — these predicates let tests and users verify
+/// that directly.
+bool is_irreducible(const TransitionMatrix& p, double tol = 0.0);
+
+/// Aperiodicity via the gcd of directed cycle lengths through state 0 of the
+/// (irreducible) transition graph; standard BFS-label algorithm.
+bool is_aperiodic(const TransitionMatrix& p, double tol = 0.0);
+
+/// Irreducible and aperiodic.
+bool is_ergodic(const TransitionMatrix& p, double tol = 0.0);
+
+}  // namespace mocos::markov

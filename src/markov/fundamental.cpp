@@ -1,0 +1,33 @@
+#include "src/markov/fundamental.hpp"
+
+#include "src/linalg/lu.hpp"
+#include "src/markov/passage_times.hpp"
+#include "src/markov/stationary.hpp"
+
+namespace mocos::markov {
+
+linalg::Matrix stationary_rows(const linalg::Vector& pi) {
+  return linalg::Matrix::outer(linalg::Vector(pi.size(), 1.0), pi);
+}
+
+linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
+                                  const linalg::Vector& pi) {
+  const std::size_t n = p.rows();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m(i, j) = (i == j ? 1.0 : 0.0) - p(i, j) + pi[j];
+  return linalg::inverse(m);
+}
+
+ChainAnalysis analyze_chain(const TransitionMatrix& p) {
+  linalg::Vector pi = stationary_distribution(p);
+  linalg::Matrix w = stationary_rows(pi);
+  linalg::Matrix z = fundamental_matrix(p.matrix(), pi);
+  linalg::Matrix z2 = z * z;
+  linalg::Matrix r = first_passage_times(z, pi);
+  return ChainAnalysis{p,           std::move(pi), std::move(w),
+                       std::move(z), std::move(z2), std::move(r)};
+}
+
+}  // namespace mocos::markov

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Kemeny–Snell fundamental matrix Z = (I - P + W)^(-1), where W = 𝟙πᵀ
+/// (every row equals the stationary distribution). The paper uses Z (via the
+/// group inverse A# = Z - W, Eq. 7) to express first passage times (Eq. 8)
+/// and the chain sensitivities (§IV, following Schweitzer).
+linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
+                                  const linalg::Vector& pi);
+
+/// W = 𝟙πᵀ.
+linalg::Matrix stationary_rows(const linalg::Vector& pi);
+
+/// One-stop analysis of an ergodic chain: everything the cost function and
+/// its gradient need, computed once per optimizer iteration.
+struct ChainAnalysis {
+  TransitionMatrix p;
+  linalg::Vector pi;   // stationary distribution
+  linalg::Matrix w;    // 1 pi^T
+  linalg::Matrix z;    // fundamental matrix
+  linalg::Matrix z2;   // Z^2, cached for the Schweitzer dZ formula
+  linalg::Matrix r;    // expected first passage times R_ij (Eq. 8)
+};
+
+ChainAnalysis analyze_chain(const TransitionMatrix& p);
+
+}  // namespace mocos::markov

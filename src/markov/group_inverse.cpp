@@ -1,0 +1,23 @@
+#include "src/markov/group_inverse.hpp"
+
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::markov {
+
+linalg::Matrix group_inverse(const linalg::Matrix& p,
+                             const linalg::Vector& pi) {
+  return fundamental_matrix(p, pi) - stationary_rows(pi);
+}
+
+bool satisfies_group_inverse_axioms(const linalg::Matrix& a,
+                                    const linalg::Matrix& g, double tol) {
+  if (!a.is_square() || a.rows() != g.rows() || a.cols() != g.cols())
+    return false;
+  const linalg::Matrix ag = a * g;
+  const linalg::Matrix ga = g * a;
+  return linalg::approx_equal(ag * a, a, tol) &&
+         linalg::approx_equal(ga * g, g, tol) &&
+         linalg::approx_equal(ag, ga, tol);
+}
+
+}  // namespace mocos::markov

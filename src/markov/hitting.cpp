@@ -1,0 +1,142 @@
+#include "src/markov/hitting.hpp"
+
+#include <stdexcept>
+
+#include "src/linalg/lu.hpp"
+
+namespace mocos::markov {
+
+namespace {
+
+/// Solves (I - Q) x = rhs where Q is P restricted to states != excluded.
+/// `rhs` is indexed over the restricted states in original order.
+linalg::Vector solve_restricted(const TransitionMatrix& p,
+                                std::size_t excluded,
+                                const linalg::Vector& rhs) {
+  const std::size_t n = p.size();
+  const std::size_t m = n - 1;
+  linalg::Matrix a(m, m);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == excluded) continue;
+    std::size_t col = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == excluded) continue;
+      a(row, col) = (i == j ? 1.0 : 0.0) - p(i, j);
+      ++col;
+    }
+    ++row;
+  }
+  return linalg::solve(a, rhs);
+}
+
+/// Expands a restricted vector (states != excluded) to full size, placing
+/// `value_at_excluded` at the excluded index.
+linalg::Vector expand(const linalg::Vector& restricted, std::size_t excluded,
+                      double value_at_excluded) {
+  linalg::Vector full(restricted.size() + 1, 0.0);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    full[i] = (i == excluded) ? value_at_excluded : restricted[r++];
+  return full;
+}
+
+}  // namespace
+
+linalg::Vector hit_before(const TransitionMatrix& p, std::size_t target,
+                          std::size_t competitor) {
+  const std::size_t n = p.size();
+  if (target >= n || competitor >= n)
+    throw std::out_of_range("hit_before: state index");
+  if (target == competitor)
+    throw std::invalid_argument("hit_before: target == competitor");
+
+  // h_i = Σ_j p_ij h_j for i ∉ {target, competitor}; boundary h_t=1, h_c=0.
+  const std::size_t m = n - 2;
+  std::vector<std::size_t> free_states;
+  for (std::size_t i = 0; i < n; ++i)
+    if (i != target && i != competitor) free_states.push_back(i);
+
+  linalg::Matrix a(m, m);
+  linalg::Vector rhs(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t i = free_states[r];
+    rhs[r] = p(i, target);
+    for (std::size_t c = 0; c < m; ++c) {
+      const std::size_t j = free_states[c];
+      a(r, c) = (i == j ? 1.0 : 0.0) - p(i, j);
+    }
+  }
+  const linalg::Vector h_free = m == 0 ? linalg::Vector{} : linalg::solve(a, rhs);
+
+  linalg::Vector h(n, 0.0);
+  h[target] = 1.0;
+  h[competitor] = 0.0;
+  for (std::size_t r = 0; r < m; ++r) h[free_states[r]] = h_free[r];
+  return h;
+}
+
+linalg::Vector expected_visits_before(const TransitionMatrix& p,
+                                      std::size_t transient,
+                                      std::size_t absorbing) {
+  const std::size_t n = p.size();
+  if (transient >= n || absorbing >= n)
+    throw std::out_of_range("expected_visits_before: state index");
+  if (transient == absorbing)
+    throw std::invalid_argument("expected_visits_before: same state");
+
+  // v = (I - Q)^{-1} e_transient over states != absorbing.
+  linalg::Vector rhs(n - 1, 0.0);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == absorbing) continue;
+    if (i == transient) rhs[r] = 1.0;
+    ++r;
+  }
+  const linalg::Vector v = solve_restricted(p, absorbing, rhs);
+  return expand(v, absorbing, 0.0);
+}
+
+linalg::Vector passage_time_variance(const TransitionMatrix& p,
+                                     std::size_t target) {
+  const std::size_t n = p.size();
+  if (target >= n) throw std::out_of_range("passage_time_variance: target");
+
+  // First moments over non-target states: (I - Q) m = 1.
+  const linalg::Vector m_res =
+      solve_restricted(p, target, linalg::Vector(n - 1, 1.0));
+  const linalg::Vector m = expand(m_res, target, 0.0);
+
+  // Second moments: s_i = 1 + 2 (Q m)_i + (Q s)_i  =>  (I-Q) s = 1 + 2 Q m.
+  linalg::Vector rhs(n - 1, 0.0);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == target) continue;
+    double qm = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != target) qm += p(i, j) * m[j];
+    rhs[r] = 1.0 + 2.0 * qm;
+    ++r;
+  }
+  const linalg::Vector s_res = solve_restricted(p, target, rhs);
+  const linalg::Vector s = expand(s_res, target, 0.0);
+
+  linalg::Vector var(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == target) continue;
+    var[i] = s[i] - m[i] * m[i];
+  }
+  // Return-time moments for the target itself: condition on the first step.
+  double m_ret = 1.0, s_ret = 0.0;
+  double pm = 0.0, ps = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    pm += p(target, j) * m[j];
+    ps += p(target, j) * s[j];
+  }
+  m_ret = 1.0 + pm;
+  s_ret = 1.0 + 2.0 * pm + ps;
+  var[target] = s_ret - m_ret * m_ret;
+  return var;
+}
+
+}  // namespace mocos::markov

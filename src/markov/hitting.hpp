@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Hitting analytics beyond the first-passage means of Eq. 8 — the questions
+/// a patrol planner actually asks ("if the sensor is at the depot, will it
+/// check the gate before the vault?", "how often does it pass the gate per
+/// visit to the vault?").
+
+/// P(chain started at each state hits `target` before `competitor`).
+/// target != competitor; the entries for the two special states are 1 and 0.
+linalg::Vector hit_before(const TransitionMatrix& p, std::size_t target,
+                          std::size_t competitor);
+
+/// Expected number of visits to `transient` before the first arrival at
+/// `absorbing`, per start state (the visit at time 0 counts when the chain
+/// starts at `transient`). transient != absorbing.
+linalg::Vector expected_visits_before(const TransitionMatrix& p,
+                                      std::size_t transient,
+                                      std::size_t absorbing);
+
+/// Variance of the first-passage time to `target` from each start state
+/// (complements the mean R_ij of Eq. 8; large variance means wildly
+/// inconsistent revisit behaviour even when the mean looks fine).
+linalg::Vector passage_time_variance(const TransitionMatrix& p,
+                                     std::size_t target);
+
+}  // namespace mocos::markov

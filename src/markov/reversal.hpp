@@ -1,0 +1,19 @@
+#pragma once
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Time-reversal utilities. The reversed chain P* with
+/// p*_ij = π_j p_ji / π_i describes the schedule watched backwards; a chain
+/// equal to its reversal is *reversible* (detailed balance), which for a
+/// patrol means an observer cannot tell recorded footage played forwards
+/// from backwards — a structural property relevant to the §VII
+/// unpredictability discussion (reversible schedules leak less directional
+/// information).
+TransitionMatrix reversed_chain(const TransitionMatrix& p);
+
+/// Detailed balance check: π_i p_ij == π_j p_ji for all pairs (within tol).
+bool is_reversible(const TransitionMatrix& p, double tol = 1e-10);
+
+}  // namespace mocos::markov

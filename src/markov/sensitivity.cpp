@@ -1,0 +1,53 @@
+#include "src/markov/sensitivity.hpp"
+
+#include <stdexcept>
+
+namespace mocos::markov {
+
+linalg::Vector stationary_directional_derivative(const ChainAnalysis& chain,
+                                                 const linalg::Matrix& pdot) {
+  // dπ = π Ṗ Z   (π as a row vector).
+  const linalg::Vector pi_pdot = linalg::mul(chain.pi, pdot);
+  return linalg::mul(pi_pdot, chain.z);
+}
+
+linalg::Matrix fundamental_directional_derivative(const ChainAnalysis& chain,
+                                                  const linalg::Matrix& pdot) {
+  // dZ = Z Ṗ Z - W Ṗ Z².
+  return chain.z * pdot * chain.z - chain.w * pdot * chain.z2;
+}
+
+linalg::Matrix chain_rule_gradient(const ChainAnalysis& chain,
+                                   const linalg::Vector& du_dpi,
+                                   const linalg::Matrix& du_dz,
+                                   const linalg::Matrix& du_dp) {
+  const std::size_t n = chain.p.size();
+  if (du_dpi.size() != n || du_dz.rows() != n || du_dz.cols() != n ||
+      du_dp.rows() != n || du_dp.cols() != n)
+    throw std::invalid_argument("chain_rule_gradient: size mismatch");
+
+  // π-channel: [grad]_kl += π_k * Σ_i z_li ∂U/∂π_i = π_k * (Z du_dpi)_l.
+  const linalg::Vector z_dupi = linalg::mul(chain.z, du_dpi);
+
+  // Z-channel, term 1: Σ_ij ∂U/∂z_ij z_ik z_lj = (Zᵀ G Zᵀ)_kl with G=du_dz.
+  const linalg::Matrix zt = chain.z.transposed();
+  const linalg::Matrix term_zz = zt * du_dz * zt;
+
+  // Z-channel, term 2: -π_k Σ_ij ∂U/∂z_ij (Z²)_lj = -π_k (G (Z²)ᵀ summed
+  // over i)_l; define s_l = Σ_ij G_ij (Z²)_lj = Σ_j (Σ_i G_ij) (Z²)_lj.
+  linalg::Vector col_sum_g(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) col_sum_g[j] += du_dz(i, j);
+  const linalg::Vector s = linalg::mul(chain.z2, col_sum_g);
+
+  linalg::Matrix grad(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < n; ++l) {
+      grad(k, l) = chain.pi[k] * z_dupi[l] + term_zz(k, l) -
+                   chain.pi[k] * s[l] + du_dp(k, l);
+    }
+  }
+  return grad;
+}
+
+}  // namespace mocos::markov

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::markov {
+
+/// Schweitzer (1968) perturbation formulas for an ergodic chain, as used in
+/// the paper's §IV. For a direction Ṗ in transition-matrix space:
+///
+///   dπ/dt = π Ṗ Z              (component-wise dπ_i = Σ_{k,j} π_k z_ji Ṗ_kj)
+///   dZ/dt = Z Ṗ Z - W Ṗ Z²
+///
+/// These directional forms are used by tests to validate the adjoint
+/// (gradient) combination in cost/gradient.cpp against finite differences.
+linalg::Vector stationary_directional_derivative(const ChainAnalysis& chain,
+                                                 const linalg::Matrix& pdot);
+
+linalg::Matrix fundamental_directional_derivative(const ChainAnalysis& chain,
+                                                  const linalg::Matrix& pdot);
+
+/// Adjoint (reverse-mode) combination, Eq. 10 of the paper: given the partial
+/// derivatives of a scalar U with respect to π, Z and P (holding the others
+/// fixed), returns the full gradient matrix
+///
+///   [D_P U]_kl = Σ_i π_k z_li ∂U/∂π_i
+///              + Σ_ij ∂U/∂z_ij [ z_ik z_lj - π_k (Z²)_lj ]
+///              + ∂U/∂p_kl .
+linalg::Matrix chain_rule_gradient(const ChainAnalysis& chain,
+                                   const linalg::Vector& du_dpi,
+                                   const linalg::Matrix& du_dz,
+                                   const linalg::Matrix& du_dp);
+
+}  // namespace mocos::markov

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/markov/fundamental.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Spectral diagnostics of the scheduling chain. The speed at which the
+/// sensor's location distribution forgets its start — the mixing time —
+/// bounds how fast the realized coverage shares converge to the analytic
+/// C̄_i, and therefore how long a simulation (or a real deployment) must run
+/// before the optimizer's predictions hold.
+
+/// Second-largest eigenvalue modulus (SLEM) of an ergodic transition matrix:
+/// the spectral radius of P − W (P with its Perron component deflated).
+/// Computed by repeated squaring with Frobenius-norm ratios, which converges
+/// for complex conjugate pairs as well as real eigenvalues.
+double slem(const TransitionMatrix& p);
+double slem(const linalg::Matrix& p, const linalg::Vector& pi);
+
+/// Exact SLEM from the full spectrum (QR eigen-solver); slem() above is a
+/// cheaper repeated-squaring estimate of the same quantity.
+double slem_exact(const TransitionMatrix& p);
+
+/// The chain's full spectrum, sorted by descending modulus; for an ergodic
+/// chain the leading eigenvalue is 1 and all others lie strictly inside the
+/// unit disk. Complex pairs indicate rotational (cyclic) structure in the
+/// schedule.
+std::vector<std::complex<double>> chain_spectrum(const TransitionMatrix& p);
+
+/// Relaxation time 1/(1 − SLEM); +infinity if SLEM is (numerically) 1.
+double relaxation_time(const TransitionMatrix& p);
+
+/// First step t at which the worst-start total-variation distance
+/// max_i ||e_i P^t − π||_TV drops below `eps`. Exact (iterates the matrix),
+/// so intended for the small chains this library optimizes.
+std::size_t mixing_time(const TransitionMatrix& p, double eps = 0.25,
+                        std::size_t max_steps = 100000);
+
+/// Kemeny's constant K = Σ_j π_j R_ij — famously independent of the start
+/// state i: the expected steps to reach a π-random destination. Computed as
+/// trace(Z) via the fundamental matrix (K = trace(Z) - ... see docs in the
+/// implementation); a one-number summary of how "navigable" the schedule is.
+double kemeny_constant(const ChainAnalysis& chain);
+
+/// Cross-check variant computed from the passage-time matrix directly
+/// (Σ_j π_j R_ij for the given start row). Used by tests to verify the
+/// start-independence property.
+double kemeny_constant_from_row(const ChainAnalysis& chain, std::size_t row);
+
+}  // namespace mocos::markov

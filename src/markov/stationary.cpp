@@ -1,0 +1,48 @@
+#include "src/markov/stationary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/lu.hpp"
+#include "src/linalg/norms.hpp"
+
+namespace mocos::markov {
+
+linalg::Vector stationary_distribution(const TransitionMatrix& p) {
+  const std::size_t n = p.size();
+  // B = I - P^T + ones; B pi = 1.
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      b(i, j) = (i == j ? 1.0 : 0.0) - p(j, i) + 1.0;
+  linalg::Vector rhs(n, 1.0);
+  linalg::Vector pi = linalg::solve(b, rhs);
+  // Guard + exact renormalization against round-off.
+  double sum = 0.0;
+  for (double x : pi) {
+    if (!(x > -1e-9))
+      throw std::runtime_error(
+          "stationary_distribution: negative mass (chain not ergodic?)");
+    sum += x;
+  }
+  for (double& x : pi) x = std::max(x, 0.0) / sum;
+  return pi;
+}
+
+linalg::Vector stationary_power_iteration(const TransitionMatrix& p,
+                                          std::size_t max_iters, double tol) {
+  const std::size_t n = p.size();
+  linalg::Vector x(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    linalg::Vector next = linalg::mul(x, p.matrix());
+    const double change = linalg::norm1(linalg::vsub(next, x));
+    x = std::move(next);
+    if (change < tol) break;
+  }
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  for (double& v : x) v /= sum;
+  return x;
+}
+
+}  // namespace mocos::markov

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::markov {
+
+/// Stationary distribution π of an ergodic chain: the unique probability
+/// vector with π P = π.
+///
+/// Solved exactly via the nonsingular system (I - Pᵀ + 𝟙𝟙ᵀ) π = 𝟙, which has
+/// π as its unique solution for ergodic P.
+linalg::Vector stationary_distribution(const TransitionMatrix& p);
+
+/// Power-iteration fallback/cross-check: repeatedly applies x ← x P until the
+/// L1 change drops below `tol` or `max_iters` is hit. Used in tests to verify
+/// the direct solver.
+linalg::Vector stationary_power_iteration(const TransitionMatrix& p,
+                                          std::size_t max_iters = 100000,
+                                          double tol = 1e-13);
+
+}  // namespace mocos::markov

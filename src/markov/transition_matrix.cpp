@@ -1,0 +1,59 @@
+#include "src/markov/transition_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::markov {
+
+TransitionMatrix::TransitionMatrix(linalg::Matrix m, double tol)
+    : m_(std::move(m)) {
+  if (!m_.is_square() || m_.rows() < 2)
+    throw std::invalid_argument("TransitionMatrix: need square, size >= 2");
+  for (std::size_t i = 0; i < m_.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m_.cols(); ++j) {
+      double v = m_(i, j);
+      if (v < -tol || v > 1.0 + tol)
+        throw std::invalid_argument("TransitionMatrix: entry out of [0,1]");
+      v = std::clamp(v, 0.0, 1.0);
+      m_(i, j) = v;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tol)
+      throw std::invalid_argument("TransitionMatrix: row does not sum to 1");
+    for (std::size_t j = 0; j < m_.cols(); ++j) m_(i, j) /= sum;
+  }
+}
+
+TransitionMatrix TransitionMatrix::uniform(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("TransitionMatrix::uniform: n < 2");
+  return TransitionMatrix(
+      linalg::Matrix(n, n, 1.0 / static_cast<double>(n)));
+}
+
+TransitionMatrix TransitionMatrix::random(std::size_t n, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("TransitionMatrix::random: n < 2");
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rem = 1.0;
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      const double v = rng.uniform() * rem / static_cast<double>(n);
+      m(i, j) = v;
+      rem -= v;
+    }
+    m(i, n - 1) = rem;
+  }
+  return TransitionMatrix(std::move(m));
+}
+
+double TransitionMatrix::min_entry() const {
+  double best = 1.0;
+  for (std::size_t i = 0; i < m_.rows(); ++i)
+    for (std::size_t j = 0; j < m_.cols(); ++j)
+      best = std::min(best, m_(i, j));
+  return best;
+}
+
+}  // namespace mocos::markov

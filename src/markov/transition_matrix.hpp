@@ -1,0 +1,39 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::markov {
+
+/// Row-stochastic transition matrix of the scheduling Markov chain
+/// (the paper's P = {p_ij}; §III-A).
+///
+/// Invariants validated at construction:
+///  - square, size >= 2;
+///  - entries in [-tol, 1+tol], clamped into [0,1];
+///  - each row sums to 1 within tol, then exactly renormalized.
+class TransitionMatrix {
+ public:
+  explicit TransitionMatrix(linalg::Matrix m, double tol = 1e-8);
+
+  /// The paper's V1 initial condition: p_ij = 1/M for all i,j.
+  static TransitionMatrix uniform(std::size_t n);
+
+  /// The paper's V2 random initial condition: within each row, entry j < M-1
+  /// gets rand * rem / M where rem is the probability still unassigned, and
+  /// the last column absorbs the remainder.
+  static TransitionMatrix random(std::size_t n, util::Rng& rng);
+
+  std::size_t size() const { return m_.rows(); }
+  double operator()(std::size_t i, std::size_t j) const { return m_(i, j); }
+  const linalg::Matrix& matrix() const { return m_; }
+  linalg::Vector row(std::size_t i) const { return m_.row(i); }
+
+  /// Smallest entry — the barrier terms keep this strictly positive.
+  double min_entry() const;
+
+ private:
+  linalg::Matrix m_;
+};
+
+}  // namespace mocos::markov

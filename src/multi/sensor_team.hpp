@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/markov/transition_matrix.hpp"
+#include "src/sensing/motion_model.hpp"
+
+namespace mocos::multi {
+
+/// A team of K sensors patrolling the same PoIs, each driven by its own
+/// Markov chain (moving independently of the others). The single-sensor
+/// framework is the paper's; the team layer composes it: with independent
+/// stationary sensors, the long-run fraction of time PoI i is covered by at
+/// least one sensor is
+///
+///   c_i^team = 1 − Π_k (1 − c_i^(k)),
+///
+/// where c_i^(k) is sensor k's coverage share (Eq. 2).
+class SensorTeam {
+ public:
+  SensorTeam(const sensing::MotionModel& model,
+             std::vector<markov::TransitionMatrix> chains);
+
+  const sensing::MotionModel& model() const { return model_; }
+  std::size_t num_sensors() const { return chains_.size(); }
+  std::size_t num_pois() const { return model_.num_pois(); }
+  const markov::TransitionMatrix& chain(std::size_t k) const;
+  const std::vector<markov::TransitionMatrix>& chains() const {
+    return chains_;
+  }
+
+  /// Per-sensor analytic coverage shares C̄_i (Eq. 2).
+  std::vector<double> sensor_coverage(std::size_t k) const;
+
+  /// Combined coverage under the independence approximation.
+  std::vector<double> combined_coverage() const;
+
+ private:
+  const sensing::MotionModel& model_;
+  std::vector<markov::TransitionMatrix> chains_;
+};
+
+}  // namespace mocos::multi

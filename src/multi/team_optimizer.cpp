@@ -1,0 +1,92 @@
+#include "src/multi/team_optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/cost/metrics.hpp"
+#include "src/sensing/travel_model.hpp"
+
+namespace mocos::multi {
+
+namespace {
+
+/// Combined coverage of all team chains except `skip`.
+std::vector<double> coverage_of_others(
+    const core::Problem& problem,
+    const std::vector<markov::TransitionMatrix>& chains, std::size_t skip) {
+  const std::size_t n = problem.num_pois();
+  std::vector<double> not_covered(n, 1.0);
+  for (std::size_t k = 0; k < chains.size(); ++k) {
+    if (k == skip) continue;
+    const auto c = cost::coverage_shares(markov::analyze_chain(chains[k]),
+                                         problem.tensors());
+    for (std::size_t i = 0; i < n; ++i) not_covered[i] *= 1.0 - c[i];
+  }
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = 1.0 - not_covered[i];
+  return out;
+}
+
+core::Problem residual_problem(const core::Problem& base,
+                               const std::vector<double>& residual_targets) {
+  // Rebuild a problem identical to `base` but with re-weighted targets.
+  // Only the straight-line physics path is rebuilt here; for custom motion
+  // models the caller keeps the original targets (handled by optimize_team).
+  geometry::Topology topo(base.topology().name() + "/residual",
+                          base.topology().positions(), residual_targets);
+  return core::Problem(std::move(topo), base.physics(), base.weights());
+}
+
+}  // namespace
+
+SensorTeam optimize_team(const core::Problem& problem,
+                         const TeamOptimizerOptions& options) {
+  if (options.num_sensors == 0)
+    throw std::invalid_argument("optimize_team: num_sensors == 0");
+  if (options.rounds == 0)
+    throw std::invalid_argument("optimize_team: rounds == 0");
+  if (options.residual_floor <= 0.0 || options.residual_floor > 1.0)
+    throw std::invalid_argument("optimize_team: residual_floor out of (0,1]");
+  // Residual rounds rebuild the problem with reweighted targets, which is
+  // only possible when the motion physics can be reconstructed — i.e. the
+  // straight-line model. (Round-0 optimization would work for any model.)
+  if (options.rounds > 1 &&
+      dynamic_cast<const sensing::TravelModel*>(&problem.model()) == nullptr)
+    throw std::invalid_argument(
+        "optimize_team: residual rounds require the straight-line "
+        "TravelModel; use rounds = 1 with custom motion models");
+
+  // Round 0: every sensor solves the base problem (different seeds).
+  std::vector<markov::TransitionMatrix> chains;
+  chains.reserve(options.num_sensors);
+  for (std::size_t k = 0; k < options.num_sensors; ++k) {
+    core::OptimizerOptions opts = options.per_sensor;
+    opts.seed = options.per_sensor.seed + 101 * (k + 1);
+    opts.random_start = k > 0;  // diversify later sensors' starting points
+    chains.push_back(core::CoverageOptimizer(problem, opts).run().p);
+  }
+
+  // Best-response rounds on the coverage residual.
+  for (std::size_t round = 1; round < options.rounds; ++round) {
+    for (std::size_t k = 0; k < options.num_sensors; ++k) {
+      const auto others = coverage_of_others(problem, chains, k);
+      std::vector<double> residual(problem.num_pois());
+      double sum = 0.0;
+      for (std::size_t i = 0; i < problem.num_pois(); ++i) {
+        const double phi = problem.targets()[i];
+        residual[i] = std::max(phi * (1.0 - others[i]),
+                               options.residual_floor * phi);
+        sum += residual[i];
+      }
+      for (double& r : residual) r /= sum;
+
+      const core::Problem sub = residual_problem(problem, residual);
+      core::OptimizerOptions opts = options.per_sensor;
+      opts.seed = options.per_sensor.seed + 997 * round + 101 * (k + 1);
+      chains[k] = core::CoverageOptimizer(sub, opts).run().p;
+    }
+  }
+  return SensorTeam(problem.model(), std::move(chains));
+}
+
+}  // namespace mocos::multi

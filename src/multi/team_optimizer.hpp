@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/core/optimizer.hpp"
+#include "src/multi/sensor_team.hpp"
+
+namespace mocos::multi {
+
+struct TeamOptimizerOptions {
+  std::size_t num_sensors = 2;
+  /// Best-response sweeps over the team (>= 1). Round 0 optimizes every
+  /// sensor against the full target allocation; later rounds re-optimize
+  /// each sensor against the *residual* demand left uncovered by the rest
+  /// of the team, which diversifies the chains.
+  std::size_t rounds = 2;
+  /// Per-sensor single-chain optimizer settings (algorithm, iterations, …).
+  core::OptimizerOptions per_sensor;
+  /// Floor for residual targets so no PoI is ever dropped entirely.
+  double residual_floor = 0.02;
+};
+
+/// Heuristic multi-sensor extension of the paper's optimizer: sequential
+/// best response on the coverage residual. Each sensor's chain is produced
+/// by the single-sensor stochastic steepest descent with reweighted targets
+///
+///   Φ_i^(k) ∝ max(Φ_i · (1 − c_i^(−k)), floor · Φ_i),
+///
+/// where c_i^(−k) is the combined coverage of the other sensors.
+SensorTeam optimize_team(const core::Problem& problem,
+                         const TeamOptimizerOptions& options);
+
+}  // namespace mocos::multi

@@ -1,0 +1,99 @@
+#include "src/multi/team_simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mocos::multi {
+
+double TeamSimulationResult::worst_gap() const {
+  double worst = 0.0;
+  for (double g : max_gap) worst = std::max(worst, g);
+  return worst;
+}
+
+TeamSimulator::TeamSimulator(TeamSimulationConfig config) : config_(config) {
+  if (config_.transitions_per_sensor == 0)
+    throw std::invalid_argument("TeamSimulator: transitions_per_sensor == 0");
+}
+
+TeamSimulationResult TeamSimulator::run(const SensorTeam& team,
+                                        util::Rng& rng) const {
+  const sensing::MotionModel& model = team.model();
+  const std::size_t n = model.num_pois();
+  const std::size_t sensors = team.num_sensors();
+
+  // Per-PoI absolute-time coverage intervals from every sensor.
+  std::vector<std::vector<sensing::CoverageInterval>> covered(n);
+  double horizon = std::numeric_limits<double>::infinity();
+  double measure_from = 0.0;
+
+  for (std::size_t k = 0; k < sensors; ++k) {
+    util::Rng sensor_rng = rng.split();
+    std::size_t at = k % n;  // stagger starting PoIs across the team
+    double clock = 0.0;
+    double sensor_measure_from = 0.0;
+    for (std::size_t step = 0;
+         step < config_.burn_in + config_.transitions_per_sensor; ++step) {
+      const std::size_t next = sensor_rng.discrete(team.chain(k).row(at));
+      if (step == config_.burn_in) sensor_measure_from = clock;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (const auto& interval : model.coverage_intervals(at, next, i)) {
+          covered[i].push_back(
+              {clock + interval.begin, clock + interval.end});
+        }
+      }
+      clock += model.transition_duration(at, next);
+      at = next;
+    }
+    horizon = std::min(horizon, clock);
+    measure_from = std::max(measure_from, sensor_measure_from);
+  }
+
+  TeamSimulationResult out;
+  out.horizon = horizon - measure_from;
+  out.covered_fraction.assign(n, 0.0);
+  out.mean_gap.assign(n, 0.0);
+  out.max_gap.assign(n, 0.0);
+  out.gap_count.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& intervals = covered[i];
+    std::sort(intervals.begin(), intervals.end(),
+              [](const auto& a, const auto& b) { return a.begin < b.begin; });
+    // Sweep: merge into the measurement window, accumulating covered time
+    // and uncovered gaps.
+    double cursor = measure_from;  // end of covered time so far
+    double covered_time = 0.0;
+    double gap_total = 0.0;
+    for (const auto& iv : intervals) {
+      const double begin = std::clamp(iv.begin, measure_from, horizon);
+      const double end = std::clamp(iv.end, measure_from, horizon);
+      if (end <= begin) continue;
+      if (begin > cursor) {
+        const double gap = begin - cursor;
+        gap_total += gap;
+        out.max_gap[i] = std::max(out.max_gap[i], gap);
+        out.gap_count[i] += 1;
+        covered_time += end - begin;
+        cursor = end;
+      } else if (end > cursor) {
+        covered_time += end - cursor;
+        cursor = end;
+      }
+    }
+    if (cursor < horizon) {
+      const double gap = horizon - cursor;
+      gap_total += gap;
+      out.max_gap[i] = std::max(out.max_gap[i], gap);
+      out.gap_count[i] += 1;
+    }
+    out.covered_fraction[i] = covered_time / out.horizon;
+    out.mean_gap[i] = out.gap_count[i] == 0
+                          ? 0.0
+                          : gap_total / static_cast<double>(out.gap_count[i]);
+  }
+  return out;
+}
+
+}  // namespace mocos::multi

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/multi/sensor_team.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::multi {
+
+struct TeamSimulationConfig {
+  /// Transitions simulated per sensor.
+  std::size_t transitions_per_sensor = 20000;
+  /// Per-sensor transitions discarded before measurement.
+  std::size_t burn_in = 200;
+};
+
+/// Wall-clock team metrics: coverage counts time when *at least one* sensor
+/// is within range of the PoI (pauses and pass-bys, from the models' exact
+/// coverage intervals); exposures are the uncovered gaps.
+struct TeamSimulationResult {
+  double horizon = 0.0;                    // measured wall-clock span
+  std::vector<double> covered_fraction;    // per PoI
+  std::vector<double> mean_gap;            // mean uncovered-interval length
+  std::vector<double> max_gap;             // worst uncovered interval
+  std::vector<std::size_t> gap_count;      // completed gaps per PoI
+
+  /// Largest max_gap across PoIs — the team's worst-case staleness.
+  double worst_gap() const;
+};
+
+/// Simulates all sensors concurrently (independent chains, real transition
+/// durations) and merges their coverage intervals per PoI.
+class TeamSimulator {
+ public:
+  explicit TeamSimulator(TeamSimulationConfig config = {});
+
+  TeamSimulationResult run(const SensorTeam& team, util::Rng& rng) const;
+
+ private:
+  TeamSimulationConfig config_;
+};
+
+}  // namespace mocos::multi

@@ -1,0 +1,50 @@
+#include "src/sensing/coverage_tensors.hpp"
+
+#include <stdexcept>
+
+namespace mocos::sensing {
+
+CoverageTensors::CoverageTensors(const MotionModel& model) {
+  const std::size_t n = model.num_pois();
+  durations_ = linalg::Matrix(n, n);
+  distances_ = linalg::Matrix(n, n);
+  coverage_.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      durations_(j, k) = model.transition_duration(j, k);
+      distances_(j, k) = model.travel_distance(j, k);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Matrix cov(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        cov(j, k) = model.coverage_during(j, k, i);
+    coverage_.push_back(std::move(cov));
+  }
+}
+
+const linalg::Matrix& CoverageTensors::coverage_of(std::size_t i) const {
+  if (i >= coverage_.size())
+    throw std::out_of_range("CoverageTensors::coverage_of");
+  return coverage_[i];
+}
+
+std::vector<linalg::Matrix> CoverageTensors::deviation_kernels(
+    const std::vector<double>& targets) const {
+  const std::size_t n = num_pois();
+  if (targets.size() != n)
+    throw std::invalid_argument("deviation_kernels: target size mismatch");
+  std::vector<linalg::Matrix> kernels;
+  kernels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Matrix b(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        b(j, k) = coverage_[i](j, k) - targets[i] * durations_(j, k);
+    kernels.push_back(std::move(b));
+  }
+  return kernels;
+}
+
+}  // namespace mocos::sensing

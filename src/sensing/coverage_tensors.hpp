@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/sensing/motion_model.hpp"
+
+namespace mocos::sensing {
+
+/// Precomputed physical-time tensors of §III-A, built once per problem:
+///
+///   durations(j,k)   = T_jk    (travel j->k + pause at k; T_jj = P_j)
+///   coverage[i](j,k) = T_jk,i  (time PoI i is covered during j->k)
+///
+/// The cost function and its gradient touch these in O(M^2) inner loops, so
+/// they are materialized as dense matrices rather than recomputed from
+/// geometry on every optimizer iteration.
+class CoverageTensors {
+ public:
+  explicit CoverageTensors(const MotionModel& model);
+
+  std::size_t num_pois() const { return durations_.rows(); }
+  const linalg::Matrix& durations() const { return durations_; }
+  const linalg::Matrix& coverage_of(std::size_t i) const;
+
+  /// B^i_jk = T_jk,i - Φ_i T_jk — the coverage-deviation kernel of Eq. 4/12,
+  /// precomputed per PoI for the given target allocation.
+  std::vector<linalg::Matrix> deviation_kernels(
+      const std::vector<double>& targets) const;
+
+  /// Travel distances d_jk for the energy objective.
+  const linalg::Matrix& distances() const { return distances_; }
+
+ private:
+  linalg::Matrix durations_;
+  std::vector<linalg::Matrix> coverage_;
+  linalg::Matrix distances_;
+};
+
+}  // namespace mocos::sensing

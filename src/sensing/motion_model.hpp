@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geometry/topology.hpp"
+
+namespace mocos::sensing {
+
+/// One contiguous interval during which a PoI is covered, in time relative
+/// to the start of a transition. Used by the multi-sensor simulator, which
+/// needs to know *when* coverage happens (to merge overlapping sensors), not
+/// just how much.
+struct CoverageInterval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  double length() const { return end - begin; }
+};
+
+/// Physical motion abstraction consumed by the coverage tensors, the
+/// simulator and the tour baseline. §III requires travel "along a physically
+/// feasible route"; the straight-line TravelModel is the paper's setting,
+/// and RoutedTravelModel (visibility-graph shortest paths around polygonal
+/// obstacles) generalizes it.
+///
+/// Implementations must satisfy the paper's coverage conventions:
+///   coverage_during(j, k, k) = pause(k),
+///   coverage_during(j, k, j) = 0 for k != j,
+///   coverage_during(j, j, i) = pause(j) iff i == j else 0,
+/// and coverage_during(j, k, i) <= transition_duration(j, k).
+class MotionModel {
+ public:
+  virtual ~MotionModel() = default;
+
+  virtual const geometry::Topology& topology() const = 0;
+  std::size_t num_pois() const { return topology().size(); }
+
+  /// Pause time at PoI i (> 0).
+  virtual double pause(std::size_t i) const = 0;
+
+  /// Pure travel time from PoI j to PoI k along the feasible route
+  /// (0 when j == k).
+  virtual double travel_time(std::size_t j, std::size_t k) const = 0;
+
+  /// The paper's T_jk: travel time plus the pause at the destination;
+  /// T_jj = P_j.
+  virtual double transition_duration(std::size_t j, std::size_t k) const = 0;
+
+  /// The paper's T_jk,i: time PoI i is covered during the transition j->k.
+  virtual double coverage_during(std::size_t j, std::size_t k,
+                                 std::size_t i) const = 0;
+
+  /// Route length from j to k (energy objective); 0 when j == k.
+  virtual double travel_distance(std::size_t j, std::size_t k) const = 0;
+
+  /// When, within the transition j->k, PoI i is covered. Invariant: the
+  /// interval lengths sum to coverage_during(j, k, i), every interval lies
+  /// within [0, transition_duration(j, k)], and intervals are disjoint and
+  /// sorted.
+  virtual std::vector<CoverageInterval> coverage_intervals(
+      std::size_t j, std::size_t k, std::size_t i) const = 0;
+
+  /// The route polyline from PoI j to PoI k, both endpoints included
+  /// (straight line by default; detours for obstacle-aware models). For
+  /// j == k, a single point. Total polyline length equals
+  /// travel_distance(j, k).
+  virtual std::vector<geometry::Vec2> route_waypoints(std::size_t j,
+                                                      std::size_t k) const = 0;
+};
+
+}  // namespace mocos::sensing

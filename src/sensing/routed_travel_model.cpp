@@ -1,0 +1,105 @@
+#include "src/sensing/routed_travel_model.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::sensing {
+
+RoutedTravelModel::RoutedTravelModel(geometry::Topology topology,
+                                     std::vector<geometry::Polygon> obstacles,
+                                     double speed, double pause,
+                                     double sensing_radius, double clearance)
+    : topology_(std::move(topology)),
+      speed_(speed),
+      pause_(pause),
+      radius_(sensing_radius),
+      planner_(topology_, std::move(obstacles), clearance) {
+  if (speed_ <= 0.0)
+    throw std::invalid_argument("RoutedTravelModel: speed <= 0");
+  if (pause_ <= 0.0)
+    throw std::invalid_argument("RoutedTravelModel: pause <= 0");
+  if (radius_ <= 0.0)
+    throw std::invalid_argument("RoutedTravelModel: sensing radius <= 0");
+  if (radius_ >= topology_.min_separation() / 2.0)
+    throw std::invalid_argument(
+        "RoutedTravelModel: sensing radius too large; PoIs must be disjoint");
+}
+
+double RoutedTravelModel::pause(std::size_t i) const {
+  if (i >= num_pois()) throw std::out_of_range("RoutedTravelModel::pause");
+  return pause_;
+}
+
+double RoutedTravelModel::travel_distance(std::size_t j, std::size_t k) const {
+  if (j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("RoutedTravelModel::travel_distance");
+  if (j == k) return 0.0;
+  return planner_.route(j, k).length;
+}
+
+double RoutedTravelModel::travel_time(std::size_t j, std::size_t k) const {
+  return travel_distance(j, k) / speed_;
+}
+
+double RoutedTravelModel::transition_duration(std::size_t j,
+                                              std::size_t k) const {
+  return travel_time(j, k) + pause(k);
+}
+
+double RoutedTravelModel::coverage_during(std::size_t j, std::size_t k,
+                                          std::size_t i) const {
+  if (i >= num_pois() || j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("RoutedTravelModel::coverage_during");
+  if (j == k) return (i == j) ? pause_ : 0.0;
+  if (i == k) return pause_;
+  if (i == j) return 0.0;
+  const geometry::Route& route = planner_.route(j, k);
+  double chord = 0.0;
+  for (std::size_t s = 0; s < route.num_segments(); ++s)
+    chord += geometry::chord_length_in_disk(route.segment(s),
+                                            topology_.position(i), radius_);
+  return chord / speed_;
+}
+
+std::vector<geometry::Vec2> RoutedTravelModel::route_waypoints(
+    std::size_t j, std::size_t k) const {
+  if (j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("RoutedTravelModel::route_waypoints");
+  if (j == k) return {topology_.position(j)};
+  return planner_.route(j, k).waypoints;
+}
+
+std::vector<CoverageInterval> RoutedTravelModel::coverage_intervals(
+    std::size_t j, std::size_t k, std::size_t i) const {
+  if (i >= num_pois() || j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("RoutedTravelModel::coverage_intervals");
+  if (j == k)
+    return (i == j) ? std::vector<CoverageInterval>{{0.0, pause_}}
+                    : std::vector<CoverageInterval>{};
+  if (i == k) {
+    const double t = travel_time(j, k);
+    return {{t, t + pause_}};
+  }
+  if (i == j) return {};
+  const geometry::Route& route = planner_.route(j, k);
+  std::vector<CoverageInterval> out;
+  double offset = 0.0;  // arc length already travelled
+  for (std::size_t s = 0; s < route.num_segments(); ++s) {
+    const geometry::Segment seg = route.segment(s);
+    if (const auto chord = geometry::chord_interval_in_disk(
+            seg, topology_.position(i), radius_)) {
+      const double begin = (offset + chord->begin) / speed_;
+      const double end = (offset + chord->end) / speed_;
+      // Merge with the previous interval when the disk spans a waypoint.
+      if (!out.empty() && begin <= out.back().end + 1e-12) {
+        out.back().end = end;
+      } else {
+        out.push_back({begin, end});
+      }
+    }
+    offset += seg.length();
+  }
+  return out;
+}
+
+}  // namespace mocos::sensing

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/route_planner.hpp"
+#include "src/sensing/motion_model.hpp"
+
+namespace mocos::sensing {
+
+/// Obstacle-aware motion model: travel between PoIs follows the shortest
+/// feasible polyline around polygonal obstacles (visibility graph +
+/// Dijkstra), at constant speed; pass-by coverage accrues along every
+/// segment of the route (chords through sensing disks), with the paper's
+/// §III-A conventions (destination gets its pause only; the origin's own
+/// disk does not count after departure).
+class RoutedTravelModel final : public MotionModel {
+ public:
+  RoutedTravelModel(geometry::Topology topology,
+                    std::vector<geometry::Polygon> obstacles, double speed,
+                    double pause, double sensing_radius,
+                    double clearance = 1e-3);
+
+  const geometry::Topology& topology() const override { return topology_; }
+  double speed() const { return speed_; }
+  double sensing_radius() const { return radius_; }
+  const geometry::RoutePlanner& planner() const { return planner_; }
+
+  double pause(std::size_t i) const override;
+  double travel_time(std::size_t j, std::size_t k) const override;
+  double transition_duration(std::size_t j, std::size_t k) const override;
+  double coverage_during(std::size_t j, std::size_t k,
+                         std::size_t i) const override;
+  double travel_distance(std::size_t j, std::size_t k) const override;
+  std::vector<CoverageInterval> coverage_intervals(
+      std::size_t j, std::size_t k, std::size_t i) const override;
+  std::vector<geometry::Vec2> route_waypoints(std::size_t j,
+                                              std::size_t k) const override;
+
+ private:
+  geometry::Topology topology_;
+  double speed_;
+  double pause_;
+  double radius_;
+  geometry::RoutePlanner planner_;
+};
+
+}  // namespace mocos::sensing

@@ -1,0 +1,61 @@
+#include "src/sensing/target_allocation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::sensing {
+
+TargetAllocation::TargetAllocation(std::vector<double> shares)
+    : shares_(std::move(shares)) {
+  if (shares_.empty())
+    throw std::invalid_argument("TargetAllocation: empty");
+  double sum = 0.0;
+  for (double s : shares_) {
+    if (s < 0.0) throw std::invalid_argument("TargetAllocation: negative");
+    sum += s;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("TargetAllocation: shares must sum to 1");
+  for (double& s : shares_) s /= sum;
+}
+
+TargetAllocation TargetAllocation::uniform(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("TargetAllocation::uniform: n==0");
+  return TargetAllocation(
+      std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+TargetAllocation TargetAllocation::proportional(
+    const std::vector<double>& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("TargetAllocation::proportional: empty");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("TargetAllocation::proportional: negative");
+    sum += w;
+  }
+  if (sum <= 0.0)
+    throw std::invalid_argument("TargetAllocation::proportional: zero sum");
+  std::vector<double> shares;
+  shares.reserve(weights.size());
+  for (double w : weights) shares.push_back(w / sum);
+  return TargetAllocation(std::move(shares));
+}
+
+double TargetAllocation::operator[](std::size_t i) const {
+  if (i >= shares_.size()) throw std::out_of_range("TargetAllocation::[]");
+  return shares_[i];
+}
+
+double TargetAllocation::l1_distance(const std::vector<double>& other) const {
+  if (other.size() != shares_.size())
+    throw std::invalid_argument("TargetAllocation::l1_distance: size");
+  double d = 0.0;
+  for (std::size_t i = 0; i < shares_.size(); ++i)
+    d += std::abs(shares_[i] - other[i]);
+  return d;
+}
+
+}  // namespace mocos::sensing

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mocos::sensing {
+
+/// Validated target allocation Φ of coverage-time shares among the PoIs
+/// (§III). Provides the common constructions used by examples and benches.
+class TargetAllocation {
+ public:
+  /// Validates: non-empty, entries >= 0, sum == 1 (within 1e-9; then
+  /// renormalized exactly).
+  explicit TargetAllocation(std::vector<double> shares);
+
+  static TargetAllocation uniform(std::size_t n);
+
+  /// Shares proportional to the given (non-negative, not all zero)
+  /// importance weights.
+  static TargetAllocation proportional(const std::vector<double>& weights);
+
+  std::size_t size() const { return shares_.size(); }
+  double operator[](std::size_t i) const;
+  const std::vector<double>& shares() const { return shares_; }
+
+  /// L1 distance to another allocation of the same size — a convenient
+  /// scalar for reporting how far a measured coverage profile is from Φ.
+  double l1_distance(const std::vector<double>& other) const;
+
+ private:
+  std::vector<double> shares_;
+};
+
+}  // namespace mocos::sensing

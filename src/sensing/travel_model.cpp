@@ -1,0 +1,101 @@
+#include "src/sensing/travel_model.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::sensing {
+
+TravelModel::TravelModel(geometry::Topology topology, double speed,
+                         std::vector<double> pauses, double sensing_radius)
+    : topology_(std::move(topology)),
+      speed_(speed),
+      pauses_(std::move(pauses)),
+      radius_(sensing_radius) {
+  if (speed_ <= 0.0) throw std::invalid_argument("TravelModel: speed <= 0");
+  if (pauses_.size() != topology_.size())
+    throw std::invalid_argument("TravelModel: pause count mismatch");
+  for (double p : pauses_)
+    if (p <= 0.0) throw std::invalid_argument("TravelModel: pause <= 0");
+  if (radius_ <= 0.0)
+    throw std::invalid_argument("TravelModel: sensing radius <= 0");
+  if (radius_ >= topology_.min_separation() / 2.0)
+    throw std::invalid_argument(
+        "TravelModel: sensing radius too large; PoIs must be disjoint");
+}
+
+namespace {
+std::vector<double> uniform_pauses(const geometry::Topology& t, double pause) {
+  return std::vector<double>(t.size(), pause);
+}
+}  // namespace
+
+TravelModel::TravelModel(geometry::Topology topology, double speed,
+                         double pause, double sensing_radius)
+    : TravelModel(
+          // The pause vector must be built from `topology` before the move;
+          // a helper keeps the evaluation order explicit.
+          [&] {
+            auto pauses = uniform_pauses(topology, pause);
+            return TravelModel(std::move(topology), speed, std::move(pauses),
+                               sensing_radius);
+          }()) {}
+
+double TravelModel::pause(std::size_t i) const {
+  if (i >= pauses_.size()) throw std::out_of_range("TravelModel::pause");
+  return pauses_[i];
+}
+
+double TravelModel::travel_time(std::size_t j, std::size_t k) const {
+  return topology_.distance(j, k) / speed_;
+}
+
+double TravelModel::transition_duration(std::size_t j, std::size_t k) const {
+  return travel_time(j, k) + pause(k);
+}
+
+double TravelModel::coverage_during(std::size_t j, std::size_t k,
+                                    std::size_t i) const {
+  if (i >= num_pois() || j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("TravelModel::coverage_during");
+  if (j == k) return (i == j) ? pause(j) : 0.0;
+  if (i == k) return pause(k);
+  if (i == j) return 0.0;
+  const geometry::Segment route{topology_.position(j), topology_.position(k)};
+  return geometry::chord_length_in_disk(route, topology_.position(i),
+                                        radius_) /
+         speed_;
+}
+
+double TravelModel::travel_distance(std::size_t j, std::size_t k) const {
+  if (j == k) return 0.0;
+  return topology_.distance(j, k);
+}
+
+std::vector<geometry::Vec2> TravelModel::route_waypoints(
+    std::size_t j, std::size_t k) const {
+  if (j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("TravelModel::route_waypoints");
+  if (j == k) return {topology_.position(j)};
+  return {topology_.position(j), topology_.position(k)};
+}
+
+std::vector<CoverageInterval> TravelModel::coverage_intervals(
+    std::size_t j, std::size_t k, std::size_t i) const {
+  if (i >= num_pois() || j >= num_pois() || k >= num_pois())
+    throw std::out_of_range("TravelModel::coverage_intervals");
+  if (j == k)
+    return (i == j) ? std::vector<CoverageInterval>{{0.0, pause(j)}}
+                    : std::vector<CoverageInterval>{};
+  if (i == k) {
+    const double t = travel_time(j, k);
+    return {{t, t + pause(k)}};
+  }
+  if (i == j) return {};
+  const geometry::Segment route{topology_.position(j), topology_.position(k)};
+  const auto chord =
+      geometry::chord_interval_in_disk(route, topology_.position(i), radius_);
+  if (!chord) return {};
+  return {{chord->begin / speed_, chord->end / speed_}};
+}
+
+}  // namespace mocos::sensing

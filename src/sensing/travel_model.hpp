@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/segment.hpp"
+#include "src/geometry/topology.hpp"
+#include "src/sensing/motion_model.hpp"
+
+namespace mocos::sensing {
+
+/// Physical motion model of the sensor (§III): straight-line travel between
+/// PoIs at constant speed, a fixed pause P_k upon arriving at PoI k, and a
+/// sensing radius r within which a PoI is covered.
+///
+/// Invariants: speed > 0; pauses positive and one per PoI; r > 0 and smaller
+/// than half the minimum PoI separation (the PoIs must be disjoint — no two
+/// covered simultaneously while pausing).
+class TravelModel final : public MotionModel {
+ public:
+  TravelModel(geometry::Topology topology, double speed,
+              std::vector<double> pauses, double sensing_radius);
+
+  /// Uniform-pause convenience.
+  TravelModel(geometry::Topology topology, double speed, double pause,
+              double sensing_radius);
+
+  const geometry::Topology& topology() const override { return topology_; }
+  double speed() const { return speed_; }
+  double pause(std::size_t i) const override;
+  double sensing_radius() const { return radius_; }
+
+  /// Pure travel time from PoI j to PoI k (0 when j == k).
+  double travel_time(std::size_t j, std::size_t k) const override;
+
+  /// The paper's T_jk: travel time j->k plus the pause at k; T_jj = P_j.
+  double transition_duration(std::size_t j, std::size_t k) const override;
+
+  /// The paper's T_jk,i: time PoI i is covered during the transition j->k.
+  /// Conventions from §III-A:
+  ///   - T_jk,k = P_k (the pause at the destination);
+  ///   - T_jk,j = 0 for k != j (coverage of the origin after departure is
+  ///     not counted);
+  ///   - T_jj,j = P_j, T_jj,i = 0 for i != j;
+  ///   - for intermediate i: chord of the straight route inside i's sensing
+  ///     disk, divided by the speed.
+  double coverage_during(std::size_t j, std::size_t k,
+                         std::size_t i) const override;
+
+  /// Travel cost d_jk used by the energy objective (§VII): the straight-line
+  /// distance (0 when j == k — staying costs no motion energy).
+  double travel_distance(std::size_t j, std::size_t k) const override;
+
+  std::vector<CoverageInterval> coverage_intervals(
+      std::size_t j, std::size_t k, std::size_t i) const override;
+
+  std::vector<geometry::Vec2> route_waypoints(std::size_t j,
+                                              std::size_t k) const override;
+
+ private:
+  geometry::Topology topology_;
+  double speed_;
+  std::vector<double> pauses_;
+  double radius_;
+};
+
+}  // namespace mocos::sensing

@@ -1,0 +1,117 @@
+#include "src/sim/event_capture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mocos::sim {
+
+double EventCaptureResult::capture_rate(
+    const std::vector<double>& rates) const {
+  if (rates.size() != capture_fraction.size())
+    throw std::invalid_argument("capture_rate: rate count mismatch");
+  double j = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    j += rates[i] * capture_fraction[i];
+  return j;
+}
+
+EventCaptureSimulator::EventCaptureSimulator(EventCaptureConfig config)
+    : config_(config) {
+  if (config_.num_transitions == 0)
+    throw std::invalid_argument("EventCaptureSimulator: num_transitions == 0");
+  if (config_.event_duration < 0.0)
+    throw std::invalid_argument("EventCaptureSimulator: negative duration");
+}
+
+EventCaptureResult EventCaptureSimulator::run(
+    const sensing::MotionModel& model, const markov::TransitionMatrix& p,
+    const std::vector<double>& rates, util::Rng& rng) const {
+  const std::size_t n = model.num_pois();
+  if (p.size() != n)
+    throw std::invalid_argument("EventCaptureSimulator: matrix size");
+  if (rates.size() != n)
+    throw std::invalid_argument("EventCaptureSimulator: rate count");
+  for (double r : rates)
+    if (r < 0.0)
+      throw std::invalid_argument("EventCaptureSimulator: negative rate");
+
+  // 1. Roll out the schedule, collecting absolute coverage intervals.
+  std::vector<std::vector<sensing::CoverageInterval>> covered(n);
+  std::size_t at = 0;
+  double clock = 0.0;
+  double measure_from = 0.0;
+  for (std::size_t step = 0;
+       step < config_.burn_in + config_.num_transitions; ++step) {
+    const std::size_t next = rng.discrete(p.row(at));
+    if (step == config_.burn_in) measure_from = clock;
+    for (std::size_t i = 0; i < n; ++i)
+      for (const auto& iv : model.coverage_intervals(at, next, i))
+        covered[i].push_back({clock + iv.begin, clock + iv.end});
+    clock += model.transition_duration(at, next);
+    at = next;
+  }
+  const double horizon = clock;
+
+  EventCaptureResult out;
+  out.horizon = horizon - measure_from;
+  out.events.assign(n, 0);
+  out.captured.assign(n, 0);
+  out.capture_fraction.assign(n, 0.0);
+
+  // 2. Per PoI: sort+merge the intervals, sample Poisson event times, and
+  //    test each event window against the merged coverage.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& raw = covered[i];
+    std::sort(raw.begin(), raw.end(),
+              [](const auto& a, const auto& b) { return a.begin < b.begin; });
+    std::vector<sensing::CoverageInterval> merged;
+    for (const auto& iv : raw) {
+      if (!merged.empty() && iv.begin <= merged.back().end + 1e-12) {
+        merged.back().end = std::max(merged.back().end, iv.end);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+
+    if (rates[i] == 0.0) continue;
+    // Poisson event count over the measurement window, times uniform.
+    const double expected = rates[i] * out.horizon;
+    if (expected > 1e7)
+      throw std::invalid_argument("EventCaptureSimulator: rate too large");
+    std::size_t count = 0;
+    if (expected < 30.0) {
+      // Knuth's product method (exact; exp(-mean) stays representable).
+      const double l = std::exp(-expected);
+      double prod = rng.uniform();
+      while (prod > l) {
+        ++count;
+        prod *= rng.uniform();
+      }
+    } else {
+      // Normal approximation N(mean, mean) — relative error O(1/sqrt(mean)).
+      const double sample =
+          rng.gaussian(expected, std::sqrt(expected));
+      count = sample <= 0.0 ? 0 : static_cast<std::size_t>(sample + 0.5);
+    }
+    out.events[i] = count;
+
+    for (std::size_t e = 0; e < count; ++e) {
+      const double t = rng.uniform(measure_from, horizon);
+      const double t_end = t + config_.event_duration;
+      // Captured iff some merged interval intersects [t, t_end].
+      const auto it = std::upper_bound(
+          merged.begin(), merged.end(), t_end,
+          [](double value, const auto& iv) { return value < iv.begin; });
+      bool hit = false;
+      if (it != merged.begin()) hit = std::prev(it)->end >= t;
+      if (hit) out.captured[i] += 1;
+    }
+    if (count > 0)
+      out.capture_fraction[i] =
+          static_cast<double>(out.captured[i]) / static_cast<double>(count);
+  }
+  return out;
+}
+
+}  // namespace mocos::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "src/markov/transition_matrix.hpp"
+#include "src/sensing/motion_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::sim {
+
+struct EventCaptureConfig {
+  std::size_t num_transitions = 20000;
+  std::size_t burn_in = 200;
+  /// Events persist this long; an event is captured iff the sensor covers
+  /// its PoI at some instant of [t, t + duration]. 0 = instantaneous events
+  /// (captured iff covered exactly at t), whose capture probability equals
+  /// the coverage share C̄_i — the quantity the InformationCaptureTerm
+  /// optimizes.
+  double event_duration = 0.0;
+};
+
+struct EventCaptureResult {
+  double horizon = 0.0;
+  std::vector<std::size_t> events;      // sampled events per PoI
+  std::vector<std::size_t> captured;    // captured events per PoI
+  std::vector<double> capture_fraction; // captured / events (0 when none)
+
+  /// Rate-weighted total capture per unit time: Σ_i λ_i · capture_i —
+  /// the simulated analogue of the analytic capture rate J.
+  double capture_rate(const std::vector<double>& rates) const;
+};
+
+/// Simulates the sensor's schedule, then Poisson events at PoI i with rate
+/// `rates[i]` per unit time, and checks each event against the sensor's
+/// exact coverage intervals (§III's "amount of information captured").
+class EventCaptureSimulator {
+ public:
+  explicit EventCaptureSimulator(EventCaptureConfig config = {});
+
+  EventCaptureResult run(const sensing::MotionModel& model,
+                         const markov::TransitionMatrix& p,
+                         const std::vector<double>& rates,
+                         util::Rng& rng) const;
+
+ private:
+  EventCaptureConfig config_;
+};
+
+}  // namespace mocos::sim

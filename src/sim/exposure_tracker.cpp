@@ -1,0 +1,81 @@
+#include "src/sim/exposure_tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/stats.hpp"
+
+namespace mocos::sim {
+
+ExposureTracker::ExposureTracker(std::size_t num_pois, bool keep_samples)
+    : pois_(num_pois), keep_samples_(keep_samples) {
+  if (num_pois == 0)
+    throw std::invalid_argument("ExposureTracker: num_pois == 0");
+}
+
+void ExposureTracker::on_departure(std::size_t poi, double now) {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::on_departure");
+  PerPoi& s = pois_[poi];
+  // A departure while already exposed can't happen for the departing PoI
+  // itself; being defensive keeps double bookkeeping errors loud.
+  if (s.open) throw std::logic_error("ExposureTracker: interval already open");
+  s.open = true;
+  s.opened_at = now;
+}
+
+void ExposureTracker::on_arrival(std::size_t poi, double now) {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::on_arrival");
+  PerPoi& s = pois_[poi];
+  if (!s.open) return;  // chain started away from this PoI; nothing to close
+  if (now < s.opened_at)
+    throw std::logic_error("ExposureTracker: time went backwards");
+  const double interval = now - s.opened_at;
+  s.total += interval;
+  s.longest = std::max(s.longest, interval);
+  s.count += 1;
+  s.open = false;
+  if (keep_samples_) s.samples.push_back(interval);
+}
+
+std::size_t ExposureTracker::interval_count(std::size_t poi) const {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::interval_count");
+  return pois_[poi].count;
+}
+
+double ExposureTracker::mean_exposure(std::size_t poi) const {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::mean_exposure");
+  const PerPoi& s = pois_[poi];
+  return s.count == 0 ? 0.0 : s.total / static_cast<double>(s.count);
+}
+
+double ExposureTracker::exposure_percentile(std::size_t poi,
+                                            double percentile) const {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::exposure_percentile");
+  if (!keep_samples_)
+    throw std::logic_error(
+        "ExposureTracker: percentiles require keep_samples");
+  const PerPoi& s = pois_[poi];
+  if (s.samples.empty()) return 0.0;
+  return util::percentile(s.samples, percentile);
+}
+
+double ExposureTracker::max_exposure(std::size_t poi) const {
+  if (poi >= pois_.size())
+    throw std::out_of_range("ExposureTracker::max_exposure");
+  return pois_[poi].longest;
+}
+
+std::vector<double> ExposureTracker::mean_exposures() const {
+  std::vector<double> out;
+  out.reserve(pois_.size());
+  for (std::size_t i = 0; i < pois_.size(); ++i)
+    out.push_back(mean_exposure(i));
+  return out;
+}
+
+}  // namespace mocos::sim

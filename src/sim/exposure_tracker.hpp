@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mocos::sim {
+
+/// Collects the continuous out-of-range intervals of every PoI during a
+/// simulated schedule, in one chosen time unit (transitions or physical
+/// time), and reports the arithmetic mean interval ⟨E_i(N)⟩ of §III-A.
+///
+/// Per the paper's convention, an interval for PoI i opens when the sensor
+/// leaves i (transitions to some j ≠ i) and closes at the next *arrival* at
+/// i — pass-bys do not count as return visits.
+class ExposureTracker {
+ public:
+  /// `keep_samples` retains every interval so percentiles/maxima can be
+  /// reported (the paper uses only means; worst-case staleness is what a
+  /// deployment SLA actually cares about).
+  explicit ExposureTracker(std::size_t num_pois, bool keep_samples = false);
+
+  /// The sensor departs PoI i at time `now`.
+  void on_departure(std::size_t poi, double now);
+
+  /// The sensor arrives at PoI i at time `now`, closing any open interval.
+  void on_arrival(std::size_t poi, double now);
+
+  /// Number of completed intervals for PoI i.
+  std::size_t interval_count(std::size_t poi) const;
+
+  /// Mean completed-interval length for PoI i; 0 when none completed.
+  double mean_exposure(std::size_t poi) const;
+
+  std::vector<double> mean_exposures() const;
+
+  /// Percentile of the completed intervals (requires keep_samples; throws
+  /// std::logic_error otherwise; 0 when no intervals completed).
+  double exposure_percentile(std::size_t poi, double percentile) const;
+
+  /// Largest completed interval (0 when none; works without keep_samples).
+  double max_exposure(std::size_t poi) const;
+
+ private:
+  struct PerPoi {
+    bool open = false;
+    double opened_at = 0.0;
+    double total = 0.0;
+    double longest = 0.0;
+    std::size_t count = 0;
+    std::vector<double> samples;
+  };
+  std::vector<PerPoi> pois_;
+  bool keep_samples_;
+};
+
+}  // namespace mocos::sim

@@ -1,0 +1,65 @@
+#include "src/sim/replication.hpp"
+
+#include <stdexcept>
+
+#include "src/util/stats.hpp"
+
+namespace mocos::sim {
+
+ReplicatedMetric summarize(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty");
+  ReplicatedMetric m;
+  m.mean = util::mean(samples);
+  m.p25 = util::percentile(samples, 25.0);
+  m.p75 = util::percentile(samples, 75.0);
+  m.min = util::min_of(samples);
+  m.max = util::max_of(samples);
+  if (samples.size() >= 2) {
+    const auto ci = util::bootstrap_mean_ci(samples, 0.95, 1000, 17);
+    m.ci95_low = ci.lower;
+    m.ci95_high = ci.upper;
+  } else {
+    m.ci95_low = m.ci95_high = m.mean;
+  }
+  return m;
+}
+
+ReplicationSummary replicate(const sensing::MotionModel& model,
+                             const markov::TransitionMatrix& p,
+                             const std::vector<double>& targets, double alpha,
+                             double beta, const SimulationConfig& config,
+                             std::size_t replications, util::Rng& rng) {
+  if (replications == 0)
+    throw std::invalid_argument("replicate: replications == 0");
+  const std::size_t n = model.num_pois();
+  MarkovCoverageSimulator simulator(model, config);
+
+  std::vector<double> dcs, ebars, costs;
+  std::vector<std::vector<double>> shares(n), exposures(n);
+  for (std::size_t r = 0; r < replications; ++r) {
+    util::Rng child = rng.split();
+    const SimulationResult res = simulator.run(p, child);
+    dcs.push_back(res.delta_c(targets));
+    ebars.push_back(res.e_bar());
+    costs.push_back(res.cost(alpha, beta, targets));
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i].push_back(res.coverage_share[i]);
+      exposures[i].push_back(res.exposure_steps[i]);
+    }
+  }
+
+  ReplicationSummary out;
+  out.replications = replications;
+  out.delta_c = summarize(dcs);
+  out.e_bar = summarize(ebars);
+  out.cost = summarize(costs);
+  out.coverage_share.reserve(n);
+  out.exposure_steps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.coverage_share.push_back(summarize(shares[i]));
+    out.exposure_steps.push_back(summarize(exposures[i]));
+  }
+  return out;
+}
+
+}  // namespace mocos::sim

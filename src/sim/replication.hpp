@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace mocos::sim {
+
+/// Summary of one scalar metric over replicated simulations — mean plus the
+/// 25th/75th percentiles the paper uses as error bars (§VI-D).
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// 95% percentile-bootstrap CI for the mean (equal to the mean when only
+  /// one replication was run).
+  double ci95_low = 0.0;
+  double ci95_high = 0.0;
+};
+
+struct ReplicationSummary {
+  ReplicatedMetric delta_c;            // simulated Eq. 12
+  ReplicatedMetric e_bar;              // simulated Eq. 13
+  ReplicatedMetric cost;               // simulated Eq. 14
+  std::vector<ReplicatedMetric> coverage_share;  // per-PoI C̄_i
+  std::vector<ReplicatedMetric> exposure_steps;  // per-PoI Ē_i
+  std::size_t replications = 0;
+};
+
+ReplicatedMetric summarize(const std::vector<double>& samples);
+
+/// Runs `replications` independent simulations of the schedule driven by `p`
+/// (per-replica RNG streams split from `rng`) and summarizes the paper's
+/// metrics against `targets` with Eq.-14 weights (alpha, beta).
+ReplicationSummary replicate(const sensing::MotionModel& model,
+                             const markov::TransitionMatrix& p,
+                             const std::vector<double>& targets, double alpha,
+                             double beta, const SimulationConfig& config,
+                             std::size_t replications, util::Rng& rng);
+
+}  // namespace mocos::sim

@@ -1,0 +1,119 @@
+#include "src/sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/sim/exposure_tracker.hpp"
+
+namespace mocos::sim {
+
+double SimulationResult::delta_c(const std::vector<double>& targets) const {
+  if (targets.size() != coverage_time.size())
+    throw std::invalid_argument("SimulationResult::delta_c: target size");
+  double dc = 0.0;
+  for (std::size_t i = 0; i < coverage_time.size(); ++i) {
+    const double g = (coverage_time[i] - targets[i] * total_time) /
+                     static_cast<double>(transitions);
+    dc += g * g;
+  }
+  return dc;
+}
+
+double SimulationResult::e_bar() const {
+  double s = 0.0;
+  for (double e : exposure_steps) s += e * e;
+  return std::sqrt(s);
+}
+
+double SimulationResult::cost(double alpha, double beta,
+                              const std::vector<double>& targets) const {
+  const double e = e_bar();
+  return 0.5 * alpha * delta_c(targets) + 0.5 * beta * e * e;
+}
+
+MarkovCoverageSimulator::MarkovCoverageSimulator(
+    const sensing::MotionModel& model, SimulationConfig config)
+    : model_(model), config_(config) {
+  if (config_.num_transitions == 0)
+    throw std::invalid_argument("Simulator: num_transitions == 0");
+  if (config_.start_poi >= model_.num_pois())
+    throw std::invalid_argument("Simulator: start_poi out of range");
+}
+
+SimulationResult MarkovCoverageSimulator::run(
+    const markov::TransitionMatrix& p, util::Rng& rng) const {
+  const std::size_t n = model_.num_pois();
+  if (p.size() != n)
+    throw std::invalid_argument("Simulator: matrix size != num PoIs");
+
+  SimulationResult out;
+  out.coverage_time.assign(n, 0.0);
+  out.coverage_share.assign(n, 0.0);
+  out.visit_fraction.assign(n, 0.0);
+
+  // time = transition count / physical units respectively
+  ExposureTracker steps_tracker(n, config_.track_exposure_percentiles);
+  ExposureTracker clock_tracker(n);
+
+  std::size_t current = config_.start_poi;
+  double clock = 0.0;
+
+  // Burn-in: advance the chain without measuring.
+  for (std::size_t t = 0; t < config_.burn_in; ++t)
+    current = rng.discrete(p.row(current));
+
+  for (std::size_t step = 0; step < config_.num_transitions; ++step) {
+    const std::size_t next = rng.discrete(p.row(current));
+    const double duration = model_.transition_duration(current, next);
+    const double step_count = static_cast<double>(step);
+
+    if (next != current) {
+      // Unit-transition convention (§III-A): the exposure segment for the
+      // origin i is measured from the PoI the sensor reaches *after leaving
+      // i* — i.e. it opens at the arrival step n+1, so a completed segment
+      // equals the first-passage step count R_ji exactly.
+      steps_tracker.on_departure(current, step_count + 1.0);
+      // Wall-clock convention: physical exposure starts at departure.
+      clock_tracker.on_departure(current, clock);
+    }
+
+    // Coverage accrual for every PoI during this transition (pass-bys and
+    // the pause at the destination).
+    for (std::size_t i = 0; i < n; ++i)
+      out.coverage_time[i] += model_.coverage_during(current, next, i);
+
+    if (next != current) {
+      // Arrival closes the destination's exposure interval. In the
+      // unit-transition convention the arrival lands at step+1, making the
+      // measured interval exactly the first-passage step count. In wall
+      // clock, the sensor reaches the destination at the end of the travel
+      // leg (the pause happens after arrival, already within range).
+      steps_tracker.on_arrival(next, step_count + 1.0);
+      clock_tracker.on_arrival(next,
+                               clock + model_.travel_time(current, next));
+    }
+    clock += duration;
+    out.total_time += duration;
+    out.visit_fraction[next] += 1.0;
+    current = next;
+  }
+
+  out.transitions = config_.num_transitions;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.coverage_share[i] = out.coverage_time[i] / out.total_time;
+    out.visit_fraction[i] /= static_cast<double>(config_.num_transitions);
+  }
+  out.exposure_steps = steps_tracker.mean_exposures();
+  out.exposure_time = clock_tracker.mean_exposures();
+  if (config_.track_exposure_percentiles) {
+    out.exposure_steps_p95.resize(n);
+    out.exposure_steps_max.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.exposure_steps_p95[i] = steps_tracker.exposure_percentile(i, 95.0);
+      out.exposure_steps_max[i] = steps_tracker.max_exposure(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace mocos::sim

@@ -1,0 +1,89 @@
+#include "src/sim/trajectory.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::sim {
+
+Trajectory::Trajectory(std::vector<TimedPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty())
+    throw std::invalid_argument("Trajectory: no points");
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].t < points_[i - 1].t)
+      throw std::invalid_argument("Trajectory: timestamps must not decrease");
+}
+
+geometry::Vec2 Trajectory::position_at(double t) const {
+  if (t <= points_.front().t) return points_.front().pos;
+  if (t >= points_.back().t) return points_.back().pos;
+  // Binary search for the segment containing t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double value, const TimedPoint& p) { return value < p.t; });
+  const TimedPoint& b = *it;
+  const TimedPoint& a = *std::prev(it);
+  if (b.t == a.t) return b.pos;
+  const double w = (t - a.t) / (b.t - a.t);
+  return a.pos + w * (b.pos - a.pos);
+}
+
+double Trajectory::length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    total += geometry::distance(points_[i - 1].pos, points_[i].pos);
+  return total;
+}
+
+void Trajectory::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trajectory: cannot write " + path);
+  out << "t,x,y\n";
+  for (const TimedPoint& p : points_)
+    out << p.t << ',' << p.pos.x << ',' << p.pos.y << '\n';
+  if (!out) throw std::runtime_error("Trajectory: write failed " + path);
+}
+
+Trajectory record_trajectory(const sensing::MotionModel& model,
+                             const markov::TransitionMatrix& p,
+                             std::size_t num_transitions, util::Rng& rng,
+                             std::size_t start_poi) {
+  if (p.size() != model.num_pois())
+    throw std::invalid_argument("record_trajectory: matrix size");
+  if (start_poi >= model.num_pois())
+    throw std::invalid_argument("record_trajectory: start_poi");
+  if (num_transitions == 0)
+    throw std::invalid_argument("record_trajectory: num_transitions == 0");
+
+  std::vector<TimedPoint> pts;
+  std::size_t at = start_poi;
+  double clock = 0.0;
+  pts.push_back({clock, model.topology().position(at)});
+
+  for (std::size_t step = 0; step < num_transitions; ++step) {
+    const std::size_t next = rng.discrete(p.row(at));
+    if (next != at) {
+      // Travel along the route; waypoints land at arc-length / speed.
+      const auto route = model.route_waypoints(at, next);
+      const double total_len = model.travel_distance(at, next);
+      const double travel = model.travel_time(at, next);
+      double walked = 0.0;
+      for (std::size_t w = 1; w < route.size(); ++w) {
+        walked += geometry::distance(route[w - 1], route[w]);
+        pts.push_back(
+            {clock + travel * (total_len > 0.0 ? walked / total_len : 1.0),
+             route[w]});
+      }
+      clock += travel;
+    }
+    // Pause at the destination (also covers the stay transition).
+    clock += model.pause(next);
+    pts.push_back({clock, model.topology().position(next)});
+    at = next;
+  }
+  return Trajectory(std::move(pts));
+}
+
+}  // namespace mocos::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/markov/transition_matrix.hpp"
+#include "src/sensing/motion_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::sim {
+
+/// A timestamped sensor position. Between consecutive points the sensor
+/// moves in a straight line at constant speed (or holds position during
+/// pauses), so the trajectory is exact under linear interpolation.
+struct TimedPoint {
+  double t = 0.0;
+  geometry::Vec2 pos;
+};
+
+/// A continuous sensor trajectory: piecewise-linear position over time, for
+/// visualization, ground-truth playback, and integration testing of the
+/// motion models.
+class Trajectory {
+ public:
+  /// Points must have non-decreasing timestamps and at least one entry.
+  explicit Trajectory(std::vector<TimedPoint> points);
+
+  const std::vector<TimedPoint>& points() const { return points_; }
+  double start_time() const { return points_.front().t; }
+  double end_time() const { return points_.back().t; }
+
+  /// Position at time t (clamped to [start, end]).
+  geometry::Vec2 position_at(double t) const;
+
+  /// Total path length travelled.
+  double length() const;
+
+  /// Writes t,x,y rows to a CSV file (throws std::runtime_error on I/O
+  /// failure).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TimedPoint> points_;
+};
+
+/// Rolls out `num_transitions` Markov transitions of the schedule `p` on the
+/// motion model and records the exact continuous trajectory: departure,
+/// every route waypoint at its arc-length time, arrival, and end-of-pause.
+Trajectory record_trajectory(const sensing::MotionModel& model,
+                             const markov::TransitionMatrix& p,
+                             std::size_t num_transitions, util::Rng& rng,
+                             std::size_t start_poi = 0);
+
+}  // namespace mocos::sim

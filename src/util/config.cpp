@@ -1,0 +1,140 @@
+#include "src/util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mocos::util {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  if (trim(text).empty()) return out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(text.substr(start)));
+      break;
+    }
+    out.push_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& token) {
+  const std::string t = trim(token);
+  if (t.empty()) throw std::invalid_argument("parse_double: empty token");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_double: bad number '" + t + "'");
+  }
+  if (consumed != t.size())
+    throw std::invalid_argument("parse_double: trailing junk in '" + t + "'");
+  return value;
+}
+
+Config Config::parse_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("Config: missing '=' on line " +
+                                  std::to_string(line_no));
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty())
+      throw std::invalid_argument("Config: empty key on line " +
+                                  std::to_string(line_no));
+    cfg.entries_.emplace_back(key, value);
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_string(buf.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  std::string out = fallback;
+  for (const auto& [k, v] : entries_)
+    if (k == key) out = v;
+  return out;
+}
+
+std::string Config::require_string(const std::string& key) const {
+  if (!has(key)) throw std::out_of_range("Config: missing key '" + key + "'");
+  return get_string(key, "");
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  if (!has(key)) return fallback;
+  return parse_double(get_string(key, ""));
+}
+
+std::size_t Config::get_size(const std::string& key,
+                             std::size_t fallback) const {
+  if (!has(key)) return fallback;
+  const double v = parse_double(get_string(key, ""));
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+    throw std::invalid_argument("Config: '" + key +
+                                "' must be a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  std::string v = get_string(key, "");
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("Config: '" + key + "' is not a boolean");
+}
+
+std::vector<std::string> Config::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_)
+    if (k == key) out.push_back(v);
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_)
+    if (std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+  return out;
+}
+
+}  // namespace mocos::util

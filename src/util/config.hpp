@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mocos::util {
+
+/// Minimal key = value configuration format for the CLI tool:
+///
+///   # comment lines and blank lines are ignored
+///   topology = grid:2x3
+///   targets  = 0.4,0.2,0.1,0.1,0.1,0.1   # trailing comments stripped
+///   obstacle = rect:1.5,1.5,2.5,2.5      # keys may repeat
+///
+/// Keys are case-sensitive; whitespace around keys and values is trimmed.
+/// Repeated keys are preserved in order (see get_all).
+class Config {
+ public:
+  static Config parse_string(const std::string& text);
+  /// Throws std::runtime_error when the file cannot be read.
+  static Config parse_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Last value wins for scalar lookups (ini-style override semantics).
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  /// Throws std::out_of_range when the key is absent.
+  std::string require_string(const std::string& key) const;
+
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  /// Accepts true/false/1/0/yes/no (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All values of a repeated key, in file order.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// Distinct keys, in first-appearance order.
+  std::vector<std::string> keys() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Splits `text` on `sep`, trimming whitespace from each piece. Empty pieces
+/// are kept (so "1,,2" has three fields) except a fully empty input gives {}.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strict double parser (whole token must parse). Throws
+/// std::invalid_argument with the offending token in the message.
+double parse_double(const std::string& token);
+
+std::string trim(const std::string& s);
+
+}  // namespace mocos::util

@@ -1,0 +1,46 @@
+#include "src/util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mocos::util {
+
+namespace {
+
+std::string join(const std::vector<std::string>& cells) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) oss << ',';
+    oss << cells[i];
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  out_ << join(header) << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream oss;
+    oss << v;
+    cells.push_back(oss.str());
+  }
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  out_ << join(cells) << '\n';
+}
+
+}  // namespace mocos::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mocos::util {
+
+/// Minimal CSV writer so benches can optionally dump figure series for
+/// external plotting alongside their printed output.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace mocos::util

@@ -1,0 +1,66 @@
+#include "src/util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mocos::util {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::gaussian(double mean, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::gaussian: sigma < 0");
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("Rng::discrete: empty");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::discrete: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::discrete: zero total");
+  double x = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  // Floating-point edge: fall back to the last positive-weight index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform() < p;
+}
+
+Rng Rng::split() {
+  // Two draws decorrelate the child stream from the parent's next outputs.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace mocos::util

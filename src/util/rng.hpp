@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mocos::util {
+
+/// Seeded pseudo-random number generator used everywhere in the library.
+///
+/// Wraps a 64-bit Mersenne Twister behind a small, intention-revealing API so
+/// that experiment code never touches `<random>` distributions directly and
+/// every stochastic component (optimizer noise, simulator transitions,
+/// random initial matrices) is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Standard normal sample.
+  double gaussian();
+
+  /// Normal sample with the given mean and standard deviation (sigma >= 0).
+  double gaussian(double mean, double sigma);
+
+  /// Samples an index from a discrete distribution given by `weights`
+  /// (non-negative, not all zero). Used by the Markov simulator to pick the
+  /// next PoI from a row of the transition matrix.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator; lets replicated experiments run
+  /// with per-replica streams while staying reproducible from the root seed.
+  Rng split();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mocos::util

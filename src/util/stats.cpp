@@ -1,0 +1,139 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace mocos::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: no samples");
+  return max_;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p range");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double pos = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double mean(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.mean();
+}
+
+double stddev(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.stddev();
+}
+
+double min_of(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.min();
+}
+
+double max_of(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return s.max();
+}
+
+std::vector<double> empirical_cdf(const std::vector<double>& samples,
+                                  const std::vector<double>& points) {
+  if (samples.empty()) throw std::invalid_argument("empirical_cdf: empty");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double x : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    out.push_back(static_cast<double>(it - sorted.begin()) /
+                  static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double confidence, std::size_t resamples,
+                                     std::uint64_t seed) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("bootstrap_mean_ci: need >= 2 samples");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("bootstrap_mean_ci: confidence in (0,1)");
+  if (resamples < 10)
+    throw std::invalid_argument("bootstrap_mean_ci: too few resamples");
+
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < samples.size(); ++k)
+      sum += samples[rng.index(samples.size())];
+    means.push_back(sum / static_cast<double>(samples.size()));
+  }
+  const double tail = (1.0 - confidence) / 2.0 * 100.0;
+  ConfidenceInterval ci;
+  ci.lower = percentile(means, tail);
+  ci.upper = percentile(means, 100.0 - tail);
+  ci.point = mean(samples);
+  return ci;
+}
+
+std::vector<double> cdf_support(const std::vector<double>& samples,
+                                std::size_t n) {
+  if (samples.empty() || n < 2)
+    throw std::invalid_argument("cdf_support: need samples and n >= 2");
+  const double lo = min_of(samples);
+  const double hi = max_of(samples);
+  std::vector<double> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+  }
+  return pts;
+}
+
+}  // namespace mocos::util

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mocos::util {
+
+/// Online mean/variance accumulator (Welford). Used by the simulator and the
+/// experiment harnesses to aggregate replicated measurements without storing
+/// every sample when only moments are needed.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile of a sample (p in [0,100]).
+/// The input is copied and sorted; suitable for the modest sample sizes the
+/// benches use (hundreds of runs).
+double percentile(std::vector<double> samples, double p);
+
+double mean(const std::vector<double>& samples);
+double stddev(const std::vector<double>& samples);
+double min_of(const std::vector<double>& samples);
+double max_of(const std::vector<double>& samples);
+
+/// Empirical CDF evaluated on `points` support values: returns, for each
+/// requested abscissa, the fraction of samples <= that value. Used to print
+/// the Fig. 2 CDFs of achieved cost.
+std::vector<double> empirical_cdf(const std::vector<double>& samples,
+                                  const std::vector<double>& points);
+
+/// Builds `n` evenly spaced abscissas spanning [min(samples), max(samples)].
+std::vector<double> cdf_support(const std::vector<double>& samples,
+                                std::size_t n);
+
+/// Percentile-bootstrap confidence interval for the mean of a sample.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  // the sample mean
+
+  bool contains(double value) const {
+    return lower <= value && value <= upper;
+  }
+};
+
+/// `confidence` in (0,1), e.g. 0.95; `resamples` bootstrap replicates drawn
+/// with the given seed (deterministic). Needs at least 2 samples.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double confidence = 0.95,
+                                     std::size_t resamples = 2000,
+                                     std::uint64_t seed = 1);
+
+}  // namespace mocos::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mocos::util {
+
+/// Fixed-width plain-text table used by the bench harnesses to print the
+/// paper's tables and figure series in a diff-friendly format.
+///
+/// Usage:
+///   Table t({"alpha:beta", "C1", "C2"});
+///   t.add_row({"1:0", "0.400", "0.100"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string fmt(double value, int precision = 6);
+
+}  // namespace mocos::util

@@ -1,0 +1,236 @@
+#include "src/cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mocos::cli {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(BuildProblem, GridTopologyWithDefaults) {
+  const auto cfg = util::Config::parse_string("topology = grid:2x2\n");
+  const auto problem = build_problem(cfg);
+  EXPECT_EQ(problem.num_pois(), 4u);
+  for (double t : problem.targets()) EXPECT_DOUBLE_EQ(t, 0.25);
+}
+
+TEST(BuildProblem, PointsTopologyWithTargets) {
+  const auto cfg = util::Config::parse_string(
+      "topology = points:0,0;3,0;0,4\ntargets = 0.5,0.25,0.25\n");
+  const auto problem = build_problem(cfg);
+  EXPECT_EQ(problem.num_pois(), 3u);
+  EXPECT_DOUBLE_EQ(problem.targets()[0], 0.5);
+  EXPECT_DOUBLE_EQ(problem.topology().distance(0, 1), 3.0);
+}
+
+TEST(BuildProblem, WeightsAndPhysicsPropagate) {
+  const auto cfg = util::Config::parse_string(
+      "topology = grid:2x2\nalpha = 2\nbeta = 0.5\nspeed = 3\npause = 0.5\n"
+      "radius = 0.1\nentropy_weight = 0.2\n");
+  const auto problem = build_problem(cfg);
+  EXPECT_DOUBLE_EQ(problem.weights().alpha, 2.0);
+  EXPECT_DOUBLE_EQ(problem.weights().beta, 0.5);
+  EXPECT_DOUBLE_EQ(problem.weights().entropy_weight, 0.2);
+  // entropy + coverage + exposure + barrier
+  EXPECT_EQ(problem.make_cost().num_terms(), 4u);
+  EXPECT_NEAR(problem.model().travel_time(0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BuildProblem, ObstacleSwitchesToRoutedModel) {
+  const auto cfg = util::Config::parse_string(
+      "topology = points:0,0;4,0\n"
+      "obstacle = rect:1.8,-1.0,2.2,1.0\nclearance = 0.05\n");
+  const auto problem = build_problem(cfg);
+  EXPECT_GT(problem.model().travel_distance(0, 1), 4.0);  // detour
+}
+
+TEST(BuildProblem, PolygonObstacle) {
+  const auto cfg = util::Config::parse_string(
+      "topology = points:0,0;4,0\n"
+      "obstacle = poly:1.8,-1.0;2.2,-1.0;2.2,1.0;1.8,1.0\n"
+      "clearance = 0.05\n");
+  EXPECT_GT(build_problem(cfg).model().travel_distance(0, 1), 4.0);
+}
+
+TEST(BuildProblem, RejectsMalformedSpecs) {
+  using util::Config;
+  EXPECT_THROW(build_problem(Config::parse_string("alpha = 1\n")),
+               std::out_of_range);  // no topology
+  EXPECT_THROW(build_problem(Config::parse_string("topology = grid:4\n")),
+               std::invalid_argument);
+  EXPECT_THROW(build_problem(Config::parse_string("topology = blob:2\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_problem(Config::parse_string("topology = points:0,0;1\n")),
+      std::invalid_argument);
+  EXPECT_THROW(build_problem(Config::parse_string(
+                   "topology = grid:2x2\ntargets = 0.5,0.5\n")),
+               std::invalid_argument);
+  EXPECT_THROW(build_problem(Config::parse_string(
+                   "topology = grid:2x2\nobstacle = rect:1,1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(build_problem(Config::parse_string(
+                   "topology = grid:2x2\nobstacle = circle:1,1,2\n")),
+               std::invalid_argument);
+}
+
+
+TEST(BuildProblem, PerPoiWeightsAndEventRates) {
+  const auto cfg = util::Config::parse_string(
+      "topology = grid:2x2\n"
+      "alpha = 0\nbeta = 0\n"
+      "alpha_i = 1,0,0,0\n"
+      "event_rates = 2,1,1,1\n"
+      "information_gamma = 0.5\n");
+  const auto problem = build_problem(cfg);
+  // coverage (per-PoI alpha) + barrier + information capture.
+  EXPECT_EQ(problem.make_cost().num_terms(), 3u);
+  EXPECT_EQ(problem.weights().event_rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(problem.weights().information_gamma, 0.5);
+}
+
+TEST(BuildProblem, MalformedPerPoiListsReported) {
+  const auto cfg = util::Config::parse_string(
+      "topology = grid:2x2\nalpha_i = 1,0\n");  // wrong length
+  const auto problem = build_problem(cfg);
+  EXPECT_THROW(problem.make_cost(), std::invalid_argument);
+}
+
+TEST(RunCli, UsageErrorWithoutArgs) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({}, out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(RunCli, MissingFileFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"/nonexistent.conf"}, out, err), 1);
+  EXPECT_NE(err.str().find("error"), std::string::npos);
+}
+
+TEST(RunCli, EndToEndOptimizationAndSimulation) {
+  const std::string path = write_temp("cli_e2e.conf",
+                                      "topology = grid:2x2\n"
+                                      "targets = 0.4,0.2,0.2,0.2\n"
+                                      "alpha = 1\nbeta = 0.001\n"
+                                      "iterations = 150\nseed = 3\n"
+                                      "simulate = 5000\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 0) << err.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("transition matrix"), std::string::npos);
+  EXPECT_NE(text.find("validation simulation"), std::string::npos);
+  EXPECT_NE(text.find("delta_C"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunCli, BasicAlgorithmSelectable) {
+  const std::string path = write_temp("cli_basic.conf",
+                                      "topology = grid:2x2\n"
+                                      "algorithm = basic\n"
+                                      "iterations = 50\nstep = 1e-4\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("algorithm: basic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunCli, BadAlgorithmReported) {
+  const std::string path = write_temp("cli_bad.conf",
+                                      "topology = grid:2x2\n"
+                                      "algorithm = magic\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 1);
+  EXPECT_NE(err.str().find("algorithm"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+
+TEST(RunCli, SpectralReportOptIn) {
+  const std::string path = write_temp("cli_spectral.conf",
+                                      "topology = grid:2x2\n"
+                                      "iterations = 80\n"
+                                      "report_spectral = true\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("SLEM"), std::string::npos);
+  EXPECT_NE(out.str().find("Kemeny"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunCli, SimulationReportsTailExposure) {
+  const std::string path = write_temp("cli_tail.conf",
+                                      "topology = grid:2x2\n"
+                                      "iterations = 80\n"
+                                      "simulate = 3000\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("p95 exposure"), std::string::npos);
+  EXPECT_NE(out.str().find("max exposure"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+
+TEST(RunCli, SaveThenLoadSchedule) {
+  const std::string sched = testing::TempDir() + "/cli_saved_schedule.txt";
+  const std::string save_conf = write_temp("cli_save.conf",
+                                           "topology = grid:2x2\n"
+                                           "iterations = 100\nseed = 5\n"
+                                           "save_schedule = " + sched + "\n");
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_cli({save_conf}, out1, err1), 0) << err1.str();
+  EXPECT_NE(out1.str().find("schedule saved"), std::string::npos);
+
+  const std::string load_conf = write_temp("cli_load.conf",
+                                           "topology = grid:2x2\n"
+                                           "load_schedule = " + sched + "\n");
+  std::ostringstream out2, err2;
+  ASSERT_EQ(run_cli({load_conf}, out2, err2), 0) << err2.str();
+  EXPECT_NE(out2.str().find("evaluating saved schedule"), std::string::npos);
+  EXPECT_NE(out2.str().find("delta_C"), std::string::npos);
+  std::remove(sched.c_str());
+  std::remove(save_conf.c_str());
+  std::remove(load_conf.c_str());
+}
+
+TEST(RunCli, LoadedScheduleMustMatchTopology) {
+  const std::string sched = testing::TempDir() + "/cli_mismatch_schedule.txt";
+  {
+    std::ofstream f(sched);
+    f << "mocos-schedule v1\npois 2\n0.5 0.5\n0.5 0.5\n";
+  }
+  const std::string conf = write_temp("cli_mismatch.conf",
+                                      "topology = grid:2x2\n"
+                                      "load_schedule = " + sched + "\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({conf}, out, err), 1);
+  EXPECT_NE(err.str().find("does not match"), std::string::npos);
+  std::remove(sched.c_str());
+  std::remove(conf.c_str());
+}
+
+
+TEST(RunCli, FrontierMode) {
+  const std::string path = write_temp("cli_frontier.conf",
+                                      "topology = grid:2x2\n"
+                                      "mode = frontier\n"
+                                      "frontier_points = 2\n"
+                                      "iterations = 100\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("trade-off frontier"), std::string::npos);
+  EXPECT_NE(out.str().find("E-bar"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mocos::cli

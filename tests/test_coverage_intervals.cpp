@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/geometry/paper_topologies.hpp"
+#include "src/sensing/routed_travel_model.hpp"
+#include "src/sensing/travel_model.hpp"
+
+namespace mocos::sensing {
+namespace {
+
+void expect_intervals_consistent(const MotionModel& model) {
+  const std::size_t n = model.num_pois();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double duration = model.transition_duration(j, k);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto intervals = model.coverage_intervals(j, k, i);
+        double total = 0.0;
+        double prev_end = -1.0;
+        for (const auto& iv : intervals) {
+          EXPECT_GE(iv.begin, -1e-12);
+          EXPECT_LE(iv.end, duration + 1e-12);
+          EXPECT_GT(iv.end, iv.begin);
+          EXPECT_GT(iv.begin, prev_end - 1e-12) << "overlapping intervals";
+          prev_end = iv.end;
+          total += iv.length();
+        }
+        EXPECT_NEAR(total, model.coverage_during(j, k, i), 1e-9)
+            << j << "->" << k << " covering " << i;
+      }
+    }
+  }
+}
+
+TEST(CoverageIntervals, StraightModelSumsMatchAllTopologies) {
+  for (int topo = 1; topo <= 4; ++topo) {
+    TravelModel model(geometry::paper_topology(topo), 1.0, 1.0, 0.25);
+    expect_intervals_consistent(model);
+  }
+}
+
+TEST(CoverageIntervals, DestinationIntervalIsThePause) {
+  TravelModel model(geometry::paper_topology(3), 2.0, 0.5, 0.25);
+  const auto intervals = model.coverage_intervals(0, 1, 1);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_NEAR(intervals[0].begin, model.travel_time(0, 1), 1e-12);
+  EXPECT_NEAR(intervals[0].end, model.transition_duration(0, 1), 1e-12);
+}
+
+TEST(CoverageIntervals, StayingCoversWholePause) {
+  TravelModel model(geometry::paper_topology(1), 1.0, 1.5, 0.25);
+  const auto intervals = model.coverage_intervals(2, 2, 2);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(intervals[0].end, 1.5);
+  EXPECT_TRUE(model.coverage_intervals(2, 2, 0).empty());
+}
+
+TEST(CoverageIntervals, PassByWindowSitsMidRoute) {
+  // Topology 3: route 0->3 passes PoI 1 (at distance 1) and PoI 2 (at 2).
+  TravelModel model(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  const auto iv1 = model.coverage_intervals(0, 3, 1);
+  ASSERT_EQ(iv1.size(), 1u);
+  EXPECT_NEAR(iv1[0].begin, 0.75, 1e-12);
+  EXPECT_NEAR(iv1[0].end, 1.25, 1e-12);
+  const auto iv2 = model.coverage_intervals(0, 3, 2);
+  ASSERT_EQ(iv2.size(), 1u);
+  EXPECT_NEAR(iv2[0].begin, 1.75, 1e-12);
+  EXPECT_NEAR(iv2[0].end, 2.25, 1e-12);
+}
+
+TEST(CoverageIntervals, RoutedModelSumsMatch) {
+  geometry::Topology topo("detour", {{0.0, 0.0}, {2.0, 0.75}, {4.0, 0.0}},
+                          {0.34, 0.33, 0.33});
+  const auto wall = geometry::Polygon::rectangle({1.7, -1.0}, {2.3, 0.5});
+  RoutedTravelModel model(topo, {wall}, 1.0, 1.0, 0.25, 0.05);
+  expect_intervals_consistent(model);
+}
+
+TEST(CoverageIntervals, ChordIntervalMatchesLength) {
+  const geometry::Segment s{{-3.0, 0.5}, {3.0, 0.5}};
+  const auto interval =
+      geometry::chord_interval_in_disk(s, {0.0, 0.0}, 1.0);
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_NEAR(interval->end - interval->begin,
+              geometry::chord_length_in_disk(s, {0.0, 0.0}, 1.0), 1e-12);
+  // Symmetric around the segment midpoint (arc length 3.0).
+  EXPECT_NEAR((interval->begin + interval->end) / 2.0, 3.0, 1e-12);
+  EXPECT_FALSE(
+      geometry::chord_interval_in_disk(s, {0.0, 3.0}, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace mocos::sensing

@@ -1,0 +1,92 @@
+#include "src/sensing/travel_model.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/paper_topologies.hpp"
+
+namespace mocos::sensing {
+namespace {
+
+TEST(CoverageTensors, DurationsMatchModel) {
+  TravelModel model(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_DOUBLE_EQ(t.durations()(j, k), model.transition_duration(j, k));
+}
+
+TEST(CoverageTensors, CoverageMatchesModel) {
+  TravelModel model(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_DOUBLE_EQ(t.coverage_of(i)(j, k),
+                         model.coverage_during(j, k, i));
+}
+
+TEST(CoverageTensors, CoverageNeverExceedsDuration) {
+  TravelModel model(geometry::paper_topology(4), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 9; ++j)
+      for (std::size_t k = 0; k < 9; ++k)
+        EXPECT_LE(t.coverage_of(i)(j, k), t.durations()(j, k) + 1e-12);
+}
+
+TEST(CoverageTensors, TotalCoveragePerTransitionBounded) {
+  // PoIs are disjoint, so summed pass-by coverage cannot exceed duration.
+  TravelModel model(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) total += t.coverage_of(i)(j, k);
+      EXPECT_LE(total, t.durations()(j, k) + 1e-12);
+    }
+  }
+}
+
+TEST(CoverageTensors, DeviationKernelsDefinition) {
+  TravelModel model(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  const auto targets = model.topology().targets();
+  const auto kernels = t.deviation_kernels(targets);
+  ASSERT_EQ(kernels.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_DOUBLE_EQ(
+            kernels[i](j, k),
+            t.coverage_of(i)(j, k) - targets[i] * t.durations()(j, k));
+}
+
+TEST(CoverageTensors, KernelsSumNegativeOffDiagonal) {
+  // Σ_i B^i_jk = Σ_i T_jk,i − T_jk ≤ 0 since coverage can't exceed duration.
+  TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  const auto kernels =
+      t.deviation_kernels(model.topology().targets());
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t k = 0; k < 4; ++k) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) s += kernels[i](j, k);
+      EXPECT_LE(s, 1e-12);
+    }
+}
+
+TEST(CoverageTensors, RejectsBadTargetSize) {
+  TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  EXPECT_THROW(t.deviation_kernels({0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(CoverageTensors, OutOfRangeThrows) {
+  TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  CoverageTensors t(model);
+  EXPECT_THROW(t.coverage_of(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mocos::sensing

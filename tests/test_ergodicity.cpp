@@ -1,0 +1,71 @@
+#include "src/markov/ergodicity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+
+namespace mocos::markov {
+namespace {
+
+TEST(Ergodicity, PositiveChainIsErgodic) {
+  EXPECT_TRUE(is_ergodic(test::chain3()));
+  EXPECT_TRUE(is_ergodic(TransitionMatrix::uniform(4)));
+}
+
+TEST(Ergodicity, ReducibleChainDetected) {
+  // Two absorbing blocks {0,1} and {2,3}.
+  linalg::Matrix m{{0.5, 0.5, 0.0, 0.0},
+                   {0.5, 0.5, 0.0, 0.0},
+                   {0.0, 0.0, 0.5, 0.5},
+                   {0.0, 0.0, 0.5, 0.5}};
+  EXPECT_FALSE(is_irreducible(TransitionMatrix(m)));
+  EXPECT_FALSE(is_ergodic(TransitionMatrix(m)));
+}
+
+TEST(Ergodicity, OneWayTrapDetected) {
+  // State 0 reaches 1 but 1 never returns.
+  linalg::Matrix m{{0.5, 0.5}, {0.0, 1.0}};
+  EXPECT_FALSE(is_irreducible(TransitionMatrix(m)));
+}
+
+TEST(Ergodicity, PeriodicCycleDetected) {
+  // Deterministic 3-cycle: irreducible but period 3.
+  linalg::Matrix m{{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}};
+  const TransitionMatrix p(m);
+  EXPECT_TRUE(is_irreducible(p));
+  EXPECT_FALSE(is_aperiodic(p));
+  EXPECT_FALSE(is_ergodic(p));
+}
+
+TEST(Ergodicity, SelfLoopBreaksPeriodicity) {
+  linalg::Matrix m{{0.1, 0.9, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}};
+  const TransitionMatrix p(m);
+  EXPECT_TRUE(is_irreducible(p));
+  EXPECT_TRUE(is_aperiodic(p));
+}
+
+TEST(Ergodicity, TwoCycleIsPeriodic) {
+  linalg::Matrix m{{0.0, 1.0}, {1.0, 0.0}};
+  const TransitionMatrix p(m);
+  EXPECT_TRUE(is_irreducible(p));
+  EXPECT_FALSE(is_aperiodic(p));
+}
+
+TEST(Ergodicity, ToleranceTreatsTinyEdgesAsAbsent) {
+  linalg::Matrix m{{0.5, 0.5 - 1e-12, 1e-12},
+                   {0.5, 0.5 - 1e-12, 1e-12},
+                   {0.5, 0.5 - 1e-12, 1e-12}};
+  const TransitionMatrix p(m);
+  EXPECT_TRUE(is_ergodic(p, 0.0));
+  // With tol = 1e-9, the edges into state 2 vanish -> not irreducible.
+  EXPECT_FALSE(is_irreducible(p, 1e-9));
+}
+
+TEST(Ergodicity, RandomPositiveChainsErgodic) {
+  util::Rng rng(55);
+  for (int t = 0; t < 20; ++t)
+    EXPECT_TRUE(is_ergodic(test::random_positive_chain(6, rng)));
+}
+
+}  // namespace
+}  // namespace mocos::markov

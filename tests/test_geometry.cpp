@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/segment.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace mocos::geometry {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, DotLengthDistance) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(length({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(length_sq({3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(Chord, FullDiameterThroughCenter) {
+  // Horizontal segment through a disk of radius 1 centred on its middle.
+  const Segment s{{-2.0, 0.0}, {2.0, 0.0}};
+  EXPECT_NEAR(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 2.0, 1e-12);
+}
+
+TEST(Chord, OffCenterChordMatchesFormula) {
+  // Line y = 0.6 through a unit disk: chord = 2*sqrt(1 - 0.36) = 1.6.
+  const Segment s{{-5.0, 0.6}, {5.0, 0.6}};
+  EXPECT_NEAR(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 1.6, 1e-12);
+}
+
+TEST(Chord, MissingLineIsZero) {
+  const Segment s{{-5.0, 2.0}, {5.0, 2.0}};
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Chord, TangentLineIsZero) {
+  const Segment s{{-5.0, 1.0}, {5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Chord, SegmentClippedByEndpoints) {
+  // Segment starts at the disk centre: only half the diameter is inside.
+  const Segment s{{0.0, 0.0}, {5.0, 0.0}};
+  EXPECT_NEAR(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 1.0, 1e-12);
+}
+
+TEST(Chord, SegmentEntirelyInsideDisk) {
+  const Segment s{{-0.2, 0.0}, {0.3, 0.0}};
+  EXPECT_NEAR(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 0.5, 1e-12);
+}
+
+TEST(Chord, SegmentEndsBeforeDisk) {
+  const Segment s{{-5.0, 0.0}, {-2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Chord, DegenerateSegmentIsZero) {
+  const Segment s{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Chord, NonPositiveRadiusIsZero) {
+  const Segment s{{-1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(chord_length_in_disk(s, {0.0, 0.0}, -1.0), 0.0);
+}
+
+TEST(Chord, DiagonalSegment) {
+  // 45-degree line through the centre of a unit disk.
+  const Segment s{{-3.0, -3.0}, {3.0, 3.0}};
+  EXPECT_NEAR(chord_length_in_disk(s, {0.0, 0.0}, 1.0), 2.0, 1e-12);
+}
+
+TEST(DistanceToSegment, ProjectionCases) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment(s, {5.0, 3.0}), 3.0);   // interior
+  EXPECT_DOUBLE_EQ(distance_to_segment(s, {-3.0, 4.0}), 5.0);  // clamp to a
+  EXPECT_DOUBLE_EQ(distance_to_segment(s, {13.0, 4.0}), 5.0);  // clamp to b
+}
+
+TEST(DistanceToSegment, DegenerateSegment) {
+  const Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment(s, {4.0, 5.0}), 5.0);
+}
+
+class ChordSymmetryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChordSymmetryTest, DirectionDoesNotMatter) {
+  const double offset = GetParam();
+  const Segment fwd{{-4.0, offset}, {4.0, offset}};
+  const Segment bwd{{4.0, offset}, {-4.0, offset}};
+  EXPECT_NEAR(chord_length_in_disk(fwd, {0.0, 0.0}, 1.0),
+              chord_length_in_disk(bwd, {0.0, 0.0}, 1.0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ChordSymmetryTest,
+                         ::testing::Values(0.0, 0.3, 0.7, 0.99, 1.5));
+
+}  // namespace
+}  // namespace mocos::geometry

@@ -1,0 +1,103 @@
+#include "src/descent/line_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mocos::descent {
+namespace {
+
+TEST(LineSearch, FindsQuadraticMinimum) {
+  auto phi = [](double t) { return (t - 0.3) * (t - 0.3); };
+  const auto r = trisection_search(phi, phi(0.0), 1.0);
+  EXPECT_NEAR(r.step, 0.3, 1e-3);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(LineSearch, MinimumAtOrigin) {
+  // Increasing function: no descent, step must be 0.
+  auto phi = [](double t) { return t * t + t; };
+  const auto r = trisection_search(phi, phi(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.step, 0.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(LineSearch, MinimumAtFarEnd) {
+  auto phi = [](double t) { return -t; };
+  const auto r = trisection_search(phi, 0.0, 2.0);
+  EXPECT_NEAR(r.step, 2.0, 2e-3);
+  EXPECT_NEAR(r.value, -2.0, 2e-3);
+}
+
+TEST(LineSearch, ZeroMaxStepShortCircuits) {
+  auto phi = [](double t) { return -t; };
+  const auto r = trisection_search(phi, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.step, 0.0);
+  EXPECT_EQ(r.evaluations, 0u);
+}
+
+TEST(LineSearch, NegativeMaxStepThrows) {
+  auto phi = [](double t) { return t; };
+  EXPECT_THROW(trisection_search(phi, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(LineSearch, HandlesInfiniteRegions) {
+  // Feasible pocket [0, 0.5); +inf beyond (like the barrier at a boundary).
+  auto phi = [](double t) {
+    if (t >= 0.5) return std::numeric_limits<double>::infinity();
+    return (t - 0.2) * (t - 0.2);
+  };
+  const auto r = trisection_search(phi, phi(0.0), 1.0);
+  EXPECT_NEAR(r.step, 0.2, 5e-2);
+  EXPECT_LT(r.value, phi(0.0));
+}
+
+TEST(LineSearch, RespectsEvaluationBudget) {
+  std::size_t calls = 0;
+  auto phi = [&calls](double t) {
+    ++calls;
+    return (t - 0.5) * (t - 0.5);
+  };
+  LineSearchConfig cfg;
+  cfg.max_evaluations = 9;
+  const auto r = trisection_search(phi, phi(0.0), 1.0, cfg);
+  EXPECT_LE(r.evaluations, 9u);
+  EXPECT_LE(calls, 10u);  // +1 for phi(0) computed by the caller here
+}
+
+TEST(LineSearch, ToleranceControlsAccuracy) {
+  auto phi = [](double t) { return (t - 0.37) * (t - 0.37); };
+  LineSearchConfig loose;
+  loose.relative_tolerance = 0.2;
+  LineSearchConfig tight;
+  tight.relative_tolerance = 1e-6;
+  tight.max_evaluations = 500;
+  const auto rl = trisection_search(phi, phi(0.0), 1.0, loose);
+  const auto rt = trisection_search(phi, phi(0.0), 1.0, tight);
+  EXPECT_LT(std::abs(rt.step - 0.37), std::abs(rl.step - 0.37) + 1e-9);
+  EXPECT_NEAR(rt.step, 0.37, 1e-4);
+}
+
+TEST(LineSearch, TinyImprovementTreatedAsZeroStep) {
+  // Improvement below the margin: report a local optimum (step 0).
+  auto phi = [](double t) { return -1e-16 * t; };
+  LineSearchConfig cfg;
+  cfg.improvement_margin = 1e-14;
+  const auto r = trisection_search(phi, 0.0, 1.0, cfg);
+  EXPECT_DOUBLE_EQ(r.step, 0.0);
+}
+
+TEST(LineSearch, UnimodalWithPlateaus) {
+  auto phi = [](double t) {
+    if (t < 0.4) return 1.0 - t;
+    if (t < 0.6) return 0.6;
+    return t;
+  };
+  const auto r = trisection_search(phi, phi(0.0), 1.0);
+  EXPECT_GT(r.step, 0.3);
+  EXPECT_LT(r.value, 0.7);
+}
+
+}  // namespace
+}  // namespace mocos::descent

@@ -1,0 +1,86 @@
+#include "src/linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace mocos::linalg {
+namespace {
+
+TEST(Lu, SolvesSimpleSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = solve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveRequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  Matrix a{{4.0, 7.0, 2.0}, {3.0, 5.0, 1.0}, {8.0, 1.0, 6.0}};
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE(approx_equal(a * inv, Matrix::identity(3), 1e-10));
+  EXPECT_TRUE(approx_equal(inv * a, Matrix::identity(3), 1e-10));
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  EXPECT_NEAR(determinant(Matrix{{2.0, 0.0}, {0.0, 3.0}}), 6.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0, 1e-12);
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(determinant(a), -2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition{a}, std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, std::invalid_argument);
+}
+
+TEST(Lu, SolveSizeMismatchThrows) {
+  LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  Matrix b{{2.0, 4.0}, {8.0, 12.0}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+class LuRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomTest, RandomSystemsRoundTrip) {
+  const std::size_t n = GetParam();
+  util::Rng rng(1000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    // Diagonal dominance guarantees nonsingularity.
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+    Vector x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-5.0, 5.0);
+    const Vector b = mul(a, x_true);
+    const Vector x = solve(a, b);
+    EXPECT_TRUE(approx_equal(x, x_true, 1e-9)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(2, 3, 4, 6, 9, 16));
+
+}  // namespace
+}  // namespace mocos::linalg

@@ -1,0 +1,143 @@
+#include "src/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocos::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.is_square());
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_TRUE(m.is_square());
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, IdentityOnesDiag) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+  const Matrix j = Matrix::ones(2);
+  EXPECT_EQ(j(1, 0), 1.0);
+  const Matrix d = Matrix::diag({2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix w = Matrix::outer({1.0, 1.0, 1.0}, {0.2, 0.3, 0.5});
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(w(r, 0), 0.2);
+    EXPECT_DOUBLE_EQ(w(r, 2), 0.5);
+  }
+}
+
+TEST(Matrix, RowColDiagonal) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0}));
+  EXPECT_EQ(m.diagonal(), (Vector{1.0, 4.0}));
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ((a + b)(1, 1), 5.0);
+  EXPECT_EQ((a - b)(0, 0), 0.0);
+  EXPECT_EQ((a * 2.0)(0, 1), 4.0);
+  EXPECT_EQ((0.5 * a)(1, 0), 1.5);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(b * b, std::invalid_argument);  // inner dims 3 vs 2
+  Matrix c(3, 2);
+  EXPECT_NO_THROW(b * c);
+  EXPECT_NO_THROW(a * b);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 2.0);
+  EXPECT_EQ(c(0, 1), 1.0);
+  EXPECT_EQ(c(1, 0), 4.0);
+  EXPECT_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(VectorOps, MulMatrixVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(mul(a, {1.0, 1.0}), (Vector{3.0, 7.0}));
+  EXPECT_EQ(mul({1.0, 1.0}, a), (Vector{4.0, 6.0}));
+}
+
+TEST(VectorOps, MulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(mul(a, Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(mul(Vector{1.0, 2.0, 3.0}, a), std::invalid_argument);
+}
+
+TEST(VectorOps, DotAndArithmetic) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_EQ(vadd({1.0, 2.0}, {1.0, 1.0}), (Vector{2.0, 3.0}));
+  EXPECT_EQ(vsub({1.0, 2.0}, {1.0, 1.0}), (Vector{0.0, 1.0}));
+  EXPECT_EQ(vscale({1.0, 2.0}, 3.0), (Vector{3.0, 6.0}));
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, FrobeniusDot) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(frobenius_dot(a, b), 5.0);
+}
+
+TEST(VectorOps, ApproxEqual) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = a;
+  b(0, 0) += 1e-10;
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, b, 1e-11));
+  EXPECT_FALSE(approx_equal(a, Matrix(2, 3), 1.0));
+  EXPECT_TRUE(approx_equal(Vector{1.0}, Vector{1.0 + 1e-12}, 1e-9));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.0, 2.0}, 1e9));
+}
+
+}  // namespace
+}  // namespace mocos::linalg

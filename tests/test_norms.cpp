@@ -1,0 +1,38 @@
+#include "src/linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocos::linalg {
+namespace {
+
+TEST(Norms, VectorNorms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+}
+
+TEST(Norms, EmptyVectorIsZero) {
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+  EXPECT_DOUBLE_EQ(norm1({}), 0.0);
+}
+
+TEST(Norms, FrobeniusNorm) {
+  Matrix m{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix m{{1.0, -7.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(max_abs(m), 7.0);
+}
+
+TEST(Norms, TriangleInequalityHolds) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{-2.0, 0.5, 1.0};
+  EXPECT_LE(norm2(vadd(a, b)), norm2(a) + norm2(b) + 1e-12);
+}
+
+}  // namespace
+}  // namespace mocos::linalg

@@ -1,0 +1,113 @@
+// End-to-end runs through the CoverageOptimizer facade, checking the §V/§VI
+// algorithm-level claims on small iteration budgets.
+
+#include "src/core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/markov/ergodicity.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::core {
+namespace {
+
+TEST(Optimizer, BasicRunImprovesCost) {
+  const Problem problem = test::paper_problem(2, 1.0, 0.0);
+  OptimizerOptions opts;
+  opts.algorithm = Algorithm::kBasic;
+  opts.max_iterations = 300;
+  opts.constant_step = 1e-4;
+  CoverageOptimizer opt(problem, opts);
+  const auto start = markov::TransitionMatrix::uniform(4);
+  const double u0 = problem.report_cost(start);
+  const auto outcome = opt.run();
+  EXPECT_LT(outcome.report_cost, u0);
+  EXPECT_EQ(outcome.algorithm, Algorithm::kBasic);
+  EXPECT_TRUE(markov::is_ergodic(outcome.p));
+}
+
+TEST(Optimizer, AdaptiveRunTerminatesQuickly) {
+  const Problem problem = test::paper_problem(1, 0.0, 1.0);
+  OptimizerOptions opts;
+  opts.algorithm = Algorithm::kAdaptive;
+  opts.max_iterations = 1000;
+  CoverageOptimizer opt(problem, opts);
+  const auto outcome = opt.run();
+  EXPECT_LT(outcome.iterations, 1000u);
+  EXPECT_GT(outcome.metrics.e_bar, 0.0);
+}
+
+TEST(Optimizer, PerturbedBeatsOrMatchesAdaptive) {
+  const Problem problem = test::paper_problem(1, 0.0, 1.0);
+
+  OptimizerOptions adaptive;
+  adaptive.algorithm = Algorithm::kAdaptive;
+  adaptive.random_start = true;
+  adaptive.seed = 11;
+  adaptive.max_iterations = 500;
+  const auto res_a = CoverageOptimizer(problem, adaptive).run();
+
+  OptimizerOptions perturbed;
+  perturbed.algorithm = Algorithm::kPerturbed;
+  perturbed.random_start = true;
+  perturbed.seed = 11;
+  perturbed.max_iterations = 500;
+  perturbed.stall_limit = 0;
+  const auto res_p = CoverageOptimizer(problem, perturbed).run();
+
+  EXPECT_LE(res_p.penalized_cost, res_a.penalized_cost + 1e-9);
+}
+
+TEST(Optimizer, ReproducibleFromSeed) {
+  const Problem problem = test::paper_problem(1, 1.0, 1.0);
+  OptimizerOptions opts;
+  opts.algorithm = Algorithm::kPerturbed;
+  opts.random_start = true;
+  opts.seed = 99;
+  opts.max_iterations = 100;
+  const auto a = CoverageOptimizer(problem, opts).run();
+  const auto b = CoverageOptimizer(problem, opts).run();
+  EXPECT_EQ(a.penalized_cost, b.penalized_cost);
+  EXPECT_TRUE(linalg::approx_equal(a.p.matrix(), b.p.matrix(), 0.0));
+}
+
+TEST(Optimizer, ExplicitStartRespected) {
+  const Problem problem = test::paper_problem(3, 1.0, 0.0);
+  OptimizerOptions opts;
+  opts.algorithm = Algorithm::kBasic;
+  opts.max_iterations = 5;
+  opts.constant_step = 1e-8;  // tiny steps keep us near the start
+  util::Rng rng(3);
+  const auto start = test::random_positive_chain(4, rng);
+  const auto outcome = CoverageOptimizer(problem, opts).run(start);
+  EXPECT_TRUE(linalg::approx_equal(outcome.p.matrix(), start.matrix(), 1e-3));
+}
+
+TEST(Optimizer, SummaryMentionsKeyNumbers) {
+  const Problem problem = test::paper_problem(1, 1.0, 1.0);
+  OptimizerOptions opts;
+  opts.max_iterations = 50;
+  const auto outcome = CoverageOptimizer(problem, opts).run();
+  const std::string s = outcome.summary();
+  EXPECT_NE(s.find("perturbed"), std::string::npos);
+  EXPECT_NE(s.find("delta_C"), std::string::npos);
+  EXPECT_NE(s.find("PoI"), std::string::npos);
+}
+
+TEST(Optimizer, RejectsZeroIterations) {
+  const Problem problem = test::paper_problem(1, 1.0, 1.0);
+  OptimizerOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_THROW(CoverageOptimizer(problem, opts), std::invalid_argument);
+}
+
+TEST(ResultFormatting, AlgorithmNames) {
+  EXPECT_EQ(to_string(Algorithm::kBasic), "basic");
+  EXPECT_EQ(to_string(Algorithm::kAdaptive), "adaptive");
+  EXPECT_EQ(to_string(Algorithm::kPerturbed), "perturbed");
+}
+
+}  // namespace
+}  // namespace mocos::core

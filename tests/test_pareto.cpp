@@ -1,0 +1,94 @@
+#include "src/core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sensing/routed_travel_model.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::core {
+namespace {
+
+FrontierOptions quick_options() {
+  FrontierOptions o;
+  o.grid_points = 3;
+  o.beta_max = 1.0;
+  o.beta_min = 1e-5;
+  o.per_point.max_iterations = 250;
+  o.per_point.stall_limit = 120;
+  o.per_point.keep_trace = false;
+  return o;
+}
+
+markov::TransitionMatrix any_p() {
+  return markov::TransitionMatrix::uniform(2);
+}
+
+TEST(ParetoFront, FiltersDominatedPoints) {
+  std::vector<TradeoffPoint> pts;
+  pts.push_back({1.0, 0.1, 10.0, any_p()});   // efficient
+  pts.push_back({0.5, 0.2, 12.0, any_p()});   // dominated by the first
+  pts.push_back({0.1, 0.05, 20.0, any_p()});  // efficient
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_DOUBLE_EQ(front[0].delta_c, 0.05);  // sorted by delta_c
+  EXPECT_DOUBLE_EQ(front[1].delta_c, 0.1);
+}
+
+TEST(ParetoFront, AllEfficientWhenTradingOff) {
+  std::vector<TradeoffPoint> pts;
+  pts.push_back({1.0, 0.3, 5.0, any_p()});
+  pts.push_back({0.1, 0.2, 8.0, any_p()});
+  pts.push_back({0.01, 0.1, 12.0, any_p()});
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+}
+
+TEST(ParetoFront, DuplicatePointsSurvive) {
+  std::vector<TradeoffPoint> pts;
+  pts.push_back({1.0, 0.1, 10.0, any_p()});
+  pts.push_back({0.9, 0.1, 10.0, any_p()});
+  EXPECT_EQ(pareto_front(pts).size(), 2u);  // neither strictly dominates
+}
+
+TEST(TradeoffSweep, ValidatesOptions) {
+  const auto problem = test::paper_problem(3, 1.0, 1.0);
+  FrontierOptions bad = quick_options();
+  bad.beta_min = 0.0;
+  EXPECT_THROW(tradeoff_sweep(problem, bad), std::invalid_argument);
+  FrontierOptions bad2 = quick_options();
+  bad2.grid_points = 1;
+  EXPECT_THROW(tradeoff_sweep(problem, bad2), std::invalid_argument);
+}
+
+TEST(TradeoffSweep, RejectsCustomMotionModels) {
+  geometry::Topology topo("pair", {{0.0, 0.0}, {4.0, 0.0}}, {0.5, 0.5});
+  Problem problem(std::make_unique<sensing::RoutedTravelModel>(
+                      topo, std::vector<geometry::Polygon>{}, 1.0, 1.0, 0.25),
+                  Weights{});
+  EXPECT_THROW(tradeoff_sweep(problem, quick_options()),
+               std::invalid_argument);
+}
+
+TEST(TradeoffSweep, ProducesMonotoneTrendAndFrontier) {
+  const auto problem = test::paper_problem(3, 1.0, 1.0);
+  const auto points = tradeoff_sweep(problem, quick_options());
+  ASSERT_EQ(points.size(), 4u);  // 3 grid + beta=0
+
+  // Endpoint trend (the paper's Tables I/II): high beta has the smallest
+  // exposure; beta -> 0 has the smallest coverage deviation.
+  const auto& high_beta = points.front();
+  const auto& zero_beta = points.back();
+  EXPECT_DOUBLE_EQ(zero_beta.beta, 0.0);
+  EXPECT_LT(high_beta.e_bar, zero_beta.e_bar);
+  EXPECT_LT(zero_beta.delta_c, high_beta.delta_c);
+
+  const auto front = pareto_front(points);
+  EXPECT_GE(front.size(), 2u);
+  // Along the sorted front, E-bar must be non-increasing as delta_c grows.
+  for (std::size_t i = 1; i < front.size(); ++i)
+    EXPECT_LE(front[i].e_bar, front[i - 1].e_bar + 1e-12);
+}
+
+}  // namespace
+}  // namespace mocos::core

@@ -1,0 +1,91 @@
+#include "src/geometry/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocos::geometry {
+namespace {
+
+Polygon unit_square() {
+  return Polygon::rectangle({0.0, 0.0}, {1.0, 1.0});
+}
+
+TEST(Orientation, SignConvention) {
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {0, 1}), 0.0);  // CCW
+  EXPECT_LT(orientation({0, 0}, {0, 1}, {1, 0}), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(SegmentsIntersect, DisjointSegments) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentsIntersect, SharedEndpointDoesNotCount) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlapCounts) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+}
+
+TEST(SegmentsIntersect, TTouchMidpointCounts) {
+  // Endpoint of one segment strictly interior to the other.
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 1}}));
+}
+
+TEST(Polygon, ValidatesInput) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Polygon({{0, 0}, {1, 0}, {0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Polygon::rectangle({1, 1}, {0, 0}), std::invalid_argument);
+}
+
+TEST(Polygon, ContainsInteriorNotBoundary) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({0.0, 0.5}));   // boundary
+  EXPECT_FALSE(sq.contains({0.0, 0.0}));   // corner
+  EXPECT_FALSE(sq.contains({-0.1, -0.1}));
+}
+
+TEST(Polygon, ContainsWorksForTriangle) {
+  const Polygon tri({{0, 0}, {4, 0}, {0, 4}});
+  EXPECT_TRUE(tri.contains({1.0, 1.0}));
+  EXPECT_FALSE(tri.contains({3.0, 3.0}));
+}
+
+TEST(Polygon, CentroidOfSquare) {
+  EXPECT_EQ(unit_square().centroid(), (Vec2{0.5, 0.5}));
+}
+
+TEST(Polygon, BlocksCrossingSegment) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.blocks({{-1.0, 0.5}, {2.0, 0.5}}));   // straight through
+  EXPECT_TRUE(sq.blocks({{0.5, 0.5}, {2.0, 2.0}}));    // starts inside
+  EXPECT_TRUE(sq.blocks({{0.2, 0.2}, {0.8, 0.8}}));    // fully inside
+}
+
+TEST(Polygon, DoesNotBlockClearSegments) {
+  const Polygon sq = unit_square();
+  EXPECT_FALSE(sq.blocks({{-1.0, 2.0}, {2.0, 2.0}}));  // passes above
+  EXPECT_FALSE(sq.blocks({{-1.0, -1.0}, {-1.0, 2.0}}));
+}
+
+TEST(Polygon, InflatedVerticesMoveOutward) {
+  const Polygon sq = unit_square();
+  const auto inflated = sq.inflated_vertices(0.1);
+  ASSERT_EQ(inflated.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(sq.contains(inflated[i]));
+    EXPECT_GT(distance(inflated[i], sq.centroid()),
+              distance(sq.vertices()[i], sq.centroid()));
+  }
+  EXPECT_THROW(sq.inflated_vertices(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mocos::geometry

@@ -1,0 +1,61 @@
+#include "src/geometry/random_topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocos::geometry {
+namespace {
+
+TEST(RandomTopology, RespectsSeparationAndCount) {
+  util::Rng rng(1);
+  RandomTopologyConfig cfg;
+  cfg.num_pois = 8;
+  cfg.min_separation = 1.5;
+  const auto topo = random_topology(cfg, rng);
+  EXPECT_EQ(topo.size(), 8u);
+  EXPECT_GE(topo.min_separation(), 1.5);
+}
+
+TEST(RandomTopology, TargetsSumToOne) {
+  util::Rng rng(2);
+  const auto topo = random_topology({}, rng);
+  double s = 0.0;
+  for (double t : topo.targets()) {
+    EXPECT_GT(t, 0.0);
+    s += t;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(RandomTopology, DeterministicGivenRngState) {
+  util::Rng a(7), b(7);
+  const auto ta = random_topology({}, a);
+  const auto tb = random_topology({}, b);
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    EXPECT_EQ(ta.position(i), tb.position(i));
+}
+
+TEST(RandomTopology, FailsLoudlyWhenInfeasible) {
+  util::Rng rng(3);
+  RandomTopologyConfig cfg;
+  cfg.num_pois = 50;
+  cfg.extent = 2.0;
+  cfg.min_separation = 1.0;  // cannot pack 50 PoIs at separation 1 in 2x2
+  cfg.max_attempts = 2000;
+  EXPECT_THROW(random_topology(cfg, rng), std::runtime_error);
+}
+
+TEST(RandomTopology, ValidatesConfig) {
+  util::Rng rng(4);
+  RandomTopologyConfig bad;
+  bad.num_pois = 1;
+  EXPECT_THROW(random_topology(bad, rng), std::invalid_argument);
+  RandomTopologyConfig bad2;
+  bad2.extent = 0.0;
+  EXPECT_THROW(random_topology(bad2, rng), std::invalid_argument);
+  RandomTopologyConfig bad3;
+  bad3.min_weight = 0.0;
+  EXPECT_THROW(random_topology(bad3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mocos::geometry

@@ -1,0 +1,86 @@
+#include "src/sensing/travel_model.hpp"
+#include "src/sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/paper_topologies.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::sim {
+namespace {
+
+TEST(Summarize, OrderStatistics) {
+  const auto m = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 4.0);
+  EXPECT_DOUBLE_EQ(m.p25, 1.75);
+  EXPECT_DOUBLE_EQ(m.p75, 3.25);
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+
+TEST(Summarize, BootstrapCiBracketsMean) {
+  const auto m = summarize({4.0, 1.0, 3.0, 2.0, 5.0, 2.5});
+  EXPECT_LE(m.ci95_low, m.mean);
+  EXPECT_GE(m.ci95_high, m.mean);
+  EXPECT_LT(m.ci95_low, m.ci95_high);
+  const auto single = summarize({3.0});
+  EXPECT_EQ(single.ci95_low, 3.0);
+  EXPECT_EQ(single.ci95_high, 3.0);
+}
+
+TEST(Replicate, SummaryShapesAndOrdering) {
+  sensing::TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  util::Rng rng(42);
+  SimulationConfig cfg;
+  cfg.num_transitions = 20000;
+  const auto summary =
+      replicate(model, markov::TransitionMatrix::uniform(4),
+                model.topology().targets(), 1.0, 1.0, cfg, 8, rng);
+  EXPECT_EQ(summary.replications, 8u);
+  EXPECT_EQ(summary.coverage_share.size(), 4u);
+  EXPECT_EQ(summary.exposure_steps.size(), 4u);
+  // Percentile ordering.
+  EXPECT_LE(summary.delta_c.min, summary.delta_c.p25);
+  EXPECT_LE(summary.delta_c.p25, summary.delta_c.p75);
+  EXPECT_LE(summary.delta_c.p75, summary.delta_c.max);
+  EXPECT_LE(summary.e_bar.min, summary.e_bar.mean);
+  EXPECT_LE(summary.e_bar.mean, summary.e_bar.max);
+}
+
+TEST(Replicate, LowVarianceAcrossReplicasForLongRuns) {
+  sensing::TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  util::Rng rng(43);
+  SimulationConfig cfg;
+  cfg.num_transitions = 50000;
+  const auto summary =
+      replicate(model, markov::TransitionMatrix::uniform(4),
+                model.topology().targets(), 1.0, 1.0, cfg, 6, rng);
+  // Long runs concentrate: interquartile spread well below the mean.
+  EXPECT_LT(summary.e_bar.p75 - summary.e_bar.p25, 0.1 * summary.e_bar.mean);
+}
+
+TEST(Replicate, RejectsZeroReplications) {
+  sensing::TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  util::Rng rng(44);
+  EXPECT_THROW(replicate(model, markov::TransitionMatrix::uniform(4),
+                         model.topology().targets(), 1.0, 1.0, {}, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Replicate, ReproducibleFromSeed) {
+  sensing::TravelModel model(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  SimulationConfig cfg;
+  cfg.num_transitions = 10000;
+  util::Rng rng1(7), rng2(7);
+  const auto a = replicate(model, markov::TransitionMatrix::uniform(4),
+                           model.topology().targets(), 1.0, 1.0, cfg, 3, rng1);
+  const auto b = replicate(model, markov::TransitionMatrix::uniform(4),
+                           model.topology().targets(), 1.0, 1.0, cfg, 3, rng2);
+  EXPECT_EQ(a.delta_c.mean, b.delta_c.mean);
+  EXPECT_EQ(a.e_bar.mean, b.e_bar.mean);
+}
+
+}  // namespace
+}  // namespace mocos::sim

@@ -1,0 +1,144 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mocos::util {
+namespace {
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsLow) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(2.5, 2.5), 2.5);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(4);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, IndexWithinRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng(6);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(7);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianZeroSigmaIsMean) {
+  Rng rng(8);
+  EXPECT_EQ(rng.gaussian(3.25, 0.0), 3.25);
+}
+
+TEST(Rng, GaussianNegativeSigmaThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> w{0.1, 0.0, 0.9};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.discrete(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.9, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsBadInput) {
+  Rng rng(11);
+  EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.discrete({0.5, -0.1}), std::invalid_argument);
+}
+
+TEST(Rng, DiscreteUnnormalizedWeightsWork) {
+  Rng rng(12);
+  std::vector<double> w{2.0, 6.0};  // 25% / 75%
+  int c0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.discrete(w) == 0) ++c0;
+  EXPECT_NEAR(c0 / double(n), 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliClampsOutOfRange) {
+  Rng rng(14);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // Parent and child should produce (almost surely) different sequences.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitIsReproducible) {
+  Rng a(7), b(7);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.uniform(), cb.uniform());
+}
+
+}  // namespace
+}  // namespace mocos::util

@@ -1,0 +1,94 @@
+#include "src/geometry/route_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/topology.hpp"
+
+namespace mocos::geometry {
+namespace {
+
+Topology two_pois() {
+  return Topology("pair", {{0.0, 0.0}, {4.0, 0.0}}, {0.5, 0.5});
+}
+
+TEST(RoutePlanner, StraightLineWhenUnobstructed) {
+  RoutePlanner planner(two_pois(), {});
+  const Route& r = planner.route(0, 1);
+  ASSERT_EQ(r.waypoints.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.length, 4.0);
+}
+
+TEST(RoutePlanner, SelfRouteIsTrivial) {
+  RoutePlanner planner(two_pois(), {});
+  const Route& r = planner.route(0, 0);
+  EXPECT_EQ(r.waypoints.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.length, 0.0);
+}
+
+TEST(RoutePlanner, DetoursAroundWall) {
+  // A wall between the two PoIs: route must go around, length > direct.
+  const Polygon wall = Polygon::rectangle({1.8, -1.0}, {2.2, 1.0});
+  RoutePlanner planner(two_pois(), {wall}, 0.05);
+  const Route& r = planner.route(0, 1);
+  EXPECT_GT(r.waypoints.size(), 2u);
+  EXPECT_GT(r.length, 4.0);
+  // Minimum possible detour: through a corner at y ~= +-1.05.
+  const double corner_path =
+      distance({0.0, 0.0}, {1.8, -1.0}) + distance({1.8, -1.0}, {2.2, -1.0}) +
+      distance({2.2, -1.0}, {4.0, 0.0});
+  EXPECT_LT(r.length, corner_path + 1.0);
+  // Every leg of the returned route must be clear of obstacles.
+  for (std::size_t s = 0; s < r.num_segments(); ++s)
+    EXPECT_TRUE(planner.line_of_sight(r.segment(s).a, r.segment(s).b));
+}
+
+TEST(RoutePlanner, RouteSymmetricInLength) {
+  const Polygon wall = Polygon::rectangle({1.8, -1.0}, {2.2, 1.0});
+  RoutePlanner planner(two_pois(), {wall}, 0.05);
+  EXPECT_NEAR(planner.route(0, 1).length, planner.route(1, 0).length, 1e-9);
+}
+
+TEST(RoutePlanner, MultipleObstacles) {
+  Topology topo("tri", {{0.0, 0.0}, {6.0, 0.0}, {3.0, 4.0}},
+                {0.34, 0.33, 0.33});
+  const Polygon block1 = Polygon::rectangle({1.5, -0.5}, {2.0, 0.75});
+  const Polygon block2 = Polygon::rectangle({3.5, -0.75}, {4.0, 0.5});
+  RoutePlanner planner(topo, {block1, block2}, 0.05);
+  const Route& r = planner.route(0, 1);
+  EXPECT_GT(r.length, 6.0);
+  for (std::size_t s = 0; s < r.num_segments(); ++s)
+    EXPECT_TRUE(planner.line_of_sight(r.segment(s).a, r.segment(s).b));
+}
+
+TEST(RoutePlanner, RejectsPoiInsideObstacle) {
+  const Polygon blob = Polygon::rectangle({-1.0, -1.0}, {1.0, 1.0});
+  EXPECT_THROW(RoutePlanner(two_pois(), {blob}), std::invalid_argument);
+}
+
+TEST(RoutePlanner, ThrowsWhenSeparated) {
+  // A ring of walls enclosing PoI 0 completely.
+  const Polygon left = Polygon::rectangle({-2.0, -2.0}, {-1.0, 2.0});
+  const Polygon right = Polygon::rectangle({1.0, -2.0}, {2.0, 2.0});
+  const Polygon top = Polygon::rectangle({-2.0, 1.0}, {2.0, 2.0});
+  const Polygon bottom = Polygon::rectangle({-2.0, -2.0}, {2.0, -1.0});
+  EXPECT_THROW(
+      RoutePlanner(Topology("boxed", {{0.0, 0.0}, {6.0, 0.0}}, {0.5, 0.5}),
+                   {left, right, top, bottom}, 0.05),
+      std::runtime_error);
+}
+
+TEST(RoutePlanner, RejectsBadClearance) {
+  EXPECT_THROW(RoutePlanner(two_pois(), {}, 0.0), std::invalid_argument);
+}
+
+TEST(RoutePlanner, LineOfSight) {
+  const Polygon wall = Polygon::rectangle({1.8, -1.0}, {2.2, 1.0});
+  RoutePlanner planner(two_pois(), {wall}, 0.05);
+  EXPECT_FALSE(planner.line_of_sight({0.0, 0.0}, {4.0, 0.0}));
+  EXPECT_TRUE(planner.line_of_sight({0.0, 0.0}, {0.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace mocos::geometry

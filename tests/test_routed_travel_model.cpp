@@ -1,0 +1,117 @@
+#include "src/sensing/routed_travel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/optimizer.hpp"
+#include "src/geometry/paper_topologies.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+#include "src/sensing/travel_model.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace mocos::sensing {
+namespace {
+
+TEST(RoutedTravelModel, NoObstaclesMatchesStraightLineModel) {
+  const auto topo = geometry::paper_topology(3);
+  TravelModel straight(topo, 1.0, 1.0, 0.25);
+  RoutedTravelModel routed(topo, {}, 1.0, 1.0, 0.25);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(routed.transition_duration(j, k),
+                  straight.transition_duration(j, k), 1e-9);
+      EXPECT_NEAR(routed.travel_distance(j, k), straight.travel_distance(j, k),
+                  1e-9);
+      for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(routed.coverage_during(j, k, i),
+                    straight.coverage_during(j, k, i), 1e-9)
+            << j << "->" << k << " covering " << i;
+    }
+  }
+}
+
+RoutedTravelModel walled_pair() {
+  // Two PoIs with a wall between them.
+  geometry::Topology topo("pair", {{0.0, 0.0}, {4.0, 0.0}}, {0.5, 0.5});
+  const auto wall = geometry::Polygon::rectangle({1.8, -1.0}, {2.2, 1.0});
+  return RoutedTravelModel(topo, {wall}, 1.0, 1.0, 0.25, 0.05);
+}
+
+TEST(RoutedTravelModel, ObstacleLengthensTravel) {
+  const auto model = walled_pair();
+  EXPECT_GT(model.travel_distance(0, 1), 4.0);
+  EXPECT_GT(model.travel_time(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(model.travel_distance(0, 0), 0.0);
+}
+
+TEST(RoutedTravelModel, PaperConventionsHold) {
+  const auto model = walled_pair();
+  EXPECT_DOUBLE_EQ(model.coverage_during(0, 1, 1), 1.0);  // pause only
+  EXPECT_DOUBLE_EQ(model.coverage_during(0, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.coverage_during(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.coverage_during(1, 1, 0), 0.0);
+}
+
+TEST(RoutedTravelModel, DetourCreatesPassByCoverage) {
+  // PoI 1 sits above the straight 0->2 path, outside sensing range of it.
+  // A wall blocks the straight path and (extending further down than up)
+  // forces the detour over its top corners — which passes within range of
+  // PoI 1: the feasible route changes which PoIs get pass-by coverage.
+  geometry::Topology topo("detour", {{0.0, 0.0}, {2.0, 0.75}, {4.0, 0.0}},
+                          {0.34, 0.33, 0.33});
+  RoutedTravelModel clear(topo, {}, 1.0, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(clear.coverage_during(0, 2, 1), 0.0);  // 0.75 > r
+
+  const auto wall = geometry::Polygon::rectangle({1.7, -1.0}, {2.3, 0.5});
+  RoutedTravelModel blocked(topo, {wall}, 1.0, 1.0, 0.25, 0.05);
+  EXPECT_GT(blocked.travel_distance(0, 2), 4.0);
+  EXPECT_GT(blocked.coverage_during(0, 2, 1), 0.0);
+}
+
+TEST(RoutedTravelModel, ValidatesPhysics) {
+  geometry::Topology topo("pair", {{0.0, 0.0}, {4.0, 0.0}}, {0.5, 0.5});
+  EXPECT_THROW(RoutedTravelModel(topo, {}, 0.0, 1.0, 0.25),
+               std::invalid_argument);
+  EXPECT_THROW(RoutedTravelModel(topo, {}, 1.0, 0.0, 0.25),
+               std::invalid_argument);
+  EXPECT_THROW(RoutedTravelModel(topo, {}, 1.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(RoutedTravelModel(topo, {}, 1.0, 1.0, 2.5),
+               std::invalid_argument);
+}
+
+TEST(RoutedTravelModel, WorksThroughCoverageTensorsAndSimulator) {
+  const auto model = walled_pair();
+  CoverageTensors tensors(model);
+  EXPECT_GT(tensors.durations()(0, 1), 5.0);  // detour + pause
+  sim::SimulationConfig cfg;
+  cfg.num_transitions = 5000;
+  sim::MarkovCoverageSimulator sim(model, cfg);
+  util::Rng rng(5);
+  const auto res = sim.run(markov::TransitionMatrix::uniform(2), rng);
+  EXPECT_GT(res.total_time, 5000.0);
+}
+
+TEST(RoutedTravelModel, EndToEndOptimizationAroundObstacle) {
+  geometry::Topology topo("square", {{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0},
+                                     {0.0, 4.0}},
+                          {0.4, 0.2, 0.2, 0.2});
+  const auto block = geometry::Polygon::rectangle({1.5, 1.5}, {2.5, 2.5});
+  core::Weights w;
+  w.alpha = 1.0;
+  w.beta = 1e-4;
+  core::Problem problem(
+      std::make_unique<RoutedTravelModel>(topo, std::vector{block}, 1.0, 1.0,
+                                          0.25, 0.05),
+      w);
+  core::OptimizerOptions opts;
+  opts.max_iterations = 200;
+  opts.keep_trace = false;
+  const auto outcome = core::CoverageOptimizer(problem, opts).run();
+  EXPECT_TRUE(std::isfinite(outcome.penalized_cost));
+  EXPECT_GT(outcome.metrics.c_share[0], outcome.metrics.c_share[1]);
+}
+
+}  // namespace
+}  // namespace mocos::sensing

@@ -1,0 +1,65 @@
+#include "src/multi/sensor_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/metrics.hpp"
+#include "src/geometry/paper_topologies.hpp"
+#include "src/sensing/coverage_tensors.hpp"
+#include "src/sensing/travel_model.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::multi {
+namespace {
+
+sensing::TravelModel model1() {
+  return sensing::TravelModel(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+}
+
+TEST(SensorTeam, ValidatesInput) {
+  const auto model = model1();
+  EXPECT_THROW(SensorTeam(model, {}), std::invalid_argument);
+  EXPECT_THROW(SensorTeam(model, {markov::TransitionMatrix::uniform(3)}),
+               std::invalid_argument);
+}
+
+TEST(SensorTeam, SingleSensorCombinedEqualsOwnCoverage) {
+  const auto model = model1();
+  SensorTeam team(model, {markov::TransitionMatrix::uniform(4)});
+  const auto combined = team.combined_coverage();
+  const auto own = team.sensor_coverage(0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(combined[i], own[i], 1e-12);
+}
+
+TEST(SensorTeam, CombinedFollowsIndependenceFormula) {
+  const auto model = model1();
+  util::Rng rng(9);
+  SensorTeam team(model, {test::random_positive_chain(4, rng),
+                          test::random_positive_chain(4, rng)});
+  const auto c0 = team.sensor_coverage(0);
+  const auto c1 = team.sensor_coverage(1);
+  const auto combined = team.combined_coverage();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(combined[i], 1.0 - (1.0 - c0[i]) * (1.0 - c1[i]), 1e-12);
+}
+
+TEST(SensorTeam, MoreSensorsNeverReduceCoverage) {
+  const auto model = model1();
+  util::Rng rng(10);
+  const auto a = test::random_positive_chain(4, rng);
+  const auto b = test::random_positive_chain(4, rng);
+  SensorTeam one(model, {a});
+  SensorTeam two(model, {a, b});
+  const auto c1 = one.combined_coverage();
+  const auto c2 = two.combined_coverage();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_GE(c2[i], c1[i] - 1e-12);
+}
+
+TEST(SensorTeam, ChainAccessorBoundsChecked) {
+  const auto model = model1();
+  SensorTeam team(model, {markov::TransitionMatrix::uniform(4)});
+  EXPECT_NO_THROW(team.chain(0));
+  EXPECT_THROW(team.chain(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mocos::multi

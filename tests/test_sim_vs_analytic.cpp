@@ -1,0 +1,136 @@
+// Integration tests: long Markov simulations must converge to the
+// closed-form quantities of §III — coverage shares (Eq. 2), unit-transition
+// exposures (Eq. 3), ΔC and Ē (Eqs. 12, 13). This is the paper's §VI-D
+// validation ("the measured U in the simulations gives a close match with
+// the computed U").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sensing/travel_model.hpp"
+#include "src/cost/exposure_term.hpp"
+#include "src/cost/metrics.hpp"
+#include "src/geometry/paper_topologies.hpp"
+#include "src/sim/simulator.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::sim {
+namespace {
+
+struct SimSetup {
+  sensing::TravelModel model;
+  sensing::CoverageTensors tensors;
+  explicit SimSetup(int topo)
+      : model(geometry::paper_topology(topo), 1.0, 1.0, 0.25),
+        tensors(model) {}
+};
+
+class SimVsAnalyticTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimVsAnalyticTest, CoverageSharesConverge) {
+  SimSetup s(GetParam());
+  const std::size_t n = s.model.num_pois();
+  util::Rng rng(300 + GetParam());
+  const auto p = test::random_positive_chain(n, rng, 0.05);
+  const auto chain = markov::analyze_chain(p);
+  const auto analytic = cost::coverage_shares(chain, s.tensors);
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 300000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.coverage_share[i], analytic[i], 0.01)
+        << "PoI " << i << " topology " << GetParam();
+}
+
+TEST_P(SimVsAnalyticTest, ExposuresConverge) {
+  SimSetup s(GetParam());
+  const std::size_t n = s.model.num_pois();
+  util::Rng rng(400 + GetParam());
+  const auto p = test::random_positive_chain(n, rng, 0.05);
+  const auto chain = markov::analyze_chain(p);
+  const auto analytic = cost::ExposureTerm::compute_mean_exposures(chain);
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 300000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(res.exposure_steps[i], analytic[i],
+                0.05 * analytic[i] + 0.05)
+        << "PoI " << i << " topology " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SimVsAnalyticTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(SimVsAnalytic, DeltaCMatchesAnalytic) {
+  SimSetup s(3);
+  util::Rng rng(500);
+  const auto p = test::random_positive_chain(4, rng, 0.05);
+  const auto chain = markov::analyze_chain(p);
+  const auto targets = s.model.topology().targets();
+  const auto m = cost::compute_metrics(chain, s.tensors, targets);
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 400000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  EXPECT_NEAR(res.delta_c(targets), m.delta_c,
+              0.05 * m.delta_c + 1e-5);
+}
+
+TEST(SimVsAnalytic, EBarMatchesAnalytic) {
+  SimSetup s(1);
+  util::Rng rng(501);
+  const auto p = test::random_positive_chain(4, rng, 0.05);
+  const auto chain = markov::analyze_chain(p);
+  const auto m =
+      cost::compute_metrics(chain, s.tensors, s.model.topology().targets());
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 400000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  EXPECT_NEAR(res.e_bar(), m.e_bar, 0.03 * m.e_bar);
+}
+
+TEST(SimVsAnalytic, Equation14CostMatches) {
+  // β = 0 case: "the measured U gives a perfect match" — here sampling noise
+  // is the only gap, so demand a tight tolerance.
+  SimSetup s(2);
+  util::Rng rng(502);
+  const auto p = test::random_positive_chain(4, rng, 0.05);
+  const auto chain = markov::analyze_chain(p);
+  const auto targets = s.model.topology().targets();
+  const auto m = cost::compute_metrics(chain, s.tensors, targets);
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 400000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  EXPECT_NEAR(res.cost(1.0, 0.0, targets), m.cost(1.0, 0.0),
+              0.05 * m.cost(1.0, 0.0) + 1e-6);
+}
+
+TEST(SimVsAnalytic, WallClockExposureDiffersFromUnitConvention) {
+  // The paper's §VI-D caveat: the analytic Ē uses unit transitions, so the
+  // wall-clock measurement deviates (transitions have different durations).
+  SimSetup s(4);
+  util::Rng rng(503);
+  const auto p = test::random_positive_chain(9, rng, 0.02);
+
+  SimulationConfig cfg;
+  cfg.num_transitions = 100000;
+  MarkovCoverageSimulator sim(s.model, cfg);
+  const auto res = sim.run(p, rng);
+  // Wall-clock exposures are longer: every transition takes >= pause = 1
+  // time unit and usually more (travel).
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_GT(res.exposure_time[i], res.exposure_steps[i]);
+}
+
+}  // namespace
+}  // namespace mocos::sim

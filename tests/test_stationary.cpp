@@ -1,0 +1,69 @@
+#include "src/markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/matrix.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::markov {
+namespace {
+
+TEST(Stationary, TwoStateClosedForm) {
+  // pi = (b, a) / (a + b) for chain2(a, b).
+  const double a = 0.3, b = 0.2;
+  const auto pi = stationary_distribution(test::chain2(a, b));
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(Stationary, UniformChainIsUniform) {
+  const auto pi = stationary_distribution(TransitionMatrix::uniform(5));
+  for (double x : pi) EXPECT_NEAR(x, 0.2, 1e-12);
+}
+
+TEST(Stationary, SatisfiesFixedPointEquation) {
+  const TransitionMatrix p = test::chain3();
+  const auto pi = stationary_distribution(p);
+  const auto pi_p = linalg::mul(pi, p.matrix());
+  EXPECT_TRUE(linalg::approx_equal(pi, pi_p, 1e-12));
+}
+
+TEST(Stationary, SumsToOneAndPositive) {
+  util::Rng rng(21);
+  for (int t = 0; t < 20; ++t) {
+    const auto p = test::random_positive_chain(6, rng);
+    const auto pi = stationary_distribution(p);
+    double s = 0.0;
+    for (double x : pi) {
+      EXPECT_GT(x, 0.0);
+      s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Stationary, MatchesPowerIteration) {
+  util::Rng rng(22);
+  for (int t = 0; t < 10; ++t) {
+    const auto p = test::random_positive_chain(5, rng);
+    const auto direct = stationary_distribution(p);
+    const auto power = stationary_power_iteration(p);
+    EXPECT_TRUE(linalg::approx_equal(direct, power, 1e-9));
+  }
+}
+
+class StationarySizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StationarySizeTest, FixedPointAcrossSizes) {
+  util::Rng rng(100 + GetParam());
+  const auto p = test::random_positive_chain(GetParam(), rng);
+  const auto pi = stationary_distribution(p);
+  EXPECT_TRUE(
+      linalg::approx_equal(pi, linalg::mul(pi, p.matrix()), 1e-11));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StationarySizeTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16));
+
+}  // namespace
+}  // namespace mocos::markov

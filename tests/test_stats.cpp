@@ -1,0 +1,157 @@
+#include "src/util/stats.hpp"
+
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocos::util {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTrack) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  // sorted {1,2,3,4}: p25 position = 0.75 -> 1.75
+  EXPECT_DOUBLE_EQ(percentile({4.0, 3.0, 2.0, 1.0}, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 3.0, 2.0, 1.0}, 75.0), 3.25);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(VectorStats, Aggregates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(min_of(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 4.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(EmpiricalCdf, StepsThroughSamples) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  const auto cdf = empirical_cdf(samples, {0.5, 1.0, 2.5, 4.0, 9.0});
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(EmpiricalCdf, EmptySamplesThrow) {
+  EXPECT_THROW(empirical_cdf({}, {1.0}), std::invalid_argument);
+}
+
+TEST(CdfSupport, SpansSampleRange) {
+  const auto pts = cdf_support({2.0, 8.0, 5.0}, 4);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts.front(), 2.0);
+  EXPECT_DOUBLE_EQ(pts.back(), 8.0);
+  EXPECT_DOUBLE_EQ(pts[1], 4.0);
+}
+
+TEST(CdfSupport, RejectsDegenerateRequests) {
+  EXPECT_THROW(cdf_support({}, 4), std::invalid_argument);
+  EXPECT_THROW(cdf_support({1.0}, 1), std::invalid_argument);
+}
+
+
+TEST(Bootstrap, IntervalBracketsSampleMeanWithSaneWidth) {
+  util::Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.gaussian(5.0, 2.0));
+  const auto ci = bootstrap_mean_ci(samples, 0.95, 2000, 3);
+  EXPECT_LT(ci.lower, ci.point);
+  EXPECT_GT(ci.upper, ci.point);
+  // Width should be around 2 * 1.96 * 2/sqrt(200) ~ 0.55.
+  EXPECT_LT(ci.upper - ci.lower, 1.2);
+  EXPECT_GT(ci.upper - ci.lower, 0.2);
+}
+
+TEST(Bootstrap, EmpiricalCoverageNearNominal) {
+  // Repeat the experiment: the 95% CI should cover the true mean in (at
+  // least) the vast majority of repetitions.
+  util::Rng rng(11);
+  int covered = 0;
+  const int reps = 100;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> samples;
+    for (int i = 0; i < 60; ++i) samples.push_back(rng.gaussian(2.0, 1.0));
+    const auto ci = bootstrap_mean_ci(samples, 0.95, 400, 100 + r);
+    if (ci.contains(2.0)) ++covered;
+  }
+  EXPECT_GE(covered, 85) << covered << "/" << reps;
+}
+
+TEST(Bootstrap, HigherConfidenceWidensInterval) {
+  util::Rng rng(10);
+  std::vector<double> samples;
+  for (int i = 0; i < 50; ++i) samples.push_back(rng.uniform());
+  const auto ci90 = bootstrap_mean_ci(samples, 0.90, 2000, 4);
+  const auto ci99 = bootstrap_mean_ci(samples, 0.99, 2000, 4);
+  EXPECT_GT(ci99.upper - ci99.lower, ci90.upper - ci90.lower);
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = bootstrap_mean_ci(samples, 0.95, 500, 7);
+  const auto b = bootstrap_mean_ci(samples, 0.95, 500, 7);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, RejectsBadInput) {
+  EXPECT_THROW(bootstrap_mean_ci({1.0}), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0, 2.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0, 2.0}, 0.95, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mocos::util

@@ -1,0 +1,54 @@
+#include "src/sensing/target_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocos::sensing {
+namespace {
+
+TEST(TargetAllocation, AcceptsValidShares) {
+  TargetAllocation t({0.4, 0.1, 0.5});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 0.4);
+  EXPECT_DOUBLE_EQ(t[2], 0.5);
+}
+
+TEST(TargetAllocation, RejectsInvalid) {
+  EXPECT_THROW(TargetAllocation({}), std::invalid_argument);
+  EXPECT_THROW(TargetAllocation({0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(TargetAllocation({-0.5, 1.5}), std::invalid_argument);
+}
+
+TEST(TargetAllocation, Uniform) {
+  const auto t = TargetAllocation::uniform(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(t[i], 0.25);
+  EXPECT_THROW(TargetAllocation::uniform(0), std::invalid_argument);
+}
+
+TEST(TargetAllocation, ProportionalNormalizes) {
+  const auto t = TargetAllocation::proportional({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.25);
+  EXPECT_DOUBLE_EQ(t[1], 0.75);
+}
+
+TEST(TargetAllocation, ProportionalRejectsBadWeights) {
+  EXPECT_THROW(TargetAllocation::proportional({}), std::invalid_argument);
+  EXPECT_THROW(TargetAllocation::proportional({0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(TargetAllocation::proportional({-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(TargetAllocation, L1Distance) {
+  TargetAllocation t({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(t.l1_distance({0.25, 0.75}), 0.5);
+  EXPECT_DOUBLE_EQ(t.l1_distance({0.5, 0.5}), 0.0);
+  EXPECT_THROW(t.l1_distance({1.0}), std::invalid_argument);
+}
+
+TEST(TargetAllocation, IndexOutOfRangeThrows) {
+  TargetAllocation t({0.5, 0.5});
+  EXPECT_THROW(t[2], std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mocos::sensing

@@ -1,0 +1,94 @@
+#include "src/multi/team_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/paper_topologies.hpp"
+#include "src/sensing/travel_model.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos::multi {
+namespace {
+
+sensing::TravelModel model1() {
+  return sensing::TravelModel(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+}
+
+TeamSimulationConfig quick_config() {
+  TeamSimulationConfig cfg;
+  cfg.transitions_per_sensor = 20000;
+  cfg.burn_in = 100;
+  return cfg;
+}
+
+TEST(TeamSimulator, RejectsZeroTransitions) {
+  TeamSimulationConfig cfg;
+  cfg.transitions_per_sensor = 0;
+  EXPECT_THROW(TeamSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(TeamSimulator, SingleSensorMatchesAnalyticCoverage) {
+  const auto model = model1();
+  util::Rng rng(11);
+  const auto p = test::random_positive_chain(4, rng, 0.05);
+  SensorTeam team(model, {p});
+  const auto res = TeamSimulator(quick_config()).run(team, rng);
+  const auto analytic = team.combined_coverage();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(res.covered_fraction[i], analytic[i], 0.02) << "PoI " << i;
+}
+
+TEST(TeamSimulator, TwoSensorsMatchIndependenceApproximation) {
+  const auto model = model1();
+  util::Rng rng(12);
+  SensorTeam team(model, {test::random_positive_chain(4, rng, 0.05),
+                          test::random_positive_chain(4, rng, 0.05)});
+  const auto res = TeamSimulator(quick_config()).run(team, rng);
+  const auto analytic = team.combined_coverage();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(res.covered_fraction[i], analytic[i], 0.03) << "PoI " << i;
+}
+
+TEST(TeamSimulator, SecondSensorImprovesCoverageAndGaps) {
+  const auto model = model1();
+  util::Rng rng1(13), rng2(13);
+  const auto p = markov::TransitionMatrix::uniform(4);
+  SensorTeam one(model, {p});
+  SensorTeam two(model, {p, p});
+  const auto res1 = TeamSimulator(quick_config()).run(one, rng1);
+  const auto res2 = TeamSimulator(quick_config()).run(two, rng2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(res2.covered_fraction[i], res1.covered_fraction[i]);
+    EXPECT_LT(res2.mean_gap[i], res1.mean_gap[i]);
+  }
+  EXPECT_LT(res2.worst_gap(), res1.worst_gap());
+}
+
+TEST(TeamSimulator, FractionsAreProbabilities) {
+  const auto model = model1();
+  util::Rng rng(14);
+  SensorTeam team(model, {test::random_positive_chain(4, rng),
+                          test::random_positive_chain(4, rng),
+                          test::random_positive_chain(4, rng)});
+  const auto res = TeamSimulator(quick_config()).run(team, rng);
+  EXPECT_GT(res.horizon, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(res.covered_fraction[i], 0.0);
+    EXPECT_LT(res.covered_fraction[i], 1.0);
+    EXPECT_GT(res.gap_count[i], 0u);
+    EXPECT_GE(res.max_gap[i], res.mean_gap[i]);
+  }
+}
+
+TEST(TeamSimulator, ReproducibleFromSeed) {
+  const auto model = model1();
+  const auto p = markov::TransitionMatrix::uniform(4);
+  SensorTeam team(model, {p, p});
+  util::Rng a(7), b(7);
+  const auto ra = TeamSimulator(quick_config()).run(team, a);
+  const auto rb = TeamSimulator(quick_config()).run(team, b);
+  EXPECT_EQ(ra.covered_fraction, rb.covered_fraction);
+  EXPECT_EQ(ra.mean_gap, rb.mean_gap);
+}
+
+}  // namespace
+}  // namespace mocos::multi

@@ -1,0 +1,100 @@
+#include "src/geometry/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/paper_topologies.hpp"
+
+namespace mocos::geometry {
+namespace {
+
+TEST(Topology, BasicAccessors) {
+  Topology t("t", {{0.0, 0.0}, {1.0, 0.0}}, {0.3, 0.7});
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.position(1), (Vec2{1.0, 0.0}));
+  EXPECT_DOUBLE_EQ(t.target(0), 0.3);
+  EXPECT_DOUBLE_EQ(t.distance(0, 1), 1.0);
+}
+
+TEST(Topology, ValidationRejectsBadInput) {
+  EXPECT_THROW(Topology("x", {{0.0, 0.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Topology("x", {{0.0, 0.0}, {1.0, 0.0}}, {0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Topology("x", {{0.0, 0.0}, {1.0, 0.0}}, {0.5, 0.6}),
+               std::invalid_argument);
+  EXPECT_THROW(Topology("x", {{0.0, 0.0}, {1.0, 0.0}}, {-0.5, 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Topology("x", {{0.0, 0.0}, {0.0, 0.0}}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangeAccessThrows) {
+  Topology t("t", {{0.0, 0.0}, {1.0, 0.0}}, {0.5, 0.5});
+  EXPECT_THROW(t.position(2), std::out_of_range);
+  EXPECT_THROW(t.target(2), std::out_of_range);
+}
+
+TEST(Topology, DiameterAndSeparation) {
+  Topology t("t", {{0.0, 0.0}, {3.0, 4.0}, {1.0, 0.0}}, {0.4, 0.3, 0.3});
+  EXPECT_DOUBLE_EQ(t.diameter(), 5.0);
+  EXPECT_DOUBLE_EQ(t.min_separation(), 1.0);
+}
+
+TEST(MakeGrid, PositionsAtCellCenters) {
+  const Topology g = make_grid("g", 2, 3, uniform_targets(6));
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.position(0), (Vec2{0.5, 0.5}));
+  EXPECT_EQ(g.position(2), (Vec2{2.5, 0.5}));  // row-major
+  EXPECT_EQ(g.position(3), (Vec2{0.5, 1.5}));
+}
+
+TEST(MakeGrid, CellScaling) {
+  const Topology g = make_grid("g", 1, 2, uniform_targets(2), 2.0);
+  EXPECT_EQ(g.position(0), (Vec2{1.0, 1.0}));
+  EXPECT_EQ(g.position(1), (Vec2{3.0, 1.0}));
+}
+
+TEST(MakeGrid, RejectsBadArguments) {
+  EXPECT_THROW(make_grid("g", 1, 1, {1.0}), std::invalid_argument);
+  EXPECT_THROW(make_grid("g", 1, 2, uniform_targets(2), 0.0),
+               std::invalid_argument);
+}
+
+TEST(UniformTargets, SumToOne) {
+  const auto t = uniform_targets(8);
+  double s = 0.0;
+  for (double x : t) s += x;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+  EXPECT_THROW(uniform_targets(0), std::invalid_argument);
+}
+
+TEST(PaperTopologies, AllFourAreValid) {
+  const auto all = all_paper_topologies();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].size(), 4u);
+  EXPECT_EQ(all[1].size(), 4u);
+  EXPECT_EQ(all[2].size(), 4u);
+  EXPECT_EQ(all[3].size(), 9u);
+}
+
+TEST(PaperTopologies, Topology3TargetsMatchTableI) {
+  const Topology t3 = paper_topology(3);
+  EXPECT_DOUBLE_EQ(t3.target(0), 0.4);
+  EXPECT_DOUBLE_EQ(t3.target(1), 0.1);
+  EXPECT_DOUBLE_EQ(t3.target(2), 0.1);
+  EXPECT_DOUBLE_EQ(t3.target(3), 0.4);
+}
+
+TEST(PaperTopologies, Topology3IsALine) {
+  const Topology t3 = paper_topology(3);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(t3.position(i).y, 0.5);
+}
+
+TEST(PaperTopologies, InvalidIndexThrows) {
+  EXPECT_THROW(paper_topology(0), std::invalid_argument);
+  EXPECT_THROW(paper_topology(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mocos::geometry

@@ -1,0 +1,84 @@
+#include "src/markov/transition_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+
+namespace mocos::markov {
+namespace {
+
+TEST(TransitionMatrix, AcceptsValidMatrix) {
+  const TransitionMatrix p = test::chain3();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.3);
+}
+
+TEST(TransitionMatrix, RowsMustSumToOne) {
+  EXPECT_THROW(
+      TransitionMatrix(linalg::Matrix{{0.5, 0.4}, {0.5, 0.5}}),
+      std::invalid_argument);
+}
+
+TEST(TransitionMatrix, EntriesMustBeProbabilities) {
+  EXPECT_THROW(
+      TransitionMatrix(linalg::Matrix{{1.5, -0.5}, {0.5, 0.5}}),
+      std::invalid_argument);
+}
+
+TEST(TransitionMatrix, RejectsNonSquareAndTiny) {
+  EXPECT_THROW(TransitionMatrix(linalg::Matrix(2, 3, 0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(TransitionMatrix(linalg::Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(TransitionMatrix, RenormalizesWithinTolerance) {
+  linalg::Matrix m{{0.5 + 1e-10, 0.5}, {0.25, 0.75}};
+  const TransitionMatrix p(m);
+  double s = p(0, 0) + p(0, 1);
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(TransitionMatrix, UniformConstruction) {
+  const TransitionMatrix p = TransitionMatrix::uniform(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(p(i, j), 0.25);
+  EXPECT_THROW(TransitionMatrix::uniform(1), std::invalid_argument);
+}
+
+TEST(TransitionMatrix, RandomConstructionIsStochastic) {
+  util::Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const TransitionMatrix p = TransitionMatrix::random(5, rng);
+    for (std::size_t i = 0; i < 5; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < 5; ++j) {
+        EXPECT_GE(p(i, j), 0.0);
+        EXPECT_LE(p(i, j), 1.0);
+        s += p(i, j);
+      }
+      EXPECT_NEAR(s, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(TransitionMatrix, RandomLastColumnAbsorbsRemainder) {
+  // The paper's V2 scheme gives each non-final entry at most rem/M, so the
+  // final column keeps a large share.
+  util::Rng rng(4);
+  const TransitionMatrix p = TransitionMatrix::random(4, rng);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_GT(p(i, 3), 0.3);
+}
+
+TEST(TransitionMatrix, MinEntry) {
+  const TransitionMatrix p = test::chain3();
+  EXPECT_DOUBLE_EQ(p.min_entry(), 0.1);
+}
+
+TEST(TransitionMatrix, RowAccessor) {
+  const TransitionMatrix p = test::chain3();
+  EXPECT_EQ(p.row(2), (linalg::Vector{0.4, 0.4, 0.2}));
+}
+
+}  // namespace
+}  // namespace mocos::markov

@@ -1,0 +1,112 @@
+#include "src/sensing/travel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/paper_topologies.hpp"
+
+namespace mocos::sensing {
+namespace {
+
+TravelModel line_model(double speed = 1.0, double pause = 1.0,
+                       double r = 0.25) {
+  // Three PoIs on a line: (0.5,0.5), (1.5,0.5), (2.5,0.5).
+  return TravelModel(geometry::make_grid("line", 1, 3,
+                                         geometry::uniform_targets(3)),
+                     speed, pause, r);
+}
+
+TEST(TravelModel, TravelAndTransitionTimes) {
+  const TravelModel m = line_model(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.travel_time(0, 2), 1.0);  // distance 2 at speed 2
+  EXPECT_DOUBLE_EQ(m.transition_duration(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m.transition_duration(1, 1), 0.5);  // T_jj = pause
+}
+
+TEST(TravelModel, ValidationRejectsBadPhysics) {
+  auto topo = geometry::make_grid("g", 1, 2, geometry::uniform_targets(2));
+  EXPECT_THROW(TravelModel(topo, 0.0, 1.0, 0.25), std::invalid_argument);
+  EXPECT_THROW(TravelModel(topo, 1.0, 0.0, 0.25), std::invalid_argument);
+  EXPECT_THROW(TravelModel(topo, 1.0, 1.0, 0.0), std::invalid_argument);
+  // Radius >= half the separation violates PoI disjointness.
+  EXPECT_THROW(TravelModel(topo, 1.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(
+      TravelModel(topo, 1.0, std::vector<double>{1.0}, 0.25),
+      std::invalid_argument);
+}
+
+TEST(TravelModel, PaperConventionDestinationGetsPauseOnly) {
+  const TravelModel m = line_model();
+  // T_01,1 = pause at 1 (approach time within range is not counted).
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 1, 1), 1.0);
+}
+
+TEST(TravelModel, PaperConventionOriginGetsZero) {
+  const TravelModel m = line_model();
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 1, 0), 0.0);
+}
+
+TEST(TravelModel, StayingCoversOnlySelf) {
+  const TravelModel m = line_model();
+  EXPECT_DOUBLE_EQ(m.coverage_during(1, 1, 1), 1.0);  // pause
+  EXPECT_DOUBLE_EQ(m.coverage_during(1, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.coverage_during(1, 1, 2), 0.0);
+}
+
+TEST(TravelModel, IntermediatePassByGetsChordTime) {
+  const TravelModel m = line_model();
+  // Route 0 -> 2 passes straight through PoI 1's disk: chord = 2r = 0.5.
+  EXPECT_NEAR(m.coverage_during(0, 2, 1), 0.5, 1e-12);
+}
+
+TEST(TravelModel, PassByScalesWithSpeed) {
+  const TravelModel m = line_model(2.0);
+  EXPECT_NEAR(m.coverage_during(0, 2, 1), 0.25, 1e-12);
+}
+
+TEST(TravelModel, OffRoutePoiGetsNoPassBy) {
+  // 2x2 grid: route along the bottom edge misses the top PoIs.
+  TravelModel m(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 1, 3), 0.0);
+}
+
+TEST(TravelModel, DiagonalRouteMissesQuarterRadiusDisks) {
+  // In the unit 2x2 grid the diagonal 0 -> 3 passes at distance
+  // sqrt(2)/2 ≈ 0.707 from PoIs 1 and 2: outside r = 0.25.
+  TravelModel m(geometry::paper_topology(1), 1.0, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.coverage_during(0, 3, 2), 0.0);
+}
+
+TEST(TravelModel, Topology3MiddlePassBys) {
+  // Line topology: route 0 -> 3 passes through PoIs 1 and 2.
+  TravelModel m(geometry::paper_topology(3), 1.0, 1.0, 0.25);
+  EXPECT_NEAR(m.coverage_during(0, 3, 1), 0.5, 1e-12);
+  EXPECT_NEAR(m.coverage_during(0, 3, 2), 0.5, 1e-12);
+}
+
+TEST(TravelModel, TravelDistance) {
+  const TravelModel m = line_model();
+  EXPECT_DOUBLE_EQ(m.travel_distance(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.travel_distance(1, 1), 0.0);
+}
+
+TEST(TravelModel, PerPoiPauses) {
+  auto topo = geometry::make_grid("g", 1, 2, geometry::uniform_targets(2));
+  TravelModel m(topo, 1.0, std::vector<double>{0.5, 2.0}, 0.25);
+  EXPECT_DOUBLE_EQ(m.pause(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.pause(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.transition_duration(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.transition_duration(1, 0), 1.5);
+}
+
+TEST(TravelModel, OutOfRangeThrows) {
+  const TravelModel m = line_model();
+  EXPECT_THROW(m.pause(5), std::out_of_range);
+  EXPECT_THROW(m.coverage_during(0, 1, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mocos::sensing

@@ -1,0 +1,14 @@
+// Command-line front end: optimize a mobile-sensor coverage schedule from a
+// plain-text problem description. See src/cli/cli.hpp for the config format
+// and examples/patrol.conf for a worked example.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mocos::cli::run_cli(args, std::cout, std::cerr);
+}
