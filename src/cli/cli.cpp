@@ -12,6 +12,7 @@
 #include "src/markov/spectral.hpp"
 #include "src/sensing/routed_travel_model.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/util/status.hpp"
 #include "src/util/table.hpp"
 
 namespace mocos::cli {
@@ -153,7 +154,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (args.size() != 1) {
     err << "usage: mocos_cli <config-file>\n"
            "see src/cli/cli.hpp for the config format\n";
-    return 2;
+    return kExitBadConfig;
   }
   try {
     const util::Config config = util::Config::parse_file(args[0]);
@@ -220,6 +221,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << " iterations)\n\n";
       return core::CoverageOptimizer(problem, opts).run();
     }();
+    if (outcome.stop_reason == descent::StopReason::kNumericalFailure) {
+      err << "mocos: numerical failure: descent recovery ladder exhausted ("
+          << outcome.recovery.summary() << ")\n";
+      out << outcome.summary() << '\n';
+      return kExitNumericalFailure;
+    }
     out << outcome.summary() << '\n';
     out << "transition matrix:\n"
         << outcome.p.matrix().to_string(4) << "\n";
@@ -266,10 +273,26 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                    util::fmt(res.exposure_steps_max[i], 2)});
       t.print(out);
     }
-    return 0;
+    return kExitSuccess;
+  } catch (const util::StatusError& e) {
+    // Structured failures map to distinct exit codes: configuration problems
+    // are the caller's to fix (2), numerical breakdowns describe the
+    // instance (3).
+    err << "mocos: error: " << e.what() << '\n';
+    if (util::is_numerical_failure(e.status().code()))
+      return kExitNumericalFailure;
+    if (e.status().code() == util::StatusCode::kInvalidConfig)
+      return kExitBadConfig;
+    return kExitRuntimeError;
+  } catch (const std::invalid_argument& e) {
+    err << "mocos: config error: " << e.what() << '\n';
+    return kExitBadConfig;
+  } catch (const std::out_of_range& e) {
+    err << "mocos: config error: " << e.what() << '\n';
+    return kExitBadConfig;
   } catch (const std::exception& e) {
     err << "mocos: error: " << e.what() << '\n';
-    return 1;
+    return kExitRuntimeError;
   }
 }
 

@@ -33,9 +33,22 @@ core::Problem build_problem(const util::Config& config);
 ///   iterations = <n>         seed = <n>            random_start = <bool>
 ///   step       = <double>    (basic algorithm's Δt)
 ///
-/// Returns a process exit code (0 on success; 2 on usage errors; 1 on
-/// runtime failures), reporting problems on `err`.
+/// Returns a process exit code, reporting problems as a one-line diagnostic
+/// on `err`:
+///   0  success
+///   1  unexpected runtime failure
+///   2  usage or configuration error (unreadable/malformed config, bad keys,
+///      mismatched schedule, ...)
+///   3  numerical failure (singular factorization, non-ergodic chain,
+///      non-finite values, exhausted descent recovery ladder)
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
+
+/// Exit codes returned by run_cli, kept as named constants for tests and
+/// wrapping scripts.
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitRuntimeError = 1;
+inline constexpr int kExitBadConfig = 2;
+inline constexpr int kExitNumericalFailure = 3;
 
 }  // namespace mocos::cli

@@ -14,17 +14,22 @@ CoverageOptimizer::CoverageOptimizer(const Problem& problem,
     throw std::invalid_argument("CoverageOptimizer: max_iterations == 0");
 }
 
-OptimizationOutcome CoverageOptimizer::finish(Algorithm algorithm,
-                                              markov::TransitionMatrix best,
-                                              double cost,
-                                              std::size_t iterations,
-                                              descent::Trace trace) const {
+OptimizationOutcome CoverageOptimizer::finish(
+    Algorithm algorithm, markov::TransitionMatrix best, double cost,
+    std::size_t iterations, descent::Trace trace,
+    descent::StopReason stop_reason, descent::RecoveryLog recovery) const {
   cost::Metrics metrics = problem_.metrics_of(best);
   const double report =
       metrics.cost(problem_.weights().alpha, problem_.weights().beta);
-  return OptimizationOutcome{algorithm, std::move(best),    cost,
-                             std::move(metrics), report, iterations,
-                             std::move(trace)};
+  return OptimizationOutcome{algorithm,
+                             std::move(best),
+                             cost,
+                             std::move(metrics),
+                             report,
+                             iterations,
+                             std::move(trace),
+                             stop_reason,
+                             std::move(recovery)};
 }
 
 OptimizationOutcome CoverageOptimizer::run() const {
@@ -54,7 +59,8 @@ OptimizationOutcome CoverageOptimizer::run(
     util::Rng rng(options_.seed ^ 0x5eedULL);
     descent::PerturbedResult res = driver.run(start, rng);
     return finish(Algorithm::kPerturbed, std::move(res.best_p), res.best_cost,
-                  res.iterations, std::move(res.trace));
+                  res.iterations, std::move(res.trace), res.reason,
+                  std::move(res.recovery));
   }
 
   descent::DescentConfig cfg;
@@ -69,7 +75,7 @@ OptimizationOutcome CoverageOptimizer::run(
   descent::SteepestDescent driver(cost, cfg);
   descent::DescentResult res = driver.run(start);
   return finish(options_.algorithm, std::move(res.p), res.cost, res.iterations,
-                std::move(res.trace));
+                std::move(res.trace), res.reason, std::move(res.recovery));
 }
 
 }  // namespace mocos::core

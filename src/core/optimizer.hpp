@@ -47,8 +47,9 @@ class CoverageOptimizer {
  private:
   OptimizationOutcome finish(Algorithm algorithm,
                              markov::TransitionMatrix best, double cost,
-                             std::size_t iterations,
-                             descent::Trace trace) const;
+                             std::size_t iterations, descent::Trace trace,
+                             descent::StopReason stop_reason,
+                             descent::RecoveryLog recovery) const;
 
   const Problem& problem_;
   OptimizerOptions options_;

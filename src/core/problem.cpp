@@ -77,7 +77,12 @@ cost::CompositeCost Problem::make_cost() const {
 }
 
 cost::Metrics Problem::metrics_of(const markov::TransitionMatrix& p) const {
-  return cost::compute_metrics(markov::analyze_chain(p), tensors_, targets());
+  // Guarded analysis so callers evaluating an arbitrary schedule (e.g. the
+  // CLI's load_schedule audit path) get a structured numerical-failure error
+  // for reducible/degenerate chains instead of a bare runtime_error.
+  util::StatusOr<markov::ChainAnalysis> chain = markov::try_analyze_chain(p);
+  if (!chain.ok()) throw util::StatusError(chain.status());
+  return cost::compute_metrics(*chain, tensors_, targets());
 }
 
 double Problem::report_cost(const markov::TransitionMatrix& p) const {

@@ -21,8 +21,11 @@ std::string to_string(Algorithm a) {
 std::string OptimizationOutcome::summary() const {
   std::ostringstream oss;
   oss << "algorithm: " << to_string(algorithm) << '\n'
-      << "iterations: " << iterations << '\n'
-      << "penalized cost U_eps: " << util::fmt(penalized_cost, 8) << '\n'
+      << "iterations: " << iterations << '\n';
+  if (!recovery.empty())
+    oss << "recovery: " << recovery.summary() << " (stopped: "
+        << descent::to_string(stop_reason) << ")\n";
+  oss << "penalized cost U_eps: " << util::fmt(penalized_cost, 8) << '\n'
       << "report cost U (Eq.14): " << util::fmt(report_cost, 8) << '\n'
       << "delta_C (Eq.12): " << util::fmt(metrics.delta_c, 8) << '\n'
       << "E_bar (Eq.13): " << util::fmt(metrics.e_bar, 6) << '\n';

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/cost/metrics.hpp"
+#include "src/descent/steepest_descent.hpp"
 #include "src/descent/trace.hpp"
 #include "src/markov/transition_matrix.hpp"
 
@@ -26,6 +27,11 @@ struct OptimizationOutcome {
   double report_cost = 0.0;     // Eq. 14: ½αΔC + ½βĒ²
   std::size_t iterations = 0;
   descent::Trace trace;
+  /// Why the driving descent stopped; kNumericalFailure means the recovery
+  /// ladder gave up and (p, costs) describe the last good iterate.
+  descent::StopReason stop_reason = descent::StopReason::kMaxIterations;
+  /// Rescue events the descent needed (empty on clean runs).
+  descent::RecoveryLog recovery;
 
   /// Multi-line human-readable summary (used by the examples).
   std::string summary() const;

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/status.hpp"
+
 namespace mocos::core {
 
 namespace {
@@ -60,7 +62,13 @@ void save_schedule(const std::string& path,
 
 markov::TransitionMatrix load_schedule(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_schedule: cannot read " + path);
+  // Structured code so the CLI maps an unreadable schedule to the same
+  // bad-config exit as an unreadable config file (StatusError still derives
+  // std::runtime_error for existing callers).
+  if (!in)
+    throw util::StatusError(
+        util::Status(util::StatusCode::kInvalidConfig,
+                     "load_schedule: cannot read " + path));
   std::ostringstream buf;
   buf << in.rdbuf();
   return deserialize_schedule(buf.str());

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/fault_injection.hpp"
+
 namespace mocos::descent {
 
 LineSearchResult trisection_search(const std::function<double(double)>& phi,
@@ -13,6 +15,9 @@ LineSearchResult trisection_search(const std::function<double(double)>& phi,
   LineSearchResult result;
   result.step = 0.0;
   result.value = phi_at_zero;
+  // Injected rejection: report "no descent along this direction" so tests
+  // can drive the Δt* = 0 handling (critical-point stop, random escape).
+  if (util::fault::fire(util::fault::Site::kLineSearch)) return result;
   if (max_step == 0.0) return result;
 
   double lo = 0.0;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/cost/gradient.hpp"
 #include "src/cost/projection.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
+#include "src/util/guard.hpp"
 
 namespace mocos::descent {
 
@@ -29,14 +31,64 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
   if (std::isinf(current))
     throw std::invalid_argument("PerturbedDescent: infeasible start matrix");
 
-  PerturbedResult result{p, current, p, current, 0, 0, 0, Trace{}};
-  const double margin = config_.base.probability_margin;
+  PerturbedResult result{p, current, p, current, 0, 0, 0, Trace{},
+                         StopReason::kMaxIterations, RecoveryLog{}};
+  double margin = config_.base.probability_margin;
+  markov::StationarySolver solver = markov::StationarySolver::kDirect;
+  std::size_t consecutive_failures = 0;
   std::size_t since_improvement = 0;
   double initial_rms = 0.0;  // anchor for the relative-noise floor
 
+  // The stochastic driver's recovery ladder: the current iterate is always
+  // the last accepted (finite-cost) one, so "rollback" means discarding the
+  // failed evaluation; the escalation widens the interior margin to pull the
+  // chain off the simplex boundary. Returns false on budget exhaustion.
+  auto recover = [&](std::size_t it, const util::Status& cause) -> bool {
+    ++consecutive_failures;
+    if (consecutive_failures > config_.base.recovery_retry_budget) {
+      result.recovery.record(it, RecoveryAction::kAbandoned, cause.code(),
+                             "retry budget exhausted: " + cause.message());
+      result.reason = StopReason::kNumericalFailure;
+      return false;
+    }
+    result.recovery.record(it, RecoveryAction::kRollback, cause.code(),
+                           cause.message());
+    if (consecutive_failures >= 2 &&
+        margin < config_.base.recovery_margin_cap) {
+      margin = std::min(std::max(margin, 1e-12) *
+                            config_.base.recovery_margin_growth,
+                        config_.base.recovery_margin_cap);
+      p = reproject_interior(p, margin);
+      const double refreshed = safe_cost(cost_, p);
+      if (std::isfinite(refreshed)) current = refreshed;
+      result.recovery.record(it, RecoveryAction::kMarginWidened, cause.code(),
+                             "margin " + std::to_string(margin));
+    }
+    return true;
+  };
+
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
-    const markov::ChainAnalysis chain = markov::analyze_chain(p);
-    linalg::Matrix grad = cost::cost_gradient(cost_, chain);
+    util::StatusOr<markov::ChainAnalysis> chain =
+        markov::try_analyze_chain(p, solver);
+    if (!chain.ok() && solver == markov::StationarySolver::kDirect &&
+        util::is_numerical_failure(chain.status().code())) {
+      solver = markov::StationarySolver::kPowerIteration;
+      result.recovery.record(it, RecoveryAction::kPowerIterationFallback,
+                             chain.status().code(), chain.status().message());
+      chain = markov::try_analyze_chain(p, solver);
+    }
+    if (!chain.ok()) {
+      ++result.iterations;
+      if (!recover(it, chain.status())) break;
+      continue;
+    }
+    linalg::Matrix grad = cost::cost_gradient(cost_, *chain);
+    const util::Status grad_ok = util::check_finite(grad, "gradient");
+    if (!grad_ok.is_ok()) {
+      ++result.iterations;
+      if (!recover(it, grad_ok)) break;
+      continue;
+    }
 
     // V4: mean-zero Gaussian perturbation of [D_P U].
     if (config_.noise_sigma > 0.0) {
@@ -98,6 +150,7 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
     }
 
     ++result.iterations;
+    consecutive_failures = 0;  // the evaluation itself succeeded
     if (accept) {
       p = candidate;
       current = cand_cost;
@@ -120,8 +173,10 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
       result.trace.record(
           {result.iterations, current, step, grad_norm, accept});
 
-    if (config_.stall_limit > 0 && since_improvement >= config_.stall_limit)
+    if (config_.stall_limit > 0 && since_improvement >= config_.stall_limit) {
+      result.reason = StopReason::kStallLimit;
       break;
+    }
   }
 
   if (config_.polish_iterations > 0) {
@@ -131,7 +186,8 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
     quench.keep_trace = false;
     const DescentResult polished =
         SteepestDescent(cost_, quench).run(result.best_p);
-    if (polished.cost < result.best_cost) {
+    if (polished.cost < result.best_cost &&
+        std::isfinite(polished.cost)) {
       result.best_cost = polished.cost;
       result.best_p = polished.p;
     }

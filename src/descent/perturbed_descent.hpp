@@ -48,6 +48,12 @@ struct PerturbedResult {
   std::size_t accepted_worsening = 0;  // annealing "jumps" taken
   std::size_t random_steps = 0;        // Δt* = 0 escapes via random Δt
   Trace trace;
+  /// Why the stochastic phase ended: kMaxIterations, kStallLimit, or
+  /// kNumericalFailure when the recovery ladder ran out of retries (the
+  /// best-seen iterate is still returned).
+  StopReason reason = StopReason::kMaxIterations;
+  /// Rescue events taken by the recovery ladder (empty on clean runs).
+  RecoveryLog recovery;
 };
 
 /// The paper's stochastically perturbed steepest descent (V2+V3+V4):

@@ -1,0 +1,46 @@
+#include "src/descent/recovery.hpp"
+
+namespace mocos::descent {
+
+const char* to_string(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kRollback:
+      return "rollback";
+    case RecoveryAction::kStepBackoff:
+      return "step-backoff";
+    case RecoveryAction::kMarginWidened:
+      return "margin-widened";
+    case RecoveryAction::kPowerIterationFallback:
+      return "power-iteration-fallback";
+    case RecoveryAction::kAbandoned:
+      return "abandoned";
+  }
+  return "unknown";
+}
+
+std::size_t RecoveryLog::count(RecoveryAction action) const {
+  std::size_t n = 0;
+  for (const RecoveryEvent& e : events_)
+    if (e.action == action) ++n;
+  return n;
+}
+
+std::string RecoveryLog::summary() const {
+  if (events_.empty()) return "no recovery events";
+  std::string out;
+  constexpr RecoveryAction kActions[] = {
+      RecoveryAction::kRollback, RecoveryAction::kStepBackoff,
+      RecoveryAction::kMarginWidened, RecoveryAction::kPowerIterationFallback,
+      RecoveryAction::kAbandoned};
+  for (RecoveryAction a : kActions) {
+    const std::size_t n = count(a);
+    if (n == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += to_string(a);
+    out += " x";
+    out += std::to_string(n);
+  }
+  return out;
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace mocos::descent {
+
+/// One rung of the descent recovery ladder, taken in response to a failed or
+/// non-finite cost/gradient evaluation.
+enum class RecoveryAction {
+  kRollback,                // restored the last good iterate
+  kStepBackoff,             // shrank the trial step (exponential backoff)
+  kMarginWidened,           // re-projected into the interior, larger margin
+  kPowerIterationFallback,  // direct stationary solve -> power iteration
+  kAbandoned,               // retry budget exhausted; run stops with
+                            // StopReason::kNumericalFailure
+};
+
+const char* to_string(RecoveryAction action);
+
+/// A recovery event: what rung fired, at which iteration, and the structured
+/// cause that triggered it.
+struct RecoveryEvent {
+  std::size_t iteration = 0;
+  RecoveryAction action = RecoveryAction::kRollback;
+  util::StatusCode cause = util::StatusCode::kOk;
+  std::string detail;
+};
+
+/// Append-only log of recovery events, attached to DescentResult /
+/// PerturbedResult so experiments over randomized topologies can count how
+/// often instances needed rescue (and which rung saved them).
+class RecoveryLog {
+ public:
+  void record(std::size_t iteration, RecoveryAction action,
+              util::StatusCode cause, std::string detail) {
+    events_.push_back({iteration, action, cause, std::move(detail)});
+  }
+
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Number of events with the given action.
+  std::size_t count(RecoveryAction action) const;
+
+  /// "rollback x3, step-backoff x3, power-iteration-fallback x1".
+  std::string summary() const;
+
+ private:
+  std::vector<RecoveryEvent> events_;
+};
+
+}  // namespace mocos::descent

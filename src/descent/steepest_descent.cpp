@@ -4,12 +4,32 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "src/cost/gradient.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
+#include "src/util/guard.hpp"
 
 namespace mocos::descent {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kGradientTolerance:
+      return "gradient-tolerance";
+    case StopReason::kNoDescentStep:
+      return "no-descent-step";
+    case StopReason::kCostTolerance:
+      return "cost-tolerance";
+    case StopReason::kStallLimit:
+      return "stall-limit";
+    case StopReason::kNumericalFailure:
+      return "numerical-failure";
+  }
+  return "unknown";
+}
 
 double safe_cost(const cost::CompositeCost& cost,
                  const markov::TransitionMatrix& p) {
@@ -41,6 +61,11 @@ markov::TransitionMatrix apply_step(const markov::TransitionMatrix& p,
   return markov::TransitionMatrix(std::move(m));
 }
 
+markov::TransitionMatrix reproject_interior(const markov::TransitionMatrix& p,
+                                            double margin) {
+  return apply_step(p, linalg::Matrix(p.size(), p.size(), 0.0), 0.0, margin);
+}
+
 SteepestDescent::SteepestDescent(const cost::CompositeCost& cost,
                                  DescentConfig config)
     : cost_(cost), config_(config) {
@@ -59,18 +84,78 @@ SteepestDescent::SteepestDescent(const cost::CompositeCost& cost,
 DescentResult SteepestDescent::run(
     const markov::TransitionMatrix& start) const {
   markov::TransitionMatrix p = start;
-  DescentResult result{p, safe_cost(cost_, p), 0, StopReason::kMaxIterations,
-                       Trace{}};
+  DescentResult result{p,  safe_cost(cost_, p), 0, StopReason::kMaxIterations,
+                       Trace{}, RecoveryLog{}};
   if (std::isinf(result.cost))
     throw std::invalid_argument("SteepestDescent: infeasible start matrix");
+
+  // Recovery-ladder state. `last_good` is the most recent iterate whose cost
+  // evaluated finite (the start qualifies by the check above); the ladder
+  // rolls back to it whenever an evaluation fails.
+  markov::TransitionMatrix last_good = p;
+  markov::StationarySolver solver = markov::StationarySolver::kDirect;
+  double margin = config_.probability_margin;
+  double step_scale = 1.0;
+  std::size_t consecutive_failures = 0;
+
+  // Rolls back, backs off, and (from the second consecutive failure) widens
+  // the interior margin. Returns false when the retry budget is exhausted.
+  auto recover = [&](std::size_t it, const util::Status& cause) -> bool {
+    ++consecutive_failures;
+    if (consecutive_failures > config_.recovery_retry_budget) {
+      result.recovery.record(it, RecoveryAction::kAbandoned, cause.code(),
+                             "retry budget exhausted: " + cause.message());
+      result.reason = StopReason::kNumericalFailure;
+      return false;
+    }
+    p = last_good;
+    result.recovery.record(it, RecoveryAction::kRollback, cause.code(),
+                           cause.message());
+    step_scale *= config_.recovery_step_backoff;
+    result.recovery.record(it, RecoveryAction::kStepBackoff, cause.code(),
+                           "step scale " + std::to_string(step_scale));
+    if (consecutive_failures >= 2 && margin < config_.recovery_margin_cap) {
+      margin = std::min(std::max(margin, 1e-12) *
+                            config_.recovery_margin_growth,
+                        config_.recovery_margin_cap);
+      p = reproject_interior(p, margin);
+      const double refreshed = safe_cost(cost_, p);
+      if (std::isfinite(refreshed)) {
+        last_good = p;
+        result.cost = refreshed;
+      }
+      result.recovery.record(it, RecoveryAction::kMarginWidened, cause.code(),
+                             "margin " + std::to_string(margin));
+    }
+    return true;
+  };
 
   // Polak–Ribière+ state (only used by the CG direction policy).
   linalg::Matrix prev_grad;
   linalg::Matrix prev_direction;
 
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
-    const markov::ChainAnalysis chain = markov::analyze_chain(p);
-    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, chain);
+    // --- Guarded evaluation: chain analysis, then the gradient. ----------
+    util::StatusOr<markov::ChainAnalysis> chain =
+        markov::try_analyze_chain(p, solver);
+    if (!chain.ok() && solver == markov::StationarySolver::kDirect &&
+        util::is_numerical_failure(chain.status().code())) {
+      solver = markov::StationarySolver::kPowerIteration;
+      result.recovery.record(it, RecoveryAction::kPowerIterationFallback,
+                             chain.status().code(), chain.status().message());
+      chain = markov::try_analyze_chain(p, solver);
+    }
+    if (!chain.ok()) {
+      if (!recover(it, chain.status())) break;
+      continue;
+    }
+    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, *chain);
+    const util::Status grad_ok = util::check_finite(grad, "gradient");
+    if (!grad_ok.is_ok()) {
+      if (!recover(it, grad_ok)) break;
+      continue;
+    }
+
     const double grad_norm = linalg::frobenius_norm(grad);
     if (grad_norm < config_.gradient_tolerance) {
       result.reason = StopReason::kGradientTolerance;
@@ -95,34 +180,42 @@ DescentResult SteepestDescent::run(
       prev_direction = direction;
     }
     const double max_step =
-        max_feasible_step(p.matrix(), direction, config_.probability_margin);
+        max_feasible_step(p.matrix(), direction, margin) * step_scale;
 
     double step = 0.0;
     double new_cost = result.cost;
+    markov::TransitionMatrix candidate = p;
     if (config_.step_policy == StepPolicy::kConstant) {
-      step = std::min(config_.constant_step, max_step);
+      step = std::min(config_.constant_step * step_scale, max_step);
       const double biggest = linalg::max_abs(direction);
       if (biggest > 0.0 && config_.max_entry_change > 0.0)
         step = std::min(step, config_.max_entry_change / biggest);
       if (step > 0.0) {
-        const markov::TransitionMatrix candidate =
-            apply_step(p, direction, step, config_.probability_margin);
+        candidate = apply_step(p, direction, step, margin);
         new_cost = safe_cost(cost_, candidate);
-        p = candidate;
       }
     } else {
       auto phi = [&](double t) {
-        return safe_cost(
-            cost_, apply_step(p, direction, t, config_.probability_margin));
+        return safe_cost(cost_, apply_step(p, direction, t, margin));
       };
-      const LineSearchResult ls = trisection_search(
-          phi, result.cost, max_step, config_.line_search);
+      const LineSearchResult ls =
+          trisection_search(phi, result.cost, max_step, config_.line_search);
       step = ls.step;
       if (step > 0.0) {
-        p = apply_step(p, direction, step, config_.probability_margin);
+        candidate = apply_step(p, direction, step, margin);
         new_cost = ls.value;
       }
     }
+
+    // A step that lands on a non-finite cost is rejected, not silently
+    // accepted: roll back and let the ladder shrink the trial step.
+    if (step > 0.0 && !std::isfinite(new_cost)) {
+      if (!recover(it, util::Status(util::StatusCode::kStepRejected,
+                                    "candidate cost is not finite")))
+        break;
+      continue;
+    }
+    if (step > 0.0) p = std::move(candidate);
 
     ++result.iterations;
     if (config_.keep_trace)
@@ -138,6 +231,11 @@ DescentResult SteepestDescent::run(
       return result;
     }
 
+    // Successful iteration: reset the ladder and let the step scale heal.
+    last_good = p;
+    consecutive_failures = 0;
+    step_scale = std::min(1.0, step_scale * 2.0);
+
     const double change = std::abs(result.cost - new_cost) /
                           std::max(std::abs(result.cost), 1.0);
     result.cost = new_cost;
@@ -146,6 +244,8 @@ DescentResult SteepestDescent::run(
       break;
     }
   }
+  // On numerical failure the ladder already rolled p back to the last good
+  // iterate, so the reported (p, cost) pair is finite and consistent.
   result.p = p;
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "src/cost/composite_cost.hpp"
 #include "src/descent/line_search.hpp"
+#include "src/descent/recovery.hpp"
 #include "src/descent/trace.hpp"
 #include "src/markov/transition_matrix.hpp"
 
@@ -25,8 +26,14 @@ enum class StopReason {
   kMaxIterations,
   kGradientTolerance,  // |Π[D_P U]|_F below tolerance
   kNoDescentStep,      // line search returned Δt* = 0 (local optimum)
-  kCostTolerance       // relative cost change below tolerance
+  kCostTolerance,      // relative cost change below tolerance
+  kStallLimit,         // perturbed run: no best-cost improvement for too long
+  kNumericalFailure    // recovery ladder exhausted its retry budget; the
+                       // result carries the last good iterate and a populated
+                       // RecoveryLog instead of NaN
 };
+
+const char* to_string(StopReason reason);
 
 struct DescentConfig {
   StepPolicy step_policy = StepPolicy::kConstant;
@@ -51,6 +58,21 @@ struct DescentConfig {
   double probability_margin = 1e-12;
   /// Record the per-iteration trace (disable for bulk CDF experiments).
   bool keep_trace = true;
+
+  // --- Recovery ladder (numerical-failure containment) -------------------
+  /// Consecutive failed evaluations tolerated before the run stops with
+  /// StopReason::kNumericalFailure. 0 disables recovery entirely (a failure
+  /// stops the run immediately, still without throwing).
+  std::size_t recovery_retry_budget = 6;
+  /// Trial-step shrink factor applied on each failed evaluation; the scale
+  /// recovers geometrically on success.
+  double recovery_step_backoff = 0.25;
+  /// From the second consecutive failure on, the iterate is re-projected
+  /// into the simplex interior with probability_margin widened by this
+  /// factor (bounded by recovery_margin_cap), pulling the chain away from
+  /// the boundary where the barrier and ergodicity break down.
+  double recovery_margin_growth = 16.0;
+  double recovery_margin_cap = 1e-4;
 };
 
 struct DescentResult {
@@ -59,6 +81,8 @@ struct DescentResult {
   std::size_t iterations = 0;
   StopReason reason = StopReason::kMaxIterations;
   Trace trace;
+  /// Rescue events taken by the recovery ladder (empty on clean runs).
+  RecoveryLog recovery;
 };
 
 /// Cost of a candidate transition matrix; +infinity when the analysis fails
@@ -88,5 +112,10 @@ class SteepestDescent {
 markov::TransitionMatrix apply_step(const markov::TransitionMatrix& p,
                                     const linalg::Matrix& v, double t,
                                     double margin);
+
+/// Clamps all entries of P into [margin, 1-margin] and renormalizes rows —
+/// the recovery ladder's "pull the iterate off the simplex boundary" rung.
+markov::TransitionMatrix reproject_interior(const markov::TransitionMatrix& p,
+                                            double margin);
 
 }  // namespace mocos::descent

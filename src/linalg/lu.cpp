@@ -2,17 +2,36 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "src/util/fault_injection.hpp"
 
 namespace mocos::linalg {
 
-LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+namespace {
+constexpr double kPivotThreshold = 1e-300;
+}
+
+util::Status LuDecomposition::factor() {
   if (!lu_.is_square())
-    throw std::invalid_argument("LuDecomposition: matrix not square");
+    return util::Status(util::StatusCode::kSizeMismatch,
+                        "LuDecomposition: matrix not square");
   const std::size_t n = lu_.rows();
+
+  a_norm1_ = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < n; ++r) col += std::abs(lu_(r, c));
+    a_norm1_ = std::max(a_norm1_, col);
+  }
+
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
+  const bool inject_singular = util::fault::fire(util::fault::Site::kLuFactor);
+
+  diag_ = LuDiagnostics{};
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest |entry| in column k at or below the diagonal.
     std::size_t pivot = k;
@@ -24,8 +43,17 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
         pivot = r;
       }
     }
-    if (best < 1e-300)
-      throw std::runtime_error("LuDecomposition: singular matrix");
+    if (best < kPivotThreshold || !std::isfinite(best) ||
+        (inject_singular && k == n - 1)) {
+      diag_.failed_column = k;
+      diag_.min_pivot = best;
+      return util::Status(
+          util::StatusCode::kSingularMatrix,
+          "LuDecomposition: singular at column " + std::to_string(k) +
+              " (pivot " + std::to_string(best) + ")");
+    }
+    diag_.min_pivot = (k == 0) ? best : std::min(diag_.min_pivot, best);
+    diag_.max_pivot = std::max(diag_.max_pivot, best);
     if (pivot != k) {
       for (std::size_t c = 0; c < n; ++c)
         std::swap(lu_(k, c), lu_(pivot, c));
@@ -39,6 +67,37 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
     }
   }
+  diag_.rcond_estimate =
+      diag_.max_pivot > 0.0 ? diag_.min_pivot / diag_.max_pivot : 0.0;
+  return util::Status::ok();
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  const util::Status status = factor();
+  if (!status.is_ok()) {
+    if (status == util::StatusCode::kSizeMismatch)
+      throw std::invalid_argument(status.message());
+    throw std::runtime_error("LuDecomposition: singular matrix");
+  }
+}
+
+util::StatusOr<LuDecomposition> LuDecomposition::try_factor(Matrix a) {
+  LuDecomposition lu;
+  lu.lu_ = std::move(a);
+  util::Status status = lu.factor();
+  if (!status.is_ok()) return status;
+  return lu;
+}
+
+double LuDecomposition::condition_number_1norm() const {
+  const Matrix inv = inverse();
+  double inv_norm1 = 0.0;
+  for (std::size_t c = 0; c < inv.cols(); ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < inv.rows(); ++r) col += std::abs(inv(r, c));
+    inv_norm1 = std::max(inv_norm1, col);
+  }
+  return a_norm1_ * inv_norm1;
 }
 
 Vector LuDecomposition::solve(const Vector& b) const {
@@ -90,6 +149,21 @@ Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
 
 double determinant(const Matrix& a) {
   return LuDecomposition(a).determinant();
+}
+
+util::StatusOr<Vector> try_solve(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows())
+    return util::Status(util::StatusCode::kSizeMismatch,
+                        "try_solve: size mismatch");
+  util::StatusOr<LuDecomposition> lu = LuDecomposition::try_factor(a);
+  if (!lu.ok()) return lu.status();
+  return lu->solve(b);
+}
+
+util::StatusOr<Matrix> try_inverse(const Matrix& a) {
+  util::StatusOr<LuDecomposition> lu = LuDecomposition::try_factor(a);
+  if (!lu.ok()) return lu.status();
+  return lu->inverse();
 }
 
 }  // namespace mocos::linalg

@@ -1,8 +1,25 @@
 #pragma once
 
 #include "src/linalg/matrix.hpp"
+#include "src/util/status.hpp"
 
 namespace mocos::linalg {
+
+/// Numerical health report of an LU factorization, filled in whether or not
+/// the factorization succeeded. `rcond_estimate` is the cheap pivot-ratio
+/// proxy min|u_kk| / max|u_kk| — an upper bound on 1/κ that costs nothing
+/// extra; values near 0 flag a near-singular system even when every pivot
+/// cleared the hard threshold.
+struct LuDiagnostics {
+  double min_pivot = 0.0;   // smallest |u_kk| encountered
+  double max_pivot = 0.0;   // largest |u_kk| encountered
+  double rcond_estimate = 0.0;
+  /// Column where factorization broke down; npos when it completed.
+  std::size_t failed_column = npos;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  bool completed() const { return failed_column == npos; }
+};
 
 /// LU decomposition with partial (row) pivoting: PA = LU.
 ///
@@ -17,7 +34,22 @@ class LuDecomposition {
   /// working precision.
   explicit LuDecomposition(Matrix a);
 
+  /// Non-throwing factorization: returns kSizeMismatch for non-square input
+  /// and kSingularMatrix (message carrying the failing column and pivot
+  /// magnitude) when a pivot underflows, instead of throwing. The returned
+  /// decomposition exposes diagnostics() either way a caller obtains it.
+  static util::StatusOr<LuDecomposition> try_factor(Matrix a);
+
   std::size_t size() const { return lu_.rows(); }
+
+  /// Pivot magnitudes and the condition-number proxy observed while
+  /// factoring.
+  const LuDiagnostics& diagnostics() const { return diag_; }
+
+  /// ||A||_1 · ||A^-1||_1, computed on demand (n triangular solves). The
+  /// exact 1-norm condition number — use in tests and offline diagnostics,
+  /// not per-iteration hot paths.
+  double condition_number_1norm() const;
 
   /// Solves A x = b.
   Vector solve(const Vector& b) const;
@@ -32,14 +64,26 @@ class LuDecomposition {
   double determinant() const;
 
  private:
+  LuDecomposition() = default;  // for try_factor
+
+  /// Shared in-place factorization; fills diag_ and returns a non-ok status
+  /// instead of throwing. `a_norm1` is ||A||_1 captured before the rewrite.
+  util::Status factor();
+
   Matrix lu_;                      // packed L (unit diagonal) and U
   std::vector<std::size_t> perm_;  // row permutation
   int pivot_sign_ = 1;
+  double a_norm1_ = 0.0;  // ||A||_1 of the original matrix
+  LuDiagnostics diag_;
 };
 
 /// One-shot helpers.
 Vector solve(const Matrix& a, const Vector& b);
 Matrix inverse(const Matrix& a);
 double determinant(const Matrix& a);
+
+/// Non-throwing one-shot solve/inverse built on try_factor.
+util::StatusOr<Vector> try_solve(const Matrix& a, const Vector& b);
+util::StatusOr<Matrix> try_inverse(const Matrix& a);
 
 }  // namespace mocos::linalg

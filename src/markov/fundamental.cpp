@@ -1,10 +1,27 @@
 #include "src/markov/fundamental.hpp"
 
+#include <utility>
+
 #include "src/linalg/lu.hpp"
 #include "src/markov/passage_times.hpp"
 #include "src/markov/stationary.hpp"
+#include "src/util/guard.hpp"
 
 namespace mocos::markov {
+
+namespace {
+
+linalg::Matrix fundamental_system(const linalg::Matrix& p,
+                                  const linalg::Vector& pi) {
+  const std::size_t n = p.rows();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m(i, j) = (i == j ? 1.0 : 0.0) - p(i, j) + pi[j];
+  return m;
+}
+
+}  // namespace
 
 linalg::Matrix stationary_rows(const linalg::Vector& pi) {
   return linalg::Matrix::outer(linalg::Vector(pi.size(), 1.0), pi);
@@ -12,12 +29,21 @@ linalg::Matrix stationary_rows(const linalg::Vector& pi) {
 
 linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
                                   const linalg::Vector& pi) {
-  const std::size_t n = p.rows();
-  linalg::Matrix m(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      m(i, j) = (i == j ? 1.0 : 0.0) - p(i, j) + pi[j];
-  return linalg::inverse(m);
+  return linalg::inverse(fundamental_system(p, pi));
+}
+
+util::StatusOr<linalg::Matrix> try_fundamental_matrix(
+    const linalg::Matrix& p, const linalg::Vector& pi) {
+  if (pi.size() != p.rows() || !p.is_square())
+    return util::Status(util::StatusCode::kSizeMismatch,
+                        "try_fundamental_matrix: size mismatch");
+  util::StatusOr<linalg::LuDecomposition> lu =
+      linalg::LuDecomposition::try_factor(fundamental_system(p, pi));
+  if (!lu.ok()) return lu.status();
+  linalg::Matrix z = lu->inverse();
+  util::Status finite = util::check_finite(z, "Z");
+  if (!finite.is_ok()) return finite;
+  return z;
 }
 
 ChainAnalysis analyze_chain(const TransitionMatrix& p) {
@@ -28,6 +54,31 @@ ChainAnalysis analyze_chain(const TransitionMatrix& p) {
   linalg::Matrix r = first_passage_times(z, pi);
   return ChainAnalysis{p,           std::move(pi), std::move(w),
                        std::move(z), std::move(z2), std::move(r)};
+}
+
+util::StatusOr<ChainAnalysis> try_analyze_chain(const TransitionMatrix& p,
+                                                StationarySolver solver) {
+  util::Status input = util::check_row_stochastic(p.matrix());
+  if (!input.is_ok()) return input;
+
+  util::StatusOr<linalg::Vector> pi = try_stationary_distribution(p, solver);
+  if (!pi.ok()) return pi.status();
+
+  util::StatusOr<linalg::Matrix> z =
+      try_fundamental_matrix(p.matrix(), *pi);
+  if (!z.ok()) return z.status();
+
+  util::StatusOr<linalg::Matrix> r = try_first_passage_times(*z, *pi);
+  if (!r.ok()) return r.status();
+
+  linalg::Matrix w = stationary_rows(*pi);
+  linalg::Matrix z2 = *z * *z;
+  return ChainAnalysis{p,
+                       std::move(*pi),
+                       std::move(w),
+                       std::move(*z),
+                       std::move(z2),
+                       std::move(*r)};
 }
 
 }  // namespace mocos::markov

@@ -1,7 +1,9 @@
 #pragma once
 
 #include "src/linalg/matrix.hpp"
+#include "src/markov/stationary.hpp"
 #include "src/markov/transition_matrix.hpp"
+#include "src/util/status.hpp"
 
 namespace mocos::markov {
 
@@ -11,6 +13,12 @@ namespace mocos::markov {
 /// and the chain sensitivities (§IV, following Schweitzer).
 linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
                                   const linalg::Vector& pi);
+
+/// Non-throwing variant: kSingularMatrix (with the LU pivot diagnostics in
+/// the message) when I - P + W cannot be inverted, kNonFiniteValue when the
+/// inverse contains NaN/inf.
+util::StatusOr<linalg::Matrix> try_fundamental_matrix(
+    const linalg::Matrix& p, const linalg::Vector& pi);
 
 /// W = 𝟙πᵀ.
 linalg::Matrix stationary_rows(const linalg::Vector& pi);
@@ -27,5 +35,14 @@ struct ChainAnalysis {
 };
 
 ChainAnalysis analyze_chain(const TransitionMatrix& p);
+
+/// Non-throwing chain analysis — the entry point the descent recovery ladder
+/// uses. Runs the selected stationary solver, then the fundamental-matrix
+/// inversion and passage times, validating each stage; the first failure is
+/// returned as a structured Status instead of an exception or NaN-laden
+/// result.
+util::StatusOr<ChainAnalysis> try_analyze_chain(
+    const TransitionMatrix& p,
+    StationarySolver solver = StationarySolver::kDirect);
 
 }  // namespace mocos::markov

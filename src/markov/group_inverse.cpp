@@ -1,5 +1,7 @@
 #include "src/markov/group_inverse.hpp"
 
+#include <utility>
+
 #include "src/markov/fundamental.hpp"
 
 namespace mocos::markov {
@@ -7,6 +9,13 @@ namespace mocos::markov {
 linalg::Matrix group_inverse(const linalg::Matrix& p,
                              const linalg::Vector& pi) {
   return fundamental_matrix(p, pi) - stationary_rows(pi);
+}
+
+util::StatusOr<linalg::Matrix> try_group_inverse(const linalg::Matrix& p,
+                                                 const linalg::Vector& pi) {
+  util::StatusOr<linalg::Matrix> z = try_fundamental_matrix(p, pi);
+  if (!z.ok()) return z.status();
+  return std::move(*z) - stationary_rows(pi);
 }
 
 bool satisfies_group_inverse_axioms(const linalg::Matrix& a,

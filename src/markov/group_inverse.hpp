@@ -2,6 +2,7 @@
 
 #include "src/linalg/matrix.hpp"
 #include "src/markov/transition_matrix.hpp"
+#include "src/util/status.hpp"
 
 namespace mocos::markov {
 
@@ -10,6 +11,12 @@ namespace mocos::markov {
 /// the defining axioms A A# A = A, A# A A# = A#, A A# = A# A, and the paper's
 /// Eqs. (5) and (7): W = I - A A#, Z = I + P A#.
 linalg::Matrix group_inverse(const linalg::Matrix& p, const linalg::Vector& pi);
+
+/// Non-throwing variant built on try_fundamental_matrix: returns the
+/// structured kSingularMatrix / kNonFiniteValue status of the underlying
+/// inversion instead of throwing.
+util::StatusOr<linalg::Matrix> try_group_inverse(const linalg::Matrix& p,
+                                                 const linalg::Vector& pi);
 
 /// Checks the three group-inverse axioms to tolerance `tol`. Exposed so the
 /// property-test suite (and any user validating a hand-built chain) can

@@ -2,6 +2,7 @@
 
 #include "src/linalg/matrix.hpp"
 #include "src/markov/transition_matrix.hpp"
+#include "src/util/status.hpp"
 
 namespace mocos::markov {
 
@@ -14,9 +15,27 @@ linalg::Vector stationary_distribution(const TransitionMatrix& p);
 
 /// Power-iteration fallback/cross-check: repeatedly applies x ← x P until the
 /// L1 change drops below `tol` or `max_iters` is hit. Used in tests to verify
-/// the direct solver.
+/// the direct solver and by the descent recovery ladder when the direct
+/// solve fails.
 linalg::Vector stationary_power_iteration(const TransitionMatrix& p,
                                           std::size_t max_iters = 100000,
                                           double tol = 1e-13);
+
+/// Which solver try_stationary_distribution should use. The descent recovery
+/// ladder demotes itself from kDirect to kPowerIteration after a singular
+/// direct solve.
+enum class StationarySolver { kDirect, kPowerIteration };
+
+/// Non-throwing stationary solve. Failure modes:
+///  - kSingularMatrix: the direct system could not be factored;
+///  - kNotErgodic: the solution has negative mass (reducible chain), or the
+///    power iteration converged to something that is not a fixed point of P
+///    (periodic chain);
+///  - kNonFiniteValue: NaN/inf leaked into the solve.
+/// The returned vector is validated (finite, non-negative, sums to 1) before
+/// being handed back.
+util::StatusOr<linalg::Vector> try_stationary_distribution(
+    const TransitionMatrix& p,
+    StationarySolver solver = StationarySolver::kDirect);
 
 }  // namespace mocos::markov

@@ -47,11 +47,17 @@ double parse_double(const std::string& token) {
   return value;
 }
 
-Config Config::parse_string(const std::string& text) {
+Config Config::parse_string(const std::string& text,
+                            const std::string& source) {
   Config cfg;
   std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
+  // Malformed-line errors carry "<source>:<line>:" so a user can jump to the
+  // offending line of the file parse_file handed us.
+  const auto at = [&](const std::string& what) {
+    return source + ":" + std::to_string(line_no) + ": " + what;
+  };
   while (std::getline(in, line)) {
     ++line_no;
     const std::size_t hash = line.find('#');
@@ -60,13 +66,12 @@ Config Config::parse_string(const std::string& text) {
     if (stripped.empty()) continue;
     const std::size_t eq = stripped.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument("Config: missing '=' on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument(
+          at("missing '=' in \"" + stripped + "\""));
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
     if (key.empty())
-      throw std::invalid_argument("Config: empty key on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument(at("empty key"));
     cfg.entries_.emplace_back(key, value);
   }
   return cfg;
@@ -74,10 +79,12 @@ Config Config::parse_string(const std::string& text) {
 
 Config Config::parse_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("Config: cannot read " + path);
+  if (!in)
+    throw StatusError(Status(StatusCode::kInvalidConfig,
+                             "cannot read config file " + path));
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_string(buf.str());
+  return parse_string(buf.str(), path);
 }
 
 bool Config::has(const std::string& key) const {

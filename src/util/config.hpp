@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/status.hpp"
+
 namespace mocos::util {
 
 /// Minimal key = value configuration format for the CLI tool:
@@ -18,8 +20,14 @@ namespace mocos::util {
 /// Repeated keys are preserved in order (see get_all).
 class Config {
  public:
-  static Config parse_string(const std::string& text);
-  /// Throws std::runtime_error when the file cannot be read.
+  /// Parses config text. Malformed lines throw std::invalid_argument with a
+  /// "<source>:<line>: ..." prefix; `source` defaults to "<string>" and is
+  /// set to the file path by parse_file.
+  static Config parse_string(const std::string& text,
+                             const std::string& source = "<string>");
+  /// Throws util::StatusError (code kInvalidConfig, still a
+  /// std::runtime_error) naming the path when the file cannot be read;
+  /// malformed lines are reported as "<path>:<line>: ...".
   static Config parse_file(const std::string& path);
 
   bool has(const std::string& key) const;

@@ -1,0 +1,100 @@
+#include "src/util/fault_injection.hpp"
+
+namespace mocos::util::fault {
+
+const char* to_string(Site site) {
+  switch (site) {
+    case Site::kLuFactor:
+      return "lu-factor";
+    case Site::kStationary:
+      return "stationary";
+    case Site::kGradient:
+      return "gradient";
+    case Site::kLineSearch:
+      return "line-search";
+    case Site::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+#ifdef MOCOS_FAULT_INJECTION
+
+namespace {
+
+enum class Mode { kDisarmed, kWindow, kProbabilistic };
+
+struct SiteState {
+  Mode mode = Mode::kDisarmed;
+  std::uint64_t fire_at = 0;
+  std::uint64_t count = 0;
+  double probability = 0.0;
+  std::uint64_t rng_state = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fired = 0;
+};
+
+SiteState g_sites[static_cast<std::size_t>(Site::kSiteCount)];
+
+SiteState& state(Site site) {
+  return g_sites[static_cast<std::size_t>(site)];
+}
+
+// xorshift64*: tiny, deterministic, good enough for fault sampling.
+double next_uniform(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  const std::uint64_t r = s * 0x2545F4914F6CDD1DULL;
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+void arm(Site site, std::uint64_t fire_at, std::uint64_t count) {
+  SiteState& s = state(site);
+  s = SiteState{};
+  s.mode = Mode::kWindow;
+  s.fire_at = fire_at;
+  s.count = count;
+}
+
+void arm_probabilistic(Site site, double probability, std::uint64_t seed) {
+  SiteState& s = state(site);
+  s = SiteState{};
+  s.mode = Mode::kProbabilistic;
+  s.probability = probability;
+  s.rng_state = seed ? seed : 0x9E3779B97F4A7C15ULL;
+}
+
+void disarm(Site site) { state(site) = SiteState{}; }
+
+void disarm_all() {
+  for (auto& s : g_sites) s = SiteState{};
+}
+
+std::uint64_t evaluations(Site site) { return state(site).evaluations; }
+
+std::uint64_t fired(Site site) { return state(site).fired; }
+
+bool fire(Site site) {
+  SiteState& s = state(site);
+  const std::uint64_t n = s.evaluations++;
+  bool hit = false;
+  switch (s.mode) {
+    case Mode::kDisarmed:
+      break;
+    case Mode::kWindow:
+      hit = n >= s.fire_at && n < s.fire_at + s.count;
+      break;
+    case Mode::kProbabilistic:
+      hit = next_uniform(s.rng_state) < s.probability;
+      break;
+  }
+  if (hit) ++s.fired;
+  return hit;
+}
+
+#endif  // MOCOS_FAULT_INJECTION
+
+}  // namespace mocos::util::fault

@@ -1,0 +1,48 @@
+#include "src/util/status.hpp"
+
+namespace mocos::util {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidConfig:
+      return "invalid-config";
+    case StatusCode::kSingularMatrix:
+      return "singular-matrix";
+    case StatusCode::kNotErgodic:
+      return "not-ergodic";
+    case StatusCode::kNonFiniteValue:
+      return "non-finite-value";
+    case StatusCode::kStepRejected:
+      return "step-rejected";
+    case StatusCode::kSizeMismatch:
+      return "size-mismatch";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = util::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+bool is_numerical_failure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kSingularMatrix:
+    case StatusCode::kNotErgodic:
+    case StatusCode::kNonFiniteValue:
+    case StatusCode::kStepRejected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mocos::util

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mocos::util {
+
+/// Taxonomy of the numerical and configuration failures the library can
+/// contain without crashing. The throwing entry points keep throwing; the
+/// `Try*` variants (LuDecomposition::try_factor, try_stationary_distribution,
+/// try_analyze_chain, ...) return one of these codes instead so callers — in
+/// particular the descent recovery ladder — can branch on *what* failed.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidConfig,    // malformed config file / options that cannot be run
+  kSingularMatrix,   // LU factorization broke down (pivot ~ 0)
+  kNotErgodic,       // chain is reducible/periodic or π has non-positive mass
+  kNonFiniteValue,   // NaN or ±inf where a finite number was required
+  kStepRejected,     // a descent step produced no acceptable iterate
+  kSizeMismatch,     // dimension disagreement between operands
+  kInternal,         // invariant violation; indicates a library bug
+};
+
+/// Short stable identifier ("singular-matrix", "not-ergodic", ...).
+const char* to_string(StatusCode code);
+
+/// Success-or-structured-error result of a guarded operation. Cheap to move,
+/// comparable against codes, and convertible into an exception at the API
+/// boundary for callers that prefer throwing behavior.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "singular-matrix: pivot 3 below threshold (|u_33| = 1e-317)".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& s, StatusCode c) {
+    return s.code_ == c;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception carrying a Status across a throwing API boundary. Derives from
+/// std::runtime_error so existing catch sites keep working; new code can
+/// catch StatusError and dispatch on status().code() (the CLI maps
+/// kInvalidConfig to exit 2 and numerical codes to exit 3).
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// True for the codes that describe a numerical breakdown (as opposed to a
+/// configuration or programming error) — the ones the descent recovery
+/// ladder is allowed to retry.
+bool is_numerical_failure(StatusCode code);
+
+/// Either a value or a non-ok Status. value() throws StatusError when the
+/// operation failed, so code that does not check ok() still fails loudly and
+/// with the structured diagnostic rather than with NaN propagation.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok())
+      throw std::logic_error("StatusOr: ok status without a value");
+  }
+  StatusOr(StatusCode code, std::string message)
+      : StatusOr(Status(code, std::move(message))) {}
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    check();
+    return *value_;
+  }
+  T& value() & {
+    check();
+    return *value_;
+  }
+  T&& value() && {
+    check();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void check() const {
+    if (!ok()) throw StatusError(status_);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mocos::util

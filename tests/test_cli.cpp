@@ -107,14 +107,24 @@ TEST(BuildProblem, MalformedPerPoiListsReported) {
 
 TEST(RunCli, UsageErrorWithoutArgs) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({}, out, err), 2);
+  EXPECT_EQ(run_cli({}, out, err), kExitBadConfig);
   EXPECT_NE(err.str().find("usage"), std::string::npos);
 }
 
-TEST(RunCli, MissingFileFails) {
+TEST(RunCli, MissingFileIsBadConfig) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"/nonexistent.conf"}, out, err), 1);
-  EXPECT_NE(err.str().find("error"), std::string::npos);
+  EXPECT_EQ(run_cli({"/nonexistent.conf"}, out, err), kExitBadConfig);
+  EXPECT_NE(err.str().find("/nonexistent.conf"), std::string::npos);
+}
+
+TEST(RunCli, MalformedConfigLineIsBadConfigWithLocation) {
+  const std::string path = write_temp("cli_malformed.conf",
+                                      "topology = grid:2x2\n"
+                                      "this line has no equals sign\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({path}, out, err), kExitBadConfig);
+  EXPECT_NE(err.str().find(":2:"), std::string::npos) << err.str();
+  std::remove(path.c_str());
 }
 
 TEST(RunCli, EndToEndOptimizationAndSimulation) {
@@ -149,9 +159,30 @@ TEST(RunCli, BadAlgorithmReported) {
                                       "topology = grid:2x2\n"
                                       "algorithm = magic\n");
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({path}, out, err), 1);
+  EXPECT_EQ(run_cli({path}, out, err), kExitBadConfig);
   EXPECT_NE(err.str().find("algorithm"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(RunCli, ReducibleLoadedScheduleIsNumericalFailure) {
+  // An identity schedule is a valid row-stochastic matrix but a fully
+  // reducible chain: every PoI is absorbing, so the stationary analysis
+  // fails. The audit path must report a structured numerical failure (exit
+  // 3), not crash or emit NaN metrics.
+  const std::string sched = testing::TempDir() + "/cli_reducible_schedule.txt";
+  {
+    std::ofstream f(sched);
+    f << "mocos-schedule v1\npois 4\n"
+         "1 0 0 0\n0 1 0 0\n0 0 1 0\n0 0 0 1\n";
+  }
+  const std::string conf = write_temp("cli_reducible.conf",
+                                      "topology = grid:2x2\n"
+                                      "load_schedule = " + sched + "\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({conf}, out, err), kExitNumericalFailure) << err.str();
+  EXPECT_NE(err.str().find("error"), std::string::npos);
+  std::remove(sched.c_str());
+  std::remove(conf.c_str());
 }
 
 
@@ -202,6 +233,18 @@ TEST(RunCli, SaveThenLoadSchedule) {
   std::remove(load_conf.c_str());
 }
 
+TEST(RunCli, MissingScheduleFileIsBadConfig) {
+  // An unreadable schedule named by load_schedule is a configuration
+  // problem, same exit code as an unreadable config file.
+  const std::string conf = write_temp("cli_missing_sched.conf",
+                                      "topology = grid:2x2\n"
+                                      "load_schedule = /nonexistent/s.txt\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({conf}, out, err), kExitBadConfig);
+  EXPECT_NE(err.str().find("/nonexistent/s.txt"), std::string::npos);
+  std::remove(conf.c_str());
+}
+
 TEST(RunCli, LoadedScheduleMustMatchTopology) {
   const std::string sched = testing::TempDir() + "/cli_mismatch_schedule.txt";
   {
@@ -212,7 +255,7 @@ TEST(RunCli, LoadedScheduleMustMatchTopology) {
                                       "topology = grid:2x2\n"
                                       "load_schedule = " + sched + "\n");
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({conf}, out, err), 1);
+  EXPECT_EQ(run_cli({conf}, out, err), kExitBadConfig);
   EXPECT_NE(err.str().find("does not match"), std::string::npos);
   std::remove(sched.c_str());
   std::remove(conf.c_str());

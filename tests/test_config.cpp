@@ -84,9 +84,37 @@ TEST(Config, MalformedLinesThrowWithLineNumber) {
     Config::parse_string("good = 1\nbad line without equals\n");
     FAIL() << "expected throw";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("<string>:2:"), std::string::npos);
   }
   EXPECT_THROW(Config::parse_string("= value\n"), std::invalid_argument);
+}
+
+TEST(Config, MalformedFileLineNamesPathAndLine) {
+  const std::string path = testing::TempDir() + "/mocos_config_bad.conf";
+  {
+    std::ofstream out(path);
+    out << "alpha = 1\n\n# comment\nthis line is broken\n";
+  }
+  try {
+    Config::parse_file(path);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing '='"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Config, UnreadableFileNamesPathWithStructuredCode) {
+  try {
+    Config::parse_file("/nonexistent/file.conf");
+    FAIL() << "expected throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidConfig);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/file.conf"),
+              std::string::npos);
+  }
 }
 
 TEST(Config, ParseFileRoundTrip) {

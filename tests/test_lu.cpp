@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/util/rng.hpp"
+#include "src/util/status.hpp"
 
 namespace mocos::linalg {
 namespace {
@@ -58,6 +61,70 @@ TEST(Lu, MatrixRhsSolve) {
   EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
   EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
   EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(Lu, TryFactorReportsSingularWithDiagnostics) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};  // rank 1
+  const auto lu = LuDecomposition::try_factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), util::StatusCode::kSingularMatrix);
+  // The status names the breakdown column so callers can log it.
+  EXPECT_NE(lu.status().message().find("column 1"), std::string::npos)
+      << lu.status().message();
+}
+
+TEST(Lu, TryFactorRejectsNonSquare) {
+  const auto lu = LuDecomposition::try_factor(Matrix(2, 3));
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), util::StatusCode::kSizeMismatch);
+}
+
+TEST(Lu, TryFactorRejectsNonFinite) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  a(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  const auto lu = LuDecomposition::try_factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), util::StatusCode::kSingularMatrix);
+}
+
+TEST(Lu, DiagnosticsTrackPivotHealth) {
+  const auto id = LuDecomposition::try_factor(Matrix::identity(4));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(id->diagnostics().completed());
+  EXPECT_DOUBLE_EQ(id->diagnostics().min_pivot, 1.0);
+  EXPECT_DOUBLE_EQ(id->diagnostics().max_pivot, 1.0);
+  EXPECT_DOUBLE_EQ(id->diagnostics().rcond_estimate, 1.0);
+  EXPECT_NEAR(id->condition_number_1norm(), 1.0, 1e-12);
+}
+
+TEST(Lu, NearSingularFactorsButFlagsTinyRcond) {
+  // Rank-deficient up to a 1e-10 perturbation: the factorization succeeds
+  // (the pivot clears the hard threshold) but both condition diagnostics
+  // must scream.
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0 + 1e-10}};
+  const auto lu = LuDecomposition::try_factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(lu->diagnostics().completed());
+  EXPECT_LT(lu->diagnostics().rcond_estimate, 1e-9);
+  EXPECT_GT(lu->condition_number_1norm(), 1e9);
+  // The solve still round-trips to the accuracy the conditioning allows.
+  const Vector x = lu->solve(Vector{2.0, 2.0});
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-5);
+}
+
+TEST(Lu, TryHelpersPropagateSingularity) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(try_solve(singular, {1.0, 1.0}).status().code(),
+            util::StatusCode::kSingularMatrix);
+  EXPECT_EQ(try_inverse(singular).status().code(),
+            util::StatusCode::kSingularMatrix);
+  EXPECT_EQ(try_solve(Matrix::identity(2), {1.0, 2.0, 3.0}).status().code(),
+            util::StatusCode::kSizeMismatch);
+
+  const auto x = try_solve(Matrix{{2.0, 0.0}, {0.0, 4.0}}, {2.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
 }
 
 class LuRandomTest : public ::testing::TestWithParam<std::size_t> {};

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
+#include "src/core/optimizer.hpp"
 #include "src/geometry/paper_topologies.hpp"
+#include "src/markov/stationary.hpp"
 #include "tests/helpers.hpp"
 
 namespace mocos::core {
@@ -117,6 +120,46 @@ TEST(Problem, PenalizedCostExceedsReportCostInsideGates) {
   const auto u = markov::TransitionMatrix::uniform(4);
   const auto chain = markov::analyze_chain(u);
   EXPECT_NEAR(cost.value(chain), p.report_cost(u), 1e-9);
+}
+
+// --- Boundary topologies through the full pipeline -------------------------
+
+TEST(Problem, TwoPoiBoundaryTopologyOptimizesCleanly) {
+  // The smallest legal instance: 2 PoIs, 2x2 transition matrix. The whole
+  // pipeline — tensors, cost terms, descent, metrics — must work at this
+  // floor, not just at the paper's 4..6-PoI topologies.
+  geometry::Topology topo("pair", {{0.0, 0.0}, {1.0, 0.0}}, {0.7, 0.3});
+  Weights w;
+  w.alpha = 1.0;
+  w.beta = 0.5;
+  Problem problem(std::move(topo), Physics{}, w);
+  ASSERT_EQ(problem.num_pois(), 2u);
+
+  const auto m = problem.metrics_of(markov::TransitionMatrix::uniform(2));
+  EXPECT_TRUE(std::isfinite(m.delta_c));
+  EXPECT_TRUE(std::isfinite(m.e_bar));
+
+  OptimizerOptions opts;
+  opts.algorithm = Algorithm::kAdaptive;
+  opts.max_iterations = 60;
+  const auto outcome = CoverageOptimizer(problem, opts).run();
+  EXPECT_TRUE(std::isfinite(outcome.penalized_cost));
+  EXPECT_TRUE(outcome.recovery.empty());
+  // A lopsided 0.7/0.3 target pulls coverage toward PoI 0.
+  const auto pi = markov::stationary_distribution(outcome.p);
+  EXPECT_GT(pi[0], pi[1]);
+}
+
+TEST(Problem, OnePoiTopologyIsAStructuredConfigError) {
+  // A single PoI admits no Markov schedule (TransitionMatrix needs n >= 2),
+  // so the degenerate instance is rejected at the earliest layer — topology
+  // construction — with a structured invalid_argument, not a downstream
+  // crash or a bogus 1x1 chain.
+  EXPECT_THROW(geometry::Topology("solo", {{0.0, 0.0}}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(markov::TransitionMatrix::uniform(1), std::invalid_argument);
+  EXPECT_THROW(markov::TransitionMatrix(linalg::Matrix{{1.0}}),
+               std::invalid_argument);
 }
 
 }  // namespace

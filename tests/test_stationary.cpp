@@ -52,6 +52,77 @@ TEST(Stationary, MatchesPowerIteration) {
   }
 }
 
+// --- Degenerate chains through the guarded solver -------------------------
+
+TEST(TryStationary, ErgodicChainMatchesThrowingSolver) {
+  const auto p = test::chain3();
+  const auto pi = try_stationary_distribution(p);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_TRUE(linalg::approx_equal(*pi, stationary_distribution(p), 1e-12));
+}
+
+TEST(TryStationary, FullyReducibleChainIsSingular) {
+  // The identity chain: every state absorbing, stationary distribution not
+  // unique, so the direct system (I - P^T + 11^T) is the all-ones matrix.
+  const TransitionMatrix p(linalg::Matrix::identity(4));
+  const auto pi = try_stationary_distribution(p);
+  ASSERT_FALSE(pi.ok());
+  EXPECT_EQ(pi.status().code(), util::StatusCode::kSingularMatrix);
+}
+
+TEST(TryStationary, TwoClassReducibleChainIsSingular) {
+  // Two closed communicating classes {0,1} and {2,3}: the difference of the
+  // per-class stationary vectors is in the null space of the direct system.
+  const TransitionMatrix p(linalg::Matrix{{0.5, 0.5, 0.0, 0.0},
+                                          {0.5, 0.5, 0.0, 0.0},
+                                          {0.0, 0.0, 0.5, 0.5},
+                                          {0.0, 0.0, 0.5, 0.5}});
+  const auto pi = try_stationary_distribution(p);
+  ASSERT_FALSE(pi.ok());
+  // Depending on round-off the rank deficiency surfaces either as a pivot
+  // underflow or as negative stationary mass — both are structured
+  // numerical failures, never a bogus distribution.
+  EXPECT_TRUE(util::is_numerical_failure(pi.status().code()))
+      << pi.status().to_string();
+  EXPECT_TRUE(pi.status().code() == util::StatusCode::kSingularMatrix ||
+              pi.status().code() == util::StatusCode::kNotErgodic)
+      << pi.status().to_string();
+}
+
+TEST(TryStationary, PeriodicChainSolvesDirectButFailsPowerIteration) {
+  // Irreducible but periodic (period 2, bipartite {0,2} <-> {1}): the
+  // stationary distribution exists and the direct solve finds it, while
+  // power iteration oscillates forever and must report kNotErgodic instead
+  // of silently returning a non-fixed-point.
+  const TransitionMatrix p(linalg::Matrix{
+      {0.0, 1.0, 0.0}, {0.5, 0.0, 0.5}, {0.0, 1.0, 0.0}});
+
+  const auto direct = try_stationary_distribution(p);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR((*direct)[0], 0.25, 1e-12);
+  EXPECT_NEAR((*direct)[1], 0.50, 1e-12);
+  EXPECT_NEAR((*direct)[2], 0.25, 1e-12);
+
+  const auto power =
+      try_stationary_distribution(p, StationarySolver::kPowerIteration);
+  ASSERT_FALSE(power.ok());
+  EXPECT_EQ(power.status().code(), util::StatusCode::kNotErgodic);
+  EXPECT_NE(power.status().message().find("fixed point"), std::string::npos);
+}
+
+TEST(TryStationary, PowerIterationSolverAgreesOnErgodicChains) {
+  util::Rng rng(23);
+  for (int t = 0; t < 5; ++t) {
+    const auto p = test::random_positive_chain(5, rng);
+    const auto direct = try_stationary_distribution(p);
+    const auto power =
+        try_stationary_distribution(p, StationarySolver::kPowerIteration);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(power.ok());
+    EXPECT_TRUE(linalg::approx_equal(*direct, *power, 1e-9));
+  }
+}
+
 class StationarySizeTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(StationarySizeTest, FixedPointAcrossSizes) {
