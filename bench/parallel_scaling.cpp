@@ -1,0 +1,160 @@
+// Wall-clock scaling of the runtime subsystem: the Fig. 6/7 replicated
+// simulation workload and the Fig. 2 multi-start descent workload, each run
+// at jobs in {1, 2, 4, 8}. Prints the speedup table and writes
+// BENCH_parallel_scaling.json (to MOCOS_BENCH_CSV_DIR when set, else the
+// working directory) so the perf trajectory has machine-readable points.
+//
+// Determinism is part of what is being measured: every job count must
+// produce the same replication mean / best multi-start cost, and the bench
+// fails loudly if it does not.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "src/descent/multi_start.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/sim/replication.hpp"
+
+namespace mocos::bench {
+namespace {
+
+struct ScalingPoint {
+  std::size_t jobs = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  double check = 0.0;  // workload result, identical across job counts
+};
+
+template <typename Fn>
+double timed(Fn&& fn, double& check) {
+  const auto t0 = std::chrono::steady_clock::now();
+  check = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<ScalingPoint> sweep(const std::vector<std::size_t>& job_counts,
+                                const std::function<double(
+                                    const runtime::ExecutionContext&)>& work) {
+  std::vector<ScalingPoint> points;
+  for (std::size_t jobs : job_counts) {
+    const runtime::ExecutionContext ctx(jobs);
+    ScalingPoint pt;
+    pt.jobs = jobs;
+    pt.seconds = timed([&] { return work(ctx); }, pt.check);
+    pt.speedup = points.empty() ? 1.0 : points.front().seconds / pt.seconds;
+    points.push_back(pt);
+    if (std::abs(pt.check - points.front().check) != 0.0) {
+      std::cerr << "parallel_scaling: DETERMINISM VIOLATION at jobs=" << jobs
+                << ": " << pt.check << " != " << points.front().check << "\n";
+      std::exit(1);
+    }
+  }
+  return points;
+}
+
+void print_table(const std::string& name,
+                 const std::vector<ScalingPoint>& points) {
+  banner(name);
+  util::Table t({"jobs", "seconds", "speedup", "check value"});
+  for (const auto& pt : points)
+    t.add_row({std::to_string(pt.jobs), util::fmt(pt.seconds, 3),
+               util::fmt(pt.speedup, 2), util::fmt(pt.check, 6)});
+  t.print(std::cout);
+}
+
+void write_json(const std::vector<ScalingPoint>& replication,
+                const std::vector<ScalingPoint>& multi_start) {
+  const char* dir = std::getenv("MOCOS_BENCH_CSV_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_parallel_scaling.json";
+  std::ofstream out(path);
+  auto num = [&](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", x);
+    out << buf;
+  };
+  auto series = [&](const char* name, const std::vector<ScalingPoint>& pts) {
+    out << "  \"" << name << "\": [\n";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      out << "    {\"jobs\": " << pts[i].jobs << ", \"seconds\": ";
+      num(pts[i].seconds);
+      out << ", \"speedup\": ";
+      num(pts[i].speedup);
+      out << "}" << (i + 1 < pts.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  };
+  out << "{\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"scale\": \"" << (quick_mode() ? "quick" : "full") << "\",\n";
+  series("replicated_simulation", replication);
+  out << ",\n";
+  series("multi_start_descent", multi_start);
+  out << "\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+int run() {
+  const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
+  std::cout << "parallel scaling bench (hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ")\n";
+
+  // Fig. 6/7 workload: replicated validation simulations of the optimized
+  // Topology-2 schedule. Replicas are embarrassingly parallel; the check
+  // value is the Eq.-14 cost mean, which must not move with the job count.
+  const core::Problem problem = make_problem(2, 1.0, 1.0);
+  core::OptimizerOptions opt;
+  opt.max_iterations = scaled(1500, 150);
+  opt.stall_limit = 300;
+  opt.keep_trace = false;
+  const auto outcome = core::CoverageOptimizer(problem, opt).run();
+  const std::size_t replications = scaled(32, 8);
+  const std::size_t transitions = scaled(40000, 4000);
+  const auto replication_points = sweep(job_counts, [&](const auto& ctx) {
+    sim::SimulationConfig cfg;
+    cfg.num_transitions = transitions;
+    util::Rng rng(7);
+    const auto summary = sim::replicate(
+        problem.model(), outcome.p, problem.targets(), problem.weights().alpha,
+        problem.weights().beta, cfg, replications, rng, ctx);
+    return summary.cost.mean;
+  });
+  print_table("replicated simulation (Fig. 6/7 workload, " +
+                  std::to_string(replications) + " x " +
+                  std::to_string(transitions) + " transitions)",
+              replication_points);
+
+  // Fig. 2 workload: independent V2 random starts of the perturbed descent;
+  // the check value is the winning cost.
+  const auto cost = problem.make_cost();
+  descent::MultiStartConfig ms;
+  ms.starts = scaled(16, 6);
+  ms.perturbed.max_iterations = scaled(600, 80);
+  ms.perturbed.polish_iterations = scaled(200, 30);
+  ms.perturbed.keep_trace = false;
+  const auto multi_start_points = sweep(job_counts, [&](const auto& ctx) {
+    util::Rng rng(11);
+    const auto result =
+        descent::multi_start_perturbed(cost, problem.num_pois(), ms, rng, ctx);
+    return result.best.best_cost;
+  });
+  print_table("multi-start perturbed descent (" + std::to_string(ms.starts) +
+                  " starts)",
+              multi_start_points);
+
+  write_json(replication_points, multi_start_points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mocos::bench
+
+int main() { return mocos::bench::run(); }

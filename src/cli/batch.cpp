@@ -1,0 +1,196 @@
+#include "src/cli/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/cli/cli.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/util/status.hpp"
+
+namespace mocos::cli {
+
+namespace {
+
+std::vector<std::string> configs_from_directory(
+    const std::filesystem::path& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".conf")
+      out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> configs_from_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("--batch: cannot read list file " + path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(start, end - start + 1);
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return out;
+}
+
+/// Runs one scenario with the same optimizer-key handling as the single-run
+/// CLI, converting every failure into the exit-code taxonomy instead of
+/// letting it escape the batch.
+ScenarioOutcome run_scenario(const std::string& path) {
+  ScenarioOutcome outcome;
+  outcome.path = path;
+  try {
+    const util::Config config = util::Config::parse_file(path);
+    const core::Problem problem = build_problem(config);
+    const core::OptimizationOutcome result =
+        run_optimization(config, problem, /*ctx=*/{});
+    outcome.algorithm = core::to_string(result.algorithm);
+    outcome.penalized_cost = result.penalized_cost;
+    outcome.report_cost = result.report_cost;
+    outcome.delta_c = result.metrics.delta_c;
+    outcome.e_bar = result.metrics.e_bar;
+    outcome.iterations = result.iterations;
+    outcome.stop_reason = descent::to_string(result.stop_reason);
+    outcome.recovery_events = result.recovery.size();
+    if (result.stop_reason == descent::StopReason::kNumericalFailure) {
+      outcome.exit_code = kExitNumericalFailure;
+      outcome.error = "descent recovery ladder exhausted (" +
+                      result.recovery.summary() + ")";
+    }
+  } catch (const util::StatusError& e) {
+    outcome.error = e.what();
+    if (util::is_numerical_failure(e.status().code()))
+      outcome.exit_code = kExitNumericalFailure;
+    else if (e.status().code() == util::StatusCode::kInvalidConfig)
+      outcome.exit_code = kExitBadConfig;
+    else
+      outcome.exit_code = kExitRuntimeError;
+  } catch (const std::invalid_argument& e) {
+    outcome.exit_code = kExitBadConfig;
+    outcome.error = e.what();
+  } catch (const std::out_of_range& e) {
+    outcome.exit_code = kExitBadConfig;
+    outcome.error = e.what();
+  } catch (const std::exception& e) {
+    outcome.exit_code = kExitRuntimeError;
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+void json_escape(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void json_number(double x, std::ostream& out) {
+  // Shortest round-trip-exact decimal; locale-independent and identical
+  // across runs, which the determinism contract needs.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  out << buf;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_batch_configs(const std::string& spec) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> configs;
+  if (fs::is_directory(spec))
+    configs = configs_from_directory(spec);
+  else if (fs::is_regular_file(spec))
+    configs = configs_from_list(spec);
+  else
+    throw std::invalid_argument("--batch: no such directory or list file: " +
+                                spec);
+  if (configs.empty())
+    throw std::invalid_argument("--batch: no scenario configs found in " +
+                                spec);
+  return configs;
+}
+
+std::vector<ScenarioOutcome> run_batch(const std::vector<std::string>& configs,
+                                       const runtime::ExecutionContext& ctx) {
+  std::vector<ScenarioOutcome> outcomes(configs.size());
+  // One scenario per task; the inner context is serial so a scenario never
+  // re-enters the pool it is running on (no nested-wait deadlock).
+  runtime::parallel_for(ctx, configs.size(), [&](std::size_t i) {
+    outcomes[i] = run_scenario(configs[i]);
+  });
+  return outcomes;
+}
+
+void write_batch_summary(const std::vector<ScenarioOutcome>& outcomes,
+                         std::ostream& out) {
+  std::size_t succeeded = 0;
+  for (const auto& o : outcomes)
+    if (o.ok()) ++succeeded;
+  out << "{\n";
+  out << "  \"scenarios\": " << outcomes.size() << ",\n";
+  out << "  \"succeeded\": " << succeeded << ",\n";
+  out << "  \"failed\": " << outcomes.size() - succeeded << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ScenarioOutcome& o = outcomes[i];
+    out << "    {\"config\": \"";
+    json_escape(o.path, out);
+    out << "\", \"exit_code\": " << o.exit_code;
+    if (o.ok()) {
+      out << ", \"algorithm\": \"";
+      json_escape(o.algorithm, out);
+      out << "\", \"penalized_cost\": ";
+      json_number(o.penalized_cost, out);
+      out << ", \"report_cost\": ";
+      json_number(o.report_cost, out);
+      out << ", \"delta_c\": ";
+      json_number(o.delta_c, out);
+      out << ", \"e_bar\": ";
+      json_number(o.e_bar, out);
+      out << ", \"iterations\": " << o.iterations;
+      out << ", \"stop_reason\": \"";
+      json_escape(o.stop_reason, out);
+      out << "\", \"recovery_events\": " << o.recovery_events;
+    } else {
+      out << ", \"error\": \"";
+      json_escape(o.error, out);
+      out << "\"";
+    }
+    out << "}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace mocos::cli

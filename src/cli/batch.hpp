@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/runtime/execution_context.hpp"
+
+namespace mocos::cli {
+
+/// One scenario's result in a batch run. `exit_code` reuses run_cli's
+/// taxonomy (0 success, 2 bad config, 3 numerical failure, 1 anything
+/// else); failed scenarios carry a one-line diagnostic and zeroed metrics.
+struct ScenarioOutcome {
+  std::string path;
+  int exit_code = 0;
+  std::string error;
+  std::string algorithm;
+  double penalized_cost = 0.0;
+  double report_cost = 0.0;
+  double delta_c = 0.0;
+  double e_bar = 0.0;
+  std::size_t iterations = 0;
+  std::string stop_reason;
+  std::size_t recovery_events = 0;
+
+  bool ok() const { return exit_code == 0; }
+};
+
+/// Expands a `--batch` spec into scenario config paths: a directory yields
+/// its `*.conf` files sorted by name; any other path is read as a list file
+/// (one config path per line; blank lines and `#` comments skipped).
+/// Throws std::invalid_argument when the spec is unreadable or empty.
+std::vector<std::string> collect_batch_configs(const std::string& spec);
+
+/// Runs every config through one worker pool, one scenario per task, each
+/// with a serial inner context (no nested fan-out). Failures are isolated
+/// per scenario: a malformed config or an exhausted recovery ladder marks
+/// that outcome and the rest of the batch proceeds. Outcomes are returned
+/// in config order and — scenarios being seeded by their own configs — are
+/// identical for any `ctx.jobs()`.
+std::vector<ScenarioOutcome> run_batch(const std::vector<std::string>& configs,
+                                       const runtime::ExecutionContext& ctx);
+
+/// Writes the machine-readable batch summary as a JSON document with a
+/// stable field order and no timing or job-count fields, so two runs of the
+/// same batch produce byte-identical summaries regardless of `--jobs`.
+void write_batch_summary(const std::vector<ScenarioOutcome>& outcomes,
+                         std::ostream& out);
+
+}  // namespace mocos::cli

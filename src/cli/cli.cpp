@@ -1,16 +1,19 @@
 #include "src/cli/cli.hpp"
 
+#include <fstream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
-#include "src/core/optimizer.hpp"
+#include "src/cli/batch.hpp"
 #include "src/core/pareto.hpp"
 #include "src/core/serialization.hpp"
 #include "src/geometry/polygon.hpp"
 #include "src/markov/entropy.hpp"
 #include "src/markov/spectral.hpp"
 #include "src/sensing/routed_travel_model.hpp"
+#include "src/sim/replication.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/util/status.hpp"
 #include "src/util/table.hpp"
@@ -124,6 +127,53 @@ core::Algorithm parse_algorithm(const util::Config& config) {
       "algorithm: must be basic, adaptive or perturbed");
 }
 
+/// Flags recognized ahead of the positional config argument.
+struct CliArgs {
+  std::string config_path;  // single mode (exclusive with batch_spec)
+  std::string batch_spec;   // batch mode: directory or list file
+  std::string summary_path; // optional file for the batch JSON summary
+  std::size_t jobs = 1;     // 0 = hardware concurrency
+};
+
+CliArgs parse_args(const std::vector<std::string>& args) {
+  CliArgs parsed;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(std::string(flag) + ": missing value");
+      return args[++i];
+    };
+    if (a == "--jobs") {
+      const std::string& v = value("--jobs");
+      std::size_t pos = 0;
+      unsigned long n = 0;
+      try {
+        n = std::stoul(v, &pos);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("--jobs: not a number: " + v);
+      }
+      if (pos != v.size())
+        throw std::invalid_argument("--jobs: not a number: " + v);
+      parsed.jobs = static_cast<std::size_t>(n);
+    } else if (a == "--batch") {
+      parsed.batch_spec = value("--batch");
+    } else if (a == "--summary") {
+      parsed.summary_path = value("--summary");
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::invalid_argument("unknown flag: " + a);
+    } else if (parsed.config_path.empty()) {
+      parsed.config_path = a;
+    } else {
+      throw std::invalid_argument("unexpected extra argument: " + a);
+    }
+  }
+  if (parsed.config_path.empty() == parsed.batch_spec.empty())
+    throw std::invalid_argument(
+        "expected exactly one of <config-file> or --batch <dir-or-list>");
+  return parsed;
+}
+
 }  // namespace
 
 core::Problem build_problem(const util::Config& config) {
@@ -149,16 +199,91 @@ core::Problem build_problem(const util::Config& config) {
       weights);
 }
 
+core::OptimizationOutcome run_optimization(
+    const util::Config& config, const core::Problem& problem,
+    const runtime::ExecutionContext& ctx) {
+  // Audit mode: evaluate a previously saved schedule instead of optimizing
+  // a new one.
+  const std::string load_path = config.get_string("load_schedule", "");
+  if (!load_path.empty()) {
+    markov::TransitionMatrix p = core::load_schedule(load_path);
+    if (p.size() != problem.num_pois())
+      throw std::invalid_argument(
+          "load_schedule: schedule size does not match the topology");
+    cost::Metrics metrics = problem.metrics_of(p);
+    const double report = metrics.cost(problem.weights().alpha,
+                                       problem.weights().beta);
+    const double penalized = problem.make_cost().value(p);
+    return core::OptimizationOutcome{core::Algorithm::kBasic,
+                                     std::move(p),
+                                     penalized,
+                                     std::move(metrics),
+                                     report,
+                                     0,
+                                     descent::Trace{}};
+  }
+  core::OptimizerOptions opts;
+  opts.algorithm = parse_algorithm(config);
+  opts.max_iterations = config.get_size("iterations", 2000);
+  opts.seed = config.get_size("seed", 1);
+  opts.random_start = config.get_bool("random_start", false);
+  opts.constant_step = config.get_double("step", 1e-6);
+  opts.starts = config.get_size("starts", 1);
+  if (opts.starts == 0) throw std::invalid_argument("starts: must be >= 1");
+  if (opts.starts > 1) opts.random_start = true;  // V2 multi-start protocol
+  opts.keep_trace = false;
+  return core::CoverageOptimizer(problem, opts).run(ctx);
+}
+
+namespace {
+
+int run_batch_mode(const CliArgs& cli, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> configs =
+      collect_batch_configs(cli.batch_spec);
+  const runtime::ExecutionContext ctx(cli.jobs);
+  const std::vector<ScenarioOutcome> outcomes = run_batch(configs, ctx);
+
+  // Diagnostics in config order (deterministic for any job count).
+  for (const ScenarioOutcome& o : outcomes) {
+    if (!o.ok())
+      err << "mocos: " << o.path << ": exit " << o.exit_code << ": "
+          << o.error << '\n';
+  }
+  std::ostringstream summary;
+  write_batch_summary(outcomes, summary);
+  out << summary.str();
+  if (!cli.summary_path.empty()) {
+    std::ofstream file(cli.summary_path);
+    if (!file)
+      throw std::invalid_argument("--summary: cannot write " +
+                                  cli.summary_path);
+    file << summary.str();
+  }
+  for (const ScenarioOutcome& o : outcomes)
+    if (!o.ok()) return kExitBatchPartialFailure;
+  return kExitSuccess;
+}
+
+}  // namespace
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
-  if (args.size() != 1) {
-    err << "usage: mocos_cli <config-file>\n"
+  CliArgs cli;
+  try {
+    cli = parse_args(args);
+  } catch (const std::invalid_argument& e) {
+    err << "mocos: " << e.what() << '\n'
+        << "usage: mocos_cli [--jobs N] [--summary FILE] "
+           "(<config-file> | --batch <dir-or-list>)\n"
            "see src/cli/cli.hpp for the config format\n";
     return kExitBadConfig;
   }
   try {
-    const util::Config config = util::Config::parse_file(args[0]);
+    if (!cli.batch_spec.empty()) return run_batch_mode(cli, out, err);
+
+    const util::Config config = util::Config::parse_file(cli.config_path);
     const core::Problem problem = build_problem(config);
+    const runtime::ExecutionContext ctx(cli.jobs);
 
     // Frontier mode: sweep the exposure weight and print the achievable
     // (DeltaC, E-bar) trade-off curve instead of one schedule.
@@ -184,43 +309,20 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
 
-    core::OptimizerOptions opts;
-    opts.algorithm = parse_algorithm(config);
-    opts.max_iterations = config.get_size("iterations", 2000);
-    opts.seed = config.get_size("seed", 1);
-    opts.random_start = config.get_bool("random_start", false);
-    opts.constant_step = config.get_double("step", 1e-6);
-    opts.keep_trace = false;
-
-    // Audit mode: evaluate a previously saved schedule instead of
-    // optimizing a new one.
     const std::string load_path = config.get_string("load_schedule", "");
-    core::OptimizationOutcome outcome = [&] {
-      if (!load_path.empty()) {
-        out << "mocos: evaluating saved schedule " << load_path << " on "
-            << problem.topology().name() << '\n' << '\n';
-        markov::TransitionMatrix p = core::load_schedule(load_path);
-        if (p.size() != problem.num_pois())
-          throw std::invalid_argument(
-              "load_schedule: schedule size does not match the topology");
-        cost::Metrics metrics = problem.metrics_of(p);
-        const double report = metrics.cost(problem.weights().alpha,
-                                           problem.weights().beta);
-        const double penalized = problem.make_cost().value(p);
-        return core::OptimizationOutcome{core::Algorithm::kBasic,
-                                         std::move(p),
-                                         penalized,
-                                         std::move(metrics),
-                                         report,
-                                         0,
-                                         descent::Trace{}};
-      }
+    if (!load_path.empty()) {
+      out << "mocos: evaluating saved schedule " << load_path << " on "
+          << problem.topology().name() << '\n' << '\n';
+    } else {
       out << "mocos: optimizing " << problem.topology().name() << " ("
           << problem.num_pois() << " PoIs, algorithm "
-          << core::to_string(opts.algorithm) << ", " << opts.max_iterations
-          << " iterations)\n\n";
-      return core::CoverageOptimizer(problem, opts).run();
-    }();
+          << core::to_string(parse_algorithm(config)) << ", "
+          << config.get_size("iterations", 2000) << " iterations";
+      const std::size_t starts = config.get_size("starts", 1);
+      if (starts > 1) out << ", " << starts << " starts";
+      out << ")\n\n";
+    }
+    core::OptimizationOutcome outcome = run_optimization(config, problem, ctx);
     if (outcome.stop_reason == descent::StopReason::kNumericalFailure) {
       err << "mocos: numerical failure: descent recovery ladder exhausted ("
           << outcome.recovery.summary() << ")\n";
@@ -254,11 +356,36 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
 
     const std::size_t sim_steps = config.get_size("simulate", 0);
-    if (sim_steps > 0) {
+    const std::size_t replications = config.get_size("replications", 1);
+    const std::uint64_t seed = config.get_size("seed", 1);
+    if (sim_steps > 0 && replications > 1) {
+      // Replicated validation: R independent simulations (fanned out under
+      // --jobs) with the paper's mean / 25th / 75th percentile reporting.
+      sim::SimulationConfig sim_cfg;
+      sim_cfg.num_transitions = sim_steps;
+      util::Rng rng(seed + 1);
+      const sim::ReplicationSummary summary = sim::replicate(
+          problem.model(), outcome.p, problem.targets(),
+          problem.weights().alpha, problem.weights().beta, sim_cfg,
+          replications, rng, ctx);
+      out << "\nreplicated validation (" << replications << " x " << sim_steps
+          << " transitions):\n";
+      util::Table t({"metric", "mean", "p25", "p75", "min", "max"});
+      auto row = [&](const char* name, const sim::ReplicatedMetric& m,
+                     int digits) {
+        t.add_row({name, util::fmt(m.mean, digits), util::fmt(m.p25, digits),
+                   util::fmt(m.p75, digits), util::fmt(m.min, digits),
+                   util::fmt(m.max, digits)});
+      };
+      row("delta_C", summary.delta_c, 6);
+      row("E_bar", summary.e_bar, 3);
+      row("cost (Eq.14)", summary.cost, 6);
+      t.print(out);
+    } else if (sim_steps > 0) {
       sim::SimulationConfig sim_cfg;
       sim_cfg.num_transitions = sim_steps;
       sim::MarkovCoverageSimulator simulator(problem.model(), sim_cfg);
-      util::Rng rng(opts.seed + 1);
+      util::Rng rng(seed + 1);
       const auto res = simulator.run(outcome.p, rng);
       out << "\nvalidation simulation (" << sim_steps << " transitions):\n";
       util::Table t({"PoI", "target", "analytic share", "simulated share",

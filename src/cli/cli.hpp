@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "src/core/optimizer.hpp"
 #include "src/core/problem.hpp"
+#include "src/runtime/execution_context.hpp"
 #include "src/util/config.hpp"
 
 namespace mocos::cli {
@@ -25,22 +27,47 @@ namespace mocos::cli {
 /// the offending key on any malformed input.
 core::Problem build_problem(const util::Config& config);
 
-/// Runs the full CLI: parse the config file named by args[0], optimize, and
-/// print the outcome (plus an optional validation simulation when
-/// `simulate = <transitions>` is set). Optimizer keys:
+/// Produces the schedule a config asks for: either audits the matrix named
+/// by `load_schedule` or optimizes one. Optimizer keys:
 ///
 ///   algorithm  = basic | adaptive | perturbed      (default perturbed)
 ///   iterations = <n>         seed = <n>            random_start = <bool>
 ///   step       = <double>    (basic algorithm's Δt)
+///   starts     = <n>         (perturbed only: multi-start count, runs on
+///                             `ctx`; the winner is bit-identical for any
+///                             job count)
+///
+/// Shared by the single-run CLI and the batch runner.
+core::OptimizationOutcome run_optimization(const util::Config& config,
+                                           const core::Problem& problem,
+                                           const runtime::ExecutionContext& ctx);
+
+/// Runs the full CLI. Usage:
+///
+///   mocos_cli [--jobs N] [--summary FILE] <config-file>
+///   mocos_cli [--jobs N] [--summary FILE] --batch <dir-or-list>
+///
+/// Single mode parses the config file, optimizes, and prints the outcome
+/// (plus an optional validation simulation when `simulate = <transitions>`
+/// is set; with `replications = R` the validation runs R replicated
+/// simulations — in parallel under --jobs — and reports mean/p25/p75).
+///
+/// Batch mode expands the --batch spec (a directory of *.conf files or a
+/// list file with one config path per line) and runs every scenario through
+/// one worker pool. Scenario failures are isolated: a bad config or a
+/// numerical failure marks that scenario in the summary and the batch keeps
+/// going. The machine-readable JSON summary goes to `out` (and to the
+/// --summary file when given) and is byte-identical for any --jobs value.
 ///
 /// Returns a process exit code, reporting problems as a one-line diagnostic
 /// on `err`:
-///   0  success
+///   0  success (batch: every scenario succeeded)
 ///   1  unexpected runtime failure
 ///   2  usage or configuration error (unreadable/malformed config, bad keys,
 ///      mismatched schedule, ...)
 ///   3  numerical failure (singular factorization, non-ergodic chain,
 ///      non-finite values, exhausted descent recovery ladder)
+///   4  batch completed but at least one scenario failed
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 
@@ -50,5 +77,6 @@ inline constexpr int kExitSuccess = 0;
 inline constexpr int kExitRuntimeError = 1;
 inline constexpr int kExitBadConfig = 2;
 inline constexpr int kExitNumericalFailure = 3;
+inline constexpr int kExitBatchPartialFailure = 4;
 
 }  // namespace mocos::cli

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/descent/initializers.hpp"
+#include "src/descent/multi_start.hpp"
 
 namespace mocos::core {
 
@@ -32,7 +33,31 @@ OptimizationOutcome CoverageOptimizer::finish(
                              std::move(recovery)};
 }
 
-OptimizationOutcome CoverageOptimizer::run() const {
+OptimizationOutcome CoverageOptimizer::run(
+    const runtime::ExecutionContext& ctx) const {
+  if (options_.starts > 1) {
+    if (options_.algorithm != Algorithm::kPerturbed)
+      throw std::invalid_argument(
+          "CoverageOptimizer: starts > 1 requires the perturbed algorithm");
+    const cost::CompositeCost cost = problem_.make_cost();
+    descent::MultiStartConfig cfg;
+    cfg.starts = options_.starts;
+    cfg.random_start = options_.random_start;
+    cfg.perturbed.base.step_policy = descent::StepPolicy::kLineSearch;
+    cfg.perturbed.base.keep_trace = options_.keep_trace;
+    cfg.perturbed.noise_sigma = options_.noise_sigma;
+    cfg.perturbed.annealing_k = options_.annealing_k;
+    cfg.perturbed.max_iterations = options_.max_iterations;
+    cfg.perturbed.stall_limit = options_.stall_limit;
+    cfg.perturbed.keep_trace = options_.keep_trace;
+    util::Rng rng(options_.seed);
+    descent::MultiStartResult ms = descent::multi_start_perturbed(
+        cost, problem_.num_pois(), cfg, rng, ctx);
+    return finish(Algorithm::kPerturbed, std::move(ms.best.best_p),
+                  ms.best.best_cost, ms.best.iterations,
+                  std::move(ms.best.trace), ms.best.reason,
+                  std::move(ms.best.recovery));
+  }
   util::Rng rng(options_.seed);
   const markov::TransitionMatrix start =
       options_.random_start ? descent::random_start(problem_.num_pois(), rng)

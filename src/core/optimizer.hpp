@@ -7,6 +7,7 @@
 #include "src/core/result.hpp"
 #include "src/descent/perturbed_descent.hpp"
 #include "src/descent/steepest_descent.hpp"
+#include "src/runtime/execution_context.hpp"
 
 namespace mocos::core {
 
@@ -23,6 +24,11 @@ struct OptimizerOptions {
   double annealing_k = 10000.0;
   std::size_t stall_limit = 400;  // early exit for the perturbed algorithm
   bool keep_trace = true;
+  /// Multi-start (perturbed algorithm only): run this many independent
+  /// V2-random starts and keep the best — the paper's Fig. 2 protocol as a
+  /// single call. Starts run on the ExecutionContext handed to run(); the
+  /// winner is bit-identical for any job count.
+  std::size_t starts = 1;
 };
 
 /// Facade tying the problem, the cost construction, and the §V algorithm
@@ -37,9 +43,11 @@ class CoverageOptimizer {
   CoverageOptimizer(const Problem& problem, OptimizerOptions options);
 
   /// Runs with a start matrix chosen per options (uniform or V2-random).
-  OptimizationOutcome run() const;
+  /// With options.starts > 1 (perturbed algorithm), runs the multi-start
+  /// protocol on `ctx` and returns the winner.
+  OptimizationOutcome run(const runtime::ExecutionContext& ctx = {}) const;
 
-  /// Runs from an explicit start matrix.
+  /// Runs from an explicit start matrix (single start).
   OptimizationOutcome run(const markov::TransitionMatrix& start) const;
 
   const OptimizerOptions& options() const { return options_; }

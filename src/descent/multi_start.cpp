@@ -1,0 +1,69 @@
+#include "src/descent/multi_start.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/descent/initializers.hpp"
+
+namespace mocos::descent {
+
+std::size_t MultiStartResult::failed_starts() const {
+  std::size_t n = 0;
+  for (StopReason r : reasons)
+    if (r == StopReason::kNumericalFailure) ++n;
+  return n;
+}
+
+MultiStartResult multi_start_perturbed(const cost::CompositeCost& cost,
+                                       std::size_t num_pois,
+                                       const MultiStartConfig& config,
+                                       util::Rng& rng,
+                                       const runtime::ExecutionContext& ctx) {
+  if (config.starts == 0)
+    throw std::invalid_argument("multi_start_perturbed: starts == 0");
+  if (num_pois == 0)
+    throw std::invalid_argument("multi_start_perturbed: num_pois == 0");
+
+  const PerturbedDescent driver(cost, config.perturbed);
+  const util::Rng streams(rng.stream_base());
+
+  std::vector<std::optional<PerturbedResult>> results(config.starts);
+  runtime::parallel_for(ctx, config.starts, [&](std::size_t k) {
+    util::Rng task_rng = streams.stream(k);
+    const markov::TransitionMatrix start =
+        config.random_start ? random_start(num_pois, task_rng)
+                            : uniform_start(num_pois);
+    results[k] = driver.run(start, task_rng);
+  });
+
+  // Sequential reduction with lowest-index tie-breaking: the winner is a
+  // pure function of the per-start results, not of completion order.
+  std::vector<double> costs;
+  std::vector<StopReason> reasons;
+  std::vector<RecoveryLog> recovery;
+  costs.reserve(config.starts);
+  reasons.reserve(config.starts);
+  recovery.reserve(config.starts);
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < config.starts; ++k) {
+    const PerturbedResult& r = *results[k];
+    const double c = std::isfinite(r.best_cost)
+                         ? r.best_cost
+                         : std::numeric_limits<double>::infinity();
+    costs.push_back(r.best_cost);
+    reasons.push_back(r.reason);
+    recovery.push_back(r.recovery);
+    if (c < best_cost) {
+      best_cost = c;
+      best = k;
+    }
+  }
+  return MultiStartResult{std::move(*results[best]), best, std::move(costs),
+                          std::move(reasons), std::move(recovery)};
+}
+
+}  // namespace mocos::descent

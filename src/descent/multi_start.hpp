@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/descent/perturbed_descent.hpp"
+#include "src/runtime/execution_context.hpp"
+
+namespace mocos::descent {
+
+/// Configuration of the multi-start driver (the paper's Fig. 2 protocol:
+/// many V2 random initial matrices, each refined by the V4 perturbed
+/// descent, keep the best).
+struct MultiStartConfig {
+  /// Independent starts (>= 1).
+  std::size_t starts = 8;
+  /// V2: sample each start from the random row-stochastic construction;
+  /// false pins every start to the uniform matrix (then only the driver
+  /// noise differs between starts).
+  bool random_start = true;
+  /// Per-start driver configuration.
+  PerturbedConfig perturbed;
+};
+
+struct MultiStartResult {
+  /// The winning start's full result (best_p / best_cost / trace / ...).
+  PerturbedResult best;
+  /// Index of the winning start; ties break to the lowest index so the
+  /// reduction is deterministic.
+  std::size_t best_index = 0;
+  /// Per-start best costs, indexed by start.
+  std::vector<double> costs;
+  /// Per-start stop reasons (kNumericalFailure entries mark starts whose
+  /// recovery ladder ran out; they still report their best-seen cost).
+  std::vector<StopReason> reasons;
+  /// Per-start rescue logs, indexed by start (empty logs on clean runs).
+  std::vector<RecoveryLog> recovery;
+
+  /// Starts that ended in kNumericalFailure.
+  std::size_t failed_starts() const;
+};
+
+/// Runs `config.starts` independent perturbed descents on `cost` over
+/// `num_pois` PoIs and keeps the lowest best-cost iterate.
+///
+/// Start k's initial matrix and driver noise both come from the indexed
+/// stream `k` of one base drawn from `rng`, so for a fixed incoming RNG
+/// state the winner (index, cost bits, matrix) is identical for any
+/// `ctx.jobs()`. A start whose descent throws (infeasible sampled start,
+/// exhausted initializer retries) propagates deterministically — callers
+/// wanting isolation run one scenario per start instead.
+MultiStartResult multi_start_perturbed(const cost::CompositeCost& cost,
+                                       std::size_t num_pois,
+                                       const MultiStartConfig& config,
+                                       util::Rng& rng,
+                                       const runtime::ExecutionContext& ctx = {});
+
+}  // namespace mocos::descent

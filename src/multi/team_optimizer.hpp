@@ -2,6 +2,7 @@
 
 #include "src/core/optimizer.hpp"
 #include "src/multi/sensor_team.hpp"
+#include "src/runtime/execution_context.hpp"
 
 namespace mocos::multi {
 
@@ -18,14 +19,19 @@ struct TeamOptimizerOptions {
   double residual_floor = 0.02;
 };
 
-/// Heuristic multi-sensor extension of the paper's optimizer: sequential
-/// best response on the coverage residual. Each sensor's chain is produced
-/// by the single-sensor stochastic steepest descent with reweighted targets
+/// Heuristic multi-sensor extension of the paper's optimizer: simultaneous
+/// (Jacobi) best response on the coverage residual. Each round computes
+/// every sensor's reweighted targets
 ///
 ///   Φ_i^(k) ∝ max(Φ_i · (1 − c_i^(−k)), floor · Φ_i),
 ///
-/// where c_i^(−k) is the combined coverage of the other sensors.
+/// against the *previous* round's chains — c_i^(−k) is the combined coverage
+/// of the other sensors — then re-optimizes all sensors against their
+/// residuals. The simultaneous update makes every per-sensor optimization
+/// within a round independent, so rounds fan out on `ctx` and the resulting
+/// team is bit-identical for any job count.
 SensorTeam optimize_team(const core::Problem& problem,
-                         const TeamOptimizerOptions& options);
+                         const TeamOptimizerOptions& options,
+                         const runtime::ExecutionContext& ctx = {});
 
 }  // namespace mocos::multi

@@ -1,0 +1,19 @@
+#include "src/runtime/execution_context.hpp"
+
+#include <stdexcept>
+
+namespace mocos::runtime {
+
+ExecutionContext::ExecutionContext(std::size_t jobs, std::uint64_t root_seed)
+    : jobs_(jobs), root_seed_(root_seed) {
+  if (effective_jobs() > 1)
+    pool_ = std::make_shared<ThreadPool>(effective_jobs());
+}
+
+ThreadPool& ExecutionContext::pool() const {
+  if (!pool_)
+    throw std::logic_error("ExecutionContext::pool: serial context");
+  return *pool_;
+}
+
+}  // namespace mocos::runtime

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "src/runtime/thread_pool.hpp"
+
+namespace mocos::runtime {
+
+/// Execution policy threaded through the library's fan-out entry points
+/// (replicated simulation, multi-start descent, team best response, batch
+/// serving).
+///
+/// Determinism contract: for a fixed root seed, every result produced
+/// through an ExecutionContext is bit-identical for any `jobs` value,
+/// including `jobs = 1`. Parallel call sites must (a) derive per-task RNGs
+/// by task index (`util::Rng::stream`), never by scheduling order, (b) write
+/// results into index-addressed slots, and (c) reduce sequentially after the
+/// barrier.
+///
+/// A parallel context owns its fixed-size pool from construction; copies
+/// share it, so one pool serves a whole batch of scenarios.
+class ExecutionContext {
+ public:
+  /// Serial context: `jobs = 1`, no pool is ever created.
+  ExecutionContext() = default;
+
+  /// `jobs = 0` means "use the hardware concurrency". A pool is spawned
+  /// immediately when the resolved count exceeds 1.
+  explicit ExecutionContext(std::size_t jobs, std::uint64_t root_seed = 0);
+
+  std::size_t jobs() const { return jobs_; }
+  std::uint64_t root_seed() const { return root_seed_; }
+
+  /// Worker count after resolving `jobs = 0`.
+  std::size_t effective_jobs() const {
+    if (jobs_ != 0) return jobs_;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  bool serial() const { return pool_ == nullptr; }
+
+  /// The shared worker pool. Must not be called on a serial context.
+  ThreadPool& pool() const;
+
+ private:
+  std::size_t jobs_ = 1;
+  std::uint64_t root_seed_ = 0;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+/// Runs `fn(i)` for i in [0, n). Serial contexts (and n <= 1) loop inline;
+/// otherwise the iterations run as indexed tasks on the context's pool with
+/// a full barrier. Exceptions propagate deterministically (lowest index).
+template <typename Fn>
+void parallel_for(const ExecutionContext& ctx, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (n == 1 || ctx.serial()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(ctx.pool());
+  for (std::size_t i = 0; i < n; ++i) {
+    group.run([&fn, i] { fn(i); });
+  }
+  group.wait();
+}
+
+}  // namespace mocos::runtime

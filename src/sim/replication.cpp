@@ -28,25 +28,35 @@ ReplicationSummary replicate(const sensing::MotionModel& model,
                              const markov::TransitionMatrix& p,
                              const std::vector<double>& targets, double alpha,
                              double beta, const SimulationConfig& config,
-                             std::size_t replications, util::Rng& rng) {
+                             std::size_t replications, util::Rng& rng,
+                             const runtime::ExecutionContext& ctx) {
   if (replications == 0)
     throw std::invalid_argument("replicate: replications == 0");
   const std::size_t n = model.num_pois();
-  MarkovCoverageSimulator simulator(model, config);
+  const MarkovCoverageSimulator simulator(model, config);
 
-  std::vector<double> dcs, ebars, costs;
+  // Index-addressed slots + indexed RNG streams: replica r's result depends
+  // only on (rng state at entry, r), never on worker scheduling, so the
+  // summary is bit-identical for any job count.
+  const util::Rng streams(rng.stream_base());
+  std::vector<double> dcs(replications), ebars(replications),
+      costs(replications);
   std::vector<std::vector<double>> shares(n), exposures(n);
-  for (std::size_t r = 0; r < replications; ++r) {
-    util::Rng child = rng.split();
-    const SimulationResult res = simulator.run(p, child);
-    dcs.push_back(res.delta_c(targets));
-    ebars.push_back(res.e_bar());
-    costs.push_back(res.cost(alpha, beta, targets));
-    for (std::size_t i = 0; i < n; ++i) {
-      shares[i].push_back(res.coverage_share[i]);
-      exposures[i].push_back(res.exposure_steps[i]);
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i].resize(replications);
+    exposures[i].resize(replications);
   }
+  runtime::parallel_for(ctx, replications, [&](std::size_t r) {
+    util::Rng child = streams.stream(r);
+    const SimulationResult res = simulator.run(p, child);
+    dcs[r] = res.delta_c(targets);
+    ebars[r] = res.e_bar();
+    costs[r] = res.cost(alpha, beta, targets);
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i][r] = res.coverage_share[i];
+      exposures[i][r] = res.exposure_steps[i];
+    }
+  });
 
   ReplicationSummary out;
   out.replications = replications;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace mocos::sim {
@@ -32,12 +33,18 @@ struct ReplicationSummary {
 ReplicatedMetric summarize(const std::vector<double>& samples);
 
 /// Runs `replications` independent simulations of the schedule driven by `p`
-/// (per-replica RNG streams split from `rng`) and summarizes the paper's
-/// metrics against `targets` with Eq.-14 weights (alpha, beta).
+/// and summarizes the paper's metrics against `targets` with Eq.-14 weights
+/// (alpha, beta).
+///
+/// Replicas run on `ctx` (serial by default). Per-replica RNGs are indexed
+/// streams derived from one draw of `rng`, so the summary is bit-identical
+/// for any `ctx.jobs()`, and successive calls with the same `rng` still
+/// produce fresh replicas.
 ReplicationSummary replicate(const sensing::MotionModel& model,
                              const markov::TransitionMatrix& p,
                              const std::vector<double>& targets, double alpha,
                              double beta, const SimulationConfig& config,
-                             std::size_t replications, util::Rng& rng);
+                             std::size_t replications, util::Rng& rng,
+                             const runtime::ExecutionContext& ctx = {});
 
 }  // namespace mocos::sim

@@ -5,6 +5,19 @@
 
 namespace mocos::util {
 
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mix, so adjacent task
+// indices yield statistically unrelated seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 double Rng::uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
 }
@@ -62,5 +75,11 @@ Rng Rng::split() {
   std::uint64_t b = engine_();
   return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
 }
+
+Rng Rng::stream(std::uint64_t task_index) const {
+  return Rng(mix64(base_seed_ ^ mix64(task_index + 1)));
+}
+
+std::uint64_t Rng::stream_base() { return mix64(engine_()); }
 
 }  // namespace mocos::util

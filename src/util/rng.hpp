@@ -14,7 +14,7 @@ namespace mocos::util {
 /// random initial matrices) is reproducible from a single seed.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed), base_seed_(seed) {}
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -41,12 +41,31 @@ class Rng {
 
   /// Derives an independent child generator; lets replicated experiments run
   /// with per-replica streams while staying reproducible from the root seed.
+  ///
+  /// Order-dependent: each call consumes from the engine, so the k-th split
+  /// depends on how many draws preceded it. Serial code may rely on that;
+  /// parallel fan-out must use the indexed `stream()` derivation instead.
   Rng split();
+
+  /// Derives the `task_index`-th independent child stream by hash-mixing the
+  /// construction seed with the index (SplitMix64 finalizer). Const — never
+  /// consumes from the engine — so the derived stream depends only on
+  /// (seed, task_index), not on scheduling or call order: the
+  /// parallel-safe derivation every `runtime::parallel_for` site uses.
+  Rng stream(std::uint64_t task_index) const;
+
+  /// Draws one value from the engine and hash-mixes it into a fresh base
+  /// seed for a family of indexed streams (`Rng(rng.stream_base())` then
+  /// `.stream(i)` per task). Advancing exactly one draw per call keeps
+  /// successive families distinct while staying deterministic for any
+  /// worker count.
+  std::uint64_t stream_base();
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t base_seed_;
 };
 
 }  // namespace mocos::util
