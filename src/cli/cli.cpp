@@ -220,7 +220,9 @@ core::OptimizationOutcome run_optimization(
                                      std::move(metrics),
                                      report,
                                      0,
-                                     descent::Trace{}};
+                                     descent::Trace{},
+                                     descent::StopReason::kMaxIterations,
+                                     descent::RecoveryLog{}};
   }
   core::OptimizerOptions opts;
   opts.algorithm = parse_algorithm(config);

@@ -45,10 +45,12 @@ class CoverageOptimizer {
   /// Runs with a start matrix chosen per options (uniform or V2-random).
   /// With options.starts > 1 (perturbed algorithm), runs the multi-start
   /// protocol on `ctx` and returns the winner.
-  OptimizationOutcome run(const runtime::ExecutionContext& ctx = {}) const;
+  [[nodiscard]] OptimizationOutcome run(
+      const runtime::ExecutionContext& ctx = {}) const;
 
   /// Runs from an explicit start matrix (single start).
-  OptimizationOutcome run(const markov::TransitionMatrix& start) const;
+  [[nodiscard]] OptimizationOutcome run(
+      const markov::TransitionMatrix& start) const;
 
   const OptimizerOptions& options() const { return options_; }
 

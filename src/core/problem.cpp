@@ -46,6 +46,9 @@ std::vector<double> resolve_weights(double scalar,
   for (double x : w) {
     if (x < 0.0)
       throw std::invalid_argument(std::string("Weights: negative ") + name);
+    // Exact on purpose: config weights are written literally; any nonzero
+    // value, however small, keeps the per-PoI vector alive.
+    // mocos-lint: allow(float-eq)
     any = any || x != 0.0;
   }
   if (!any) w.clear();
@@ -65,9 +68,13 @@ cost::CompositeCost Problem::make_cost() const {
   if (!betas.empty())
     u.add(std::make_unique<cost::ExposureTerm>(betas));
   u.add(std::make_unique<cost::BarrierTerm>(weights_.epsilon));
+  // Exact on purpose (both checks below): weight == 0 is the "term
+  // disabled" config contract, not a computed quantity.
+  // mocos-lint: allow(float-eq)
   if (weights_.energy_gamma != 0.0)
     u.add(std::make_unique<cost::EnergyTerm>(tensors_, weights_.energy_gamma,
                                              weights_.energy_target));
+  // mocos-lint: allow(float-eq)
   if (weights_.entropy_weight != 0.0)
     u.add(std::make_unique<cost::EntropyTerm>(weights_.entropy_weight));
   if (!weights_.event_rates.empty())

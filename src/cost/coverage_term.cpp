@@ -57,6 +57,9 @@ void CoverageDeviationTerm::accumulate_partials(
   //   ∂g_i/∂p_jk    = π_j B^i_jk
   for (std::size_t i = 0; i < n; ++i) {
     const double w = alphas_[i] * g[i];
+    // Exact on purpose: every partial below is scaled by w, so skipping an
+    // exact zero is lossless; skipping near-zeros would bias the gradient.
+    // mocos-lint: allow(float-eq)
     if (w == 0.0) continue;
     const linalg::Matrix& b = kernels_[i];
     for (std::size_t j = 0; j < n; ++j) {

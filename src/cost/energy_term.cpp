@@ -32,6 +32,9 @@ void EnergyTerm::accumulate_partials(const markov::ChainAnalysis& chain,
                                      Partials& out) const {
   const std::size_t n = chain.p.size();
   const double w = gamma_ * (expected_distance(chain) - target_);
+  // Exact on purpose: every partial is scaled by w; an exact-zero skip is
+  // lossless, a tolerance would bias the gradient near the target.
+  // mocos-lint: allow(float-eq)
   if (w == 0.0) return;
   // ∂D/∂π_i = Σ_j p_ij d_ij ;  ∂D/∂p_ij = π_i d_ij.
   for (std::size_t i = 0; i < n; ++i) {

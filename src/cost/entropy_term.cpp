@@ -24,6 +24,8 @@ double EntropyTerm::value(const markov::ChainAnalysis& chain) const {
 
 void EntropyTerm::accumulate_partials(const markov::ChainAnalysis& chain,
                                       Partials& out) const {
+  // Exact on purpose: weight == 0 is the "term disabled" config contract.
+  // mocos-lint: allow(float-eq)
   if (weight_ == 0.0) return;
   const std::size_t n = chain.p.size();
   // U_H = -w H:

@@ -70,6 +70,9 @@ void ExposureTerm::accumulate_partials(const markov::ChainAnalysis& chain,
   //   ∂Ē_i/∂z_ji      = -p_ij /(π_i s_i)                 (j ≠ i)
   for (std::size_t i = 0; i < n; ++i) {
     const double w = betas_[i] * e[i];
+    // Exact on purpose: every partial below is scaled by w, so skipping an
+    // exact zero is lossless; skipping near-zeros would bias the gradient.
+    // mocos-lint: allow(float-eq)
     if (w == 0.0) continue;
     const double s = hold_probability(chain, i);
     const double inv_pis = 1.0 / (chain.pi[i] * s);

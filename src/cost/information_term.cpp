@@ -33,6 +33,10 @@ double InformationCaptureTerm::capture_rate(
       d += chain.pi[j] * chain.p(j, k) * durations_(j, k);
   double j_total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
+    // Exact on purpose (all four sites in this file): rate == 0 means the
+    // PoI has no event stream by config contract; the skip is lossless
+    // because every contribution is scaled by rates_[i].
+    // mocos-lint: allow(float-eq)
     if (rates_[i] == 0.0) continue;
     double num = 0.0;
     for (std::size_t j = 0; j < n; ++j)
@@ -66,6 +70,7 @@ void InformationCaptureTerm::accumulate_partials(
 
   std::vector<double> num(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
+    // mocos-lint: allow(float-eq)
     if (rates_[i] == 0.0) continue;
     for (std::size_t j = 0; j < n; ++j)
       for (std::size_t k = 0; k < n; ++k)
@@ -78,6 +83,7 @@ void InformationCaptureTerm::accumulate_partials(
       dd_dpi += chain.p(j, k) * durations_(j, k);
     double dpi_acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+      // mocos-lint: allow(float-eq)
       if (rates_[i] == 0.0) continue;
       double dn_dpi = 0.0;
       for (std::size_t k = 0; k < n; ++k)
@@ -90,6 +96,7 @@ void InformationCaptureTerm::accumulate_partials(
       const double dd_dp = chain.pi[j] * durations_(j, k);
       double dp_acc = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
+        // mocos-lint: allow(float-eq)
         if (rates_[i] == 0.0) continue;
         const double dn_dp = chain.pi[j] * coverage_[i](j, k);
         dp_acc += rates_[i] * (dn_dp * d - num[i] * dd_dp) / d2;

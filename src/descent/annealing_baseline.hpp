@@ -33,7 +33,7 @@ struct AnnealingResult {
   std::size_t accepted = 0;
 };
 
-AnnealingResult anneal_schedule(const cost::CompositeCost& cost,
+[[nodiscard]] AnnealingResult anneal_schedule(const cost::CompositeCost& cost,
                                 const markov::TransitionMatrix& start,
                                 const AnnealingConfig& config, util::Rng& rng);
 

@@ -18,6 +18,9 @@ LineSearchResult trisection_search(const std::function<double(double)>& phi,
   // Injected rejection: report "no descent along this direction" so tests
   // can drive the Δt* = 0 handling (critical-point stop, random escape).
   if (util::fault::fire(util::fault::Site::kLineSearch)) return result;
+  // Exact on purpose: max_feasible_step returns exactly 0.0 when pinned
+  // against the boundary; a tiny positive interval is still searchable.
+  // mocos-lint: allow(float-eq)
   if (max_step == 0.0) return result;
 
   double lo = 0.0;

@@ -50,7 +50,8 @@ struct MultiStartResult {
 /// `ctx.jobs()`. A start whose descent throws (infeasible sampled start,
 /// exhausted initializer retries) propagates deterministically — callers
 /// wanting isolation run one scenario per start instead.
-MultiStartResult multi_start_perturbed(const cost::CompositeCost& cost,
+[[nodiscard]] MultiStartResult multi_start_perturbed(
+    const cost::CompositeCost& cost,
                                        std::size_t num_pois,
                                        const MultiStartConfig& config,
                                        util::Rng& rng,

@@ -122,12 +122,16 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
         trisection_search(phi, current, max_step, config_.base.line_search);
 
     double step = ls.step;
+    // Exact on purpose (both sites below): 0.0 is the line search's "no
+    // acceptable step" sentinel, assigned literally, never computed.
+    // mocos-lint: allow(float-eq)
     if (step == 0.0 && max_step > 0.0) {
       // Line search is stuck (Δt* = 0): take a random feasible step, the
       // paper's escape move.
       step = rng.uniform(0.0, max_step);
       ++result.random_steps;
     }
+    // mocos-lint: allow(float-eq)
     if (step == 0.0) {
       ++result.iterations;
       continue;  // direction pinned against the boundary; resample noise

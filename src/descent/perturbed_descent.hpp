@@ -65,7 +65,7 @@ class PerturbedDescent {
  public:
   PerturbedDescent(const cost::CompositeCost& cost, PerturbedConfig config);
 
-  PerturbedResult run(const markov::TransitionMatrix& start,
+  [[nodiscard]] PerturbedResult run(const markov::TransitionMatrix& start,
                       util::Rng& rng) const;
 
   const PerturbedConfig& config() const { return config_; }

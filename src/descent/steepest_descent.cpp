@@ -222,6 +222,9 @@ DescentResult SteepestDescent::run(
       result.trace.record({result.iterations, new_cost, step, grad_norm,
                            /*accepted=*/step > 0.0});
 
+    // Exact on purpose: 0.0 is the line search's "no acceptable step"
+    // sentinel, assigned literally — any accepted step is strictly positive.
+    // mocos-lint: allow(float-eq)
     if (step == 0.0) {
       // Line search found no descent: the paper's Δt* = 0 termination
       // (a critical point — possibly one of the many local optima).

@@ -98,7 +98,7 @@ class SteepestDescent {
  public:
   SteepestDescent(const cost::CompositeCost& cost, DescentConfig config);
 
-  DescentResult run(const markov::TransitionMatrix& start) const;
+  [[nodiscard]] DescentResult run(const markov::TransitionMatrix& start) const;
 
   const DescentConfig& config() const { return config_; }
 

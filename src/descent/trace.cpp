@@ -20,10 +20,11 @@ std::vector<IterationRecord> Trace::subsample(std::size_t max_points) const {
   const double stride = static_cast<double>(records_.size() - 1) /
                         static_cast<double>(max_points - 1);
   std::size_t last = records_.size();  // sentinel: nothing emitted yet
+  const auto last_index =
+      static_cast<long long>(records_.size()) - 1;  // size checked above
   for (std::size_t i = 0; i < max_points; ++i) {
     const auto idx = static_cast<std::size_t>(
-        std::min<double>(std::llround(static_cast<double>(i) * stride),
-                         static_cast<double>(records_.size() - 1)));
+        std::min(std::llround(static_cast<double>(i) * stride), last_index));
     if (idx != last) {
       out.push_back(records_[idx]);
       last = idx;

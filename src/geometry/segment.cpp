@@ -5,12 +5,19 @@
 
 namespace mocos::geometry {
 
+namespace {
+// Segments shorter than this are treated as points: a tolerance rather than
+// an exact-zero test, because parameterizing along a near-zero direction
+// divides by len^2 and amplifies coordinate noise into garbage chords.
+constexpr double kDegenerateLength = 1e-12;
+}  // namespace
+
 std::optional<ChordInterval> chord_interval_in_disk(const Segment& seg,
                                                     Vec2 c, double r) {
   if (r <= 0.0) return std::nullopt;
   const Vec2 d = seg.b - seg.a;
   const double len = length(d);
-  if (len == 0.0) return std::nullopt;
+  if (len < kDegenerateLength) return std::nullopt;
 
   // Parameterize the line as a + t*d, t in [0,1]; solve |a + t*d - c| = r.
   const Vec2 f = seg.a - c;
@@ -35,7 +42,8 @@ double chord_length_in_disk(const Segment& seg, Vec2 c, double r) {
 double distance_to_segment(const Segment& seg, Vec2 p) {
   const Vec2 d = seg.b - seg.a;
   const double len2 = length_sq(d);
-  if (len2 == 0.0) return distance(seg.a, p);
+  if (len2 < kDegenerateLength * kDegenerateLength)
+    return distance(seg.a, p);
   const double t = std::clamp(dot(p - seg.a, d) / len2, 0.0, 1.0);
   return distance(seg.a + t * d, p);
 }

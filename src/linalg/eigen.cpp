@@ -18,6 +18,9 @@ struct Givens {
 
 Givens make_givens(Complex a, Complex b) {
   const double r = std::sqrt(std::norm(a) + std::norm(b));
+  // Exact on purpose: r >= max(|a|, |b|) / sqrt(2), so the divisions below
+  // are well-scaled for every nonzero r, however small.
+  // mocos-lint: allow(float-eq)
   if (r == 0.0) return {1.0, 0.0, 0.0, 1.0};
   return {std::conj(a) / r, std::conj(b) / r, -b / r, a / r};
 }
@@ -50,7 +53,11 @@ void apply_right_adjoint(CMatrix& h, const Givens& g, std::size_t p,
 void hessenberg(CMatrix& h, std::size_t n) {
   for (std::size_t j = 0; j + 2 < n; ++j) {
     for (std::size_t i = j + 2; i < n; ++i) {
-      if (std::abs(h[i][j]) == 0.0) continue;
+      // Tolerance, not exact zero: a denormal entry would feed make_givens
+      // a denormal radius and overflow the rotation; entries are O(1) here
+      // (the caller pre-scales by the max magnitude), so anything below the
+      // floor is already zero for every subsequent similarity transform.
+      if (std::abs(h[i][j]) < 1e-300) continue;
       const Givens g = make_givens(h[j + 1][j], h[i][j]);
       apply_left(h, g, j + 1, i, n);
       apply_right_adjoint(h, g, j + 1, i, n);
@@ -88,6 +95,9 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a, double tol,
       h[i][j] = Complex(a(i, j), 0.0);
       scale = std::max(scale, std::abs(a(i, j)));
     }
+  // Exact on purpose: only the all-zero matrix short-circuits; any nonzero
+  // magnitude, however small, is a valid scaling factor.
+  // mocos-lint: allow(float-eq)
   if (scale == 0.0) return std::vector<Complex>(n, Complex(0.0, 0.0));
 
   hessenberg(h, n);

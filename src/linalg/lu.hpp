@@ -38,7 +38,7 @@ class LuDecomposition {
   /// and kSingularMatrix (message carrying the failing column and pivot
   /// magnitude) when a pivot underflows, instead of throwing. The returned
   /// decomposition exposes diagnostics() either way a caller obtains it.
-  static util::StatusOr<LuDecomposition> try_factor(Matrix a);
+  [[nodiscard]] static util::StatusOr<LuDecomposition> try_factor(Matrix a);
 
   std::size_t size() const { return lu_.rows(); }
 
@@ -49,19 +49,19 @@ class LuDecomposition {
   /// ||A||_1 · ||A^-1||_1, computed on demand (n triangular solves). The
   /// exact 1-norm condition number — use in tests and offline diagnostics,
   /// not per-iteration hot paths.
-  double condition_number_1norm() const;
+  [[nodiscard]] double condition_number_1norm() const;
 
   /// Solves A x = b.
-  Vector solve(const Vector& b) const;
+  [[nodiscard]] Vector solve(const Vector& b) const;
 
   /// Solves A X = B column-by-column.
-  Matrix solve(const Matrix& b) const;
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
 
   /// Explicit inverse (solves against the identity).
-  Matrix inverse() const;
+  [[nodiscard]] Matrix inverse() const;
 
   /// det(A), including the pivot sign.
-  double determinant() const;
+  [[nodiscard]] double determinant() const;
 
  private:
   LuDecomposition() = default;  // for try_factor
@@ -78,12 +78,13 @@ class LuDecomposition {
 };
 
 /// One-shot helpers.
-Vector solve(const Matrix& a, const Vector& b);
-Matrix inverse(const Matrix& a);
-double determinant(const Matrix& a);
+[[nodiscard]] Vector solve(const Matrix& a, const Vector& b);
+[[nodiscard]] Matrix inverse(const Matrix& a);
+[[nodiscard]] double determinant(const Matrix& a);
 
 /// Non-throwing one-shot solve/inverse built on try_factor.
-util::StatusOr<Vector> try_solve(const Matrix& a, const Vector& b);
-util::StatusOr<Matrix> try_inverse(const Matrix& a);
+[[nodiscard]] util::StatusOr<Vector> try_solve(const Matrix& a,
+                                               const Vector& b);
+[[nodiscard]] util::StatusOr<Matrix> try_inverse(const Matrix& a);
 
 }  // namespace mocos::linalg

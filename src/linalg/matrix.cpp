@@ -110,6 +110,9 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
+      // Exact on purpose: skipping exact zeros is a lossless sparsity
+      // shortcut; skipping near-zeros would change the product.
+      // mocos-lint: allow(float-eq)
       if (aik == 0.0) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
     }
@@ -145,6 +148,8 @@ Vector mul(const Vector& x, const Matrix& a) {
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
+    // Exact on purpose: lossless sparsity shortcut, as in operator* above.
+    // mocos-lint: allow(float-eq)
     if (xi == 0.0) continue;
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * a(i, j);
   }

@@ -11,17 +11,17 @@ namespace mocos::markov {
 /// (every row equals the stationary distribution). The paper uses Z (via the
 /// group inverse A# = Z - W, Eq. 7) to express first passage times (Eq. 8)
 /// and the chain sensitivities (§IV, following Schweitzer).
-linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
-                                  const linalg::Vector& pi);
+[[nodiscard]] linalg::Matrix fundamental_matrix(const linalg::Matrix& p,
+                                                const linalg::Vector& pi);
 
 /// Non-throwing variant: kSingularMatrix (with the LU pivot diagnostics in
 /// the message) when I - P + W cannot be inverted, kNonFiniteValue when the
 /// inverse contains NaN/inf.
-util::StatusOr<linalg::Matrix> try_fundamental_matrix(
+[[nodiscard]] util::StatusOr<linalg::Matrix> try_fundamental_matrix(
     const linalg::Matrix& p, const linalg::Vector& pi);
 
 /// W = 𝟙πᵀ.
-linalg::Matrix stationary_rows(const linalg::Vector& pi);
+[[nodiscard]] linalg::Matrix stationary_rows(const linalg::Vector& pi);
 
 /// One-stop analysis of an ergodic chain: everything the cost function and
 /// its gradient need, computed once per optimizer iteration.
@@ -34,14 +34,14 @@ struct ChainAnalysis {
   linalg::Matrix r;    // expected first passage times R_ij (Eq. 8)
 };
 
-ChainAnalysis analyze_chain(const TransitionMatrix& p);
+[[nodiscard]] ChainAnalysis analyze_chain(const TransitionMatrix& p);
 
 /// Non-throwing chain analysis — the entry point the descent recovery ladder
 /// uses. Runs the selected stationary solver, then the fundamental-matrix
 /// inversion and passage times, validating each stage; the first failure is
 /// returned as a structured Status instead of an exception or NaN-laden
 /// result.
-util::StatusOr<ChainAnalysis> try_analyze_chain(
+[[nodiscard]] util::StatusOr<ChainAnalysis> try_analyze_chain(
     const TransitionMatrix& p,
     StationarySolver solver = StationarySolver::kDirect);
 

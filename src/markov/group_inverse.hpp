@@ -10,18 +10,20 @@ namespace mocos::markov {
 /// (Meyer 1975, the paper's §III-B). Computed as A# = Z - W, which satisfies
 /// the defining axioms A A# A = A, A# A A# = A#, A A# = A# A, and the paper's
 /// Eqs. (5) and (7): W = I - A A#, Z = I + P A#.
-linalg::Matrix group_inverse(const linalg::Matrix& p, const linalg::Vector& pi);
+[[nodiscard]] linalg::Matrix group_inverse(const linalg::Matrix& p,
+                                           const linalg::Vector& pi);
 
 /// Non-throwing variant built on try_fundamental_matrix: returns the
 /// structured kSingularMatrix / kNonFiniteValue status of the underlying
 /// inversion instead of throwing.
-util::StatusOr<linalg::Matrix> try_group_inverse(const linalg::Matrix& p,
-                                                 const linalg::Vector& pi);
+[[nodiscard]] util::StatusOr<linalg::Matrix> try_group_inverse(
+    const linalg::Matrix& p, const linalg::Vector& pi);
 
 /// Checks the three group-inverse axioms to tolerance `tol`. Exposed so the
 /// property-test suite (and any user validating a hand-built chain) can
 /// verify a candidate inverse.
-bool satisfies_group_inverse_axioms(const linalg::Matrix& a,
-                                    const linalg::Matrix& g, double tol);
+[[nodiscard]] bool satisfies_group_inverse_axioms(const linalg::Matrix& a,
+                                                  const linalg::Matrix& g,
+                                                  double tol);
 
 }  // namespace mocos::markov

@@ -13,18 +13,19 @@ namespace mocos::markov {
 /// (The paper prints /π_i, but D = diag(1/π) RIGHT-multiplies in Eq. 6, so
 /// the divisor is the destination's stationary mass — this also is the only
 /// reading under which R_ii = 1/π_i.)
-linalg::Matrix first_passage_times(const linalg::Matrix& z,
-                                   const linalg::Vector& pi);
+[[nodiscard]] linalg::Matrix first_passage_times(const linalg::Matrix& z,
+                                                 const linalg::Vector& pi);
 
 /// Non-throwing variant: validates π is strictly positive before dividing
 /// (kNotErgodic otherwise) and that the resulting times are finite
 /// (kNonFiniteValue), instead of silently producing ±inf rows.
-util::StatusOr<linalg::Matrix> try_first_passage_times(
+[[nodiscard]] util::StatusOr<linalg::Matrix> try_first_passage_times(
     const linalg::Matrix& z, const linalg::Vector& pi);
 
 /// Independent cross-check used by tests: solves, for each destination j,
 /// the linear one-step system  R_ij = 1 + Σ_{k≠j} p_ik R_kj  (i ≠ j) and
 /// R_jj = 1 + Σ_{k≠j} p_jk R_kj.
-linalg::Matrix first_passage_times_by_solve(const linalg::Matrix& p);
+[[nodiscard]] linalg::Matrix first_passage_times_by_solve(
+    const linalg::Matrix& p);
 
 }  // namespace mocos::markov

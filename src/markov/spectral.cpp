@@ -20,8 +20,11 @@ double slem(const linalg::Matrix& p, const linalg::Vector& pi) {
   // Repeated squaring with per-step normalization:
   //   rho(B) = lim ||B^k||^(1/k);  k = 2^7 makes the polynomial factor in
   //   the Frobenius bound negligible (x^(1/128) ~= 1).
+  // Tolerance, not exact zero: 1/norm overflows to inf for denormal norms,
+  // and a chain whose deflated matrix is that small is numerically nilpotent.
+  constexpr double kNormFloor = 1e-300;
   double norm = linalg::frobenius_norm(b);
-  if (norm == 0.0) return 0.0;
+  if (norm < kNormFloor) return 0.0;
   b *= 1.0 / norm;
   double log_scale = std::log(norm);
   double prev_log_scale = 0.0;
@@ -31,7 +34,7 @@ double slem(const linalg::Matrix& p, const linalg::Vector& pi) {
     prev_log_scale = log_scale;
     k *= 2;
     const double m = linalg::frobenius_norm(b);
-    if (m == 0.0) return 0.0;  // nilpotent deflation: spectrum is {0}
+    if (m < kNormFloor) return 0.0;  // nilpotent deflation: spectrum is {0}
     b *= 1.0 / m;
     log_scale = 2.0 * log_scale + std::log(m);
   }

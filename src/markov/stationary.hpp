@@ -11,15 +11,15 @@ namespace mocos::markov {
 ///
 /// Solved exactly via the nonsingular system (I - Pᵀ + 𝟙𝟙ᵀ) π = 𝟙, which has
 /// π as its unique solution for ergodic P.
-linalg::Vector stationary_distribution(const TransitionMatrix& p);
+[[nodiscard]] linalg::Vector stationary_distribution(const TransitionMatrix& p);
 
 /// Power-iteration fallback/cross-check: repeatedly applies x ← x P until the
 /// L1 change drops below `tol` or `max_iters` is hit. Used in tests to verify
 /// the direct solver and by the descent recovery ladder when the direct
 /// solve fails.
-linalg::Vector stationary_power_iteration(const TransitionMatrix& p,
-                                          std::size_t max_iters = 100000,
-                                          double tol = 1e-13);
+[[nodiscard]] linalg::Vector stationary_power_iteration(
+    const TransitionMatrix& p, std::size_t max_iters = 100000,
+    double tol = 1e-13);
 
 /// Which solver try_stationary_distribution should use. The descent recovery
 /// ladder demotes itself from kDirect to kPowerIteration after a singular
@@ -34,7 +34,7 @@ enum class StationarySolver { kDirect, kPowerIteration };
 ///  - kNonFiniteValue: NaN/inf leaked into the solve.
 /// The returned vector is validated (finite, non-negative, sums to 1) before
 /// being handed back.
-util::StatusOr<linalg::Vector> try_stationary_distribution(
+[[nodiscard]] util::StatusOr<linalg::Vector> try_stationary_distribution(
     const TransitionMatrix& p,
     StationarySolver solver = StationarySolver::kDirect);
 

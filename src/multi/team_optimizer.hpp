@@ -30,7 +30,7 @@ struct TeamOptimizerOptions {
 /// residuals. The simultaneous update makes every per-sensor optimization
 /// within a round independent, so rounds fan out on `ctx` and the resulting
 /// team is bit-identical for any job count.
-SensorTeam optimize_team(const core::Problem& problem,
+[[nodiscard]] SensorTeam optimize_team(const core::Problem& problem,
                          const TeamOptimizerOptions& options,
                          const runtime::ExecutionContext& ctx = {});
 

@@ -74,6 +74,9 @@ EventCaptureResult EventCaptureSimulator::run(
       }
     }
 
+    // Exact on purpose: rate == 0 means "no event stream at this PoI" by
+    // config contract; a tiny positive rate must still be simulated.
+    // mocos-lint: allow(float-eq)
     if (rates[i] == 0.0) continue;
     // Poisson event count over the measurement window, times uniform.
     const double expected = rates[i] * out.horizon;

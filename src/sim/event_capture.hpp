@@ -37,7 +37,7 @@ class EventCaptureSimulator {
  public:
   explicit EventCaptureSimulator(EventCaptureConfig config = {});
 
-  EventCaptureResult run(const sensing::MotionModel& model,
+  [[nodiscard]] EventCaptureResult run(const sensing::MotionModel& model,
                          const markov::TransitionMatrix& p,
                          const std::vector<double>& rates,
                          util::Rng& rng) const;

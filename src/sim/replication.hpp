@@ -40,7 +40,7 @@ ReplicatedMetric summarize(const std::vector<double>& samples);
 /// streams derived from one draw of `rng`, so the summary is bit-identical
 /// for any `ctx.jobs()`, and successive calls with the same `rng` still
 /// produce fresh replicas.
-ReplicationSummary replicate(const sensing::MotionModel& model,
+[[nodiscard]] ReplicationSummary replicate(const sensing::MotionModel& model,
                              const markov::TransitionMatrix& p,
                              const std::vector<double>& targets, double alpha,
                              double beta, const SimulationConfig& config,

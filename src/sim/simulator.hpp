@@ -57,7 +57,7 @@ class MarkovCoverageSimulator {
   MarkovCoverageSimulator(const sensing::MotionModel& model,
                           SimulationConfig config = {});
 
-  SimulationResult run(const markov::TransitionMatrix& p,
+  [[nodiscard]] SimulationResult run(const markov::TransitionMatrix& p,
                        util::Rng& rng) const;
 
  private:

@@ -10,25 +10,28 @@ namespace mocos::util {
 /// structured Status naming the offending entry so recovery code and logs can
 /// report *where* a computation went bad, not just that it did.
 
-bool all_finite(double v);
-bool all_finite(const linalg::Vector& v);
-bool all_finite(const linalg::Matrix& m);
+[[nodiscard]] bool all_finite(double v);
+[[nodiscard]] bool all_finite(const linalg::Vector& v);
+[[nodiscard]] bool all_finite(const linalg::Matrix& m);
 
 /// kNonFiniteValue naming `what` and the first bad index.
-Status check_finite(double v, const char* what);
-Status check_finite(const linalg::Vector& v, const char* what);
-Status check_finite(const linalg::Matrix& m, const char* what);
+[[nodiscard]] Status check_finite(double v, const char* what);
+[[nodiscard]] Status check_finite(const linalg::Vector& v, const char* what);
+[[nodiscard]] Status check_finite(const linalg::Matrix& m, const char* what);
 
 /// Row-stochasticity to within `tol`: finite entries in [-tol, 1+tol] with
 /// every row summing to 1 ± tol. Returns kNonFiniteValue or kNotErgodic.
-Status check_row_stochastic(const linalg::Matrix& m, double tol = 1e-8);
+[[nodiscard]] Status check_row_stochastic(const linalg::Matrix& m,
+                                          double tol = 1e-8);
 
 /// Probability vector: finite, entries >= -tol, sums to 1 ± tol.
-Status check_probability_vector(const linalg::Vector& v, double tol = 1e-8);
+[[nodiscard]] Status check_probability_vector(const linalg::Vector& v,
+                                              double tol = 1e-8);
 
 /// Strictly positive entries (mean return times, stationary masses ahead of a
 /// division). Returns kNotErgodic naming the first non-positive index.
-Status check_strictly_positive(const linalg::Vector& v, const char* what,
-                               double floor = 0.0);
+[[nodiscard]] Status check_strictly_positive(const linalg::Vector& v,
+                                             const char* what,
+                                             double floor = 0.0);
 
 }  // namespace mocos::util

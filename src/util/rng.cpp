@@ -39,6 +39,9 @@ double Rng::gaussian() {
 
 double Rng::gaussian(double mean, double sigma) {
   if (sigma < 0.0) throw std::invalid_argument("Rng::gaussian: sigma < 0");
+  // Exact on purpose: sigma == 0 is the documented "deterministic draw"
+  // sentinel; a tiny positive sigma is a legitimate narrow distribution.
+  // mocos-lint: allow(float-eq)
   if (sigma == 0.0) return mean;
   return std::normal_distribution<double>(mean, sigma)(engine_);
 }

@@ -29,7 +29,12 @@ const char* to_string(StatusCode code);
 /// Success-or-structured-error result of a guarded operation. Cheap to move,
 /// comparable against codes, and convertible into an exception at the API
 /// boundary for callers that prefer throwing behavior.
-class Status {
+///
+/// [[nodiscard]] at class scope: every function returning a Status by value
+/// produces a compiler warning (an error under MOCOS_WERROR) when the result
+/// is ignored — a dropped Status is precisely the failure the recovery
+/// ladder can never see.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(StatusCode code, std::string message)
@@ -71,13 +76,14 @@ class StatusError : public std::runtime_error {
 /// True for the codes that describe a numerical breakdown (as opposed to a
 /// configuration or programming error) — the ones the descent recovery
 /// ladder is allowed to retry.
-bool is_numerical_failure(StatusCode code);
+[[nodiscard]] bool is_numerical_failure(StatusCode code);
 
 /// Either a value or a non-ok Status. value() throws StatusError when the
 /// operation failed, so code that does not check ok() still fails loudly and
 /// with the structured diagnostic rather than with NaN propagation.
+/// [[nodiscard]] at class scope, as for Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

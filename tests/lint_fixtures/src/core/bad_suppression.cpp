@@ -1,0 +1,11 @@
+// Fixture: bad-suppression — a typo in a suppression must itself be
+// reported, so a misspelled allow() cannot silently disable a gate.
+// Expected violations: bad-suppression (line 8) and float-eq (line 9),
+// because the misspelled rule name suppresses nothing.
+
+namespace mocos::core {
+
+// mocos-lint: allow(flaot-eq)
+inline bool is_zero(double x) { return x == 0.0; }
+
+}  // namespace mocos::core

@@ -1,0 +1,25 @@
+// Fixture: clean — no violations. Near-miss patterns that a sloppy rule
+// would false-positive on: integer equality, a try_ call whose result is
+// bound, tolerance comparisons with float literals, and "rand"/"time"
+// substrings inside identifiers, strings, and comments.
+#include <cmath>
+#include <string>
+
+#include "src/markov/stationary.hpp"
+
+namespace mocos::core {
+
+// rand() and time() in a comment; system_clock too.
+inline double operand_runtime(double strand, int n) {
+  const std::string label = "rand() time() == 0.0";  // inside a string
+  if (n == 0) return 0.0;                 // integer compare
+  if (std::abs(strand) < 1e-12) return 0.0;  // tolerance, not equality
+  return strand / n + static_cast<double>(label.size());
+}
+
+inline bool chain_ok(const markov::TransitionMatrix& p) {
+  const auto pi = markov::try_stationary_distribution(p);
+  return pi.ok();
+}
+
+}  // namespace mocos::core

@@ -1,0 +1,17 @@
+// Fixture: scope check — determinism and raw-solver rules only apply under
+// src/runtime, src/sim, src/descent, src/multi (and src/descent for
+// raw-solver). This file lives in src/cost, so the patterns below must NOT
+// be flagged even though they would violate both contracts elsewhere.
+#include <random>
+
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::cost {
+
+inline double out_of_scope(const markov::TransitionMatrix& p) {
+  std::random_device entropy;  // out of determinism scope: no violation
+  const auto chain = markov::analyze_chain(p);  // out of raw-solver scope
+  return chain.pi[0] + static_cast<double>(entropy() % 2);
+}
+
+}  // namespace mocos::cost

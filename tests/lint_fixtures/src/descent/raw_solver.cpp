@@ -1,0 +1,13 @@
+// Fixture: raw-solver — throwing solver entry point called from descent
+// code instead of the guarded Try* layer.
+// Expected violation: raw-solver at the analyze_chain call.
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::descent {
+
+double cost_of(const markov::TransitionMatrix& p) {
+  const auto chain = markov::analyze_chain(p);  // VIOLATION raw-solver
+  return chain.pi[0];
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,15 @@
+// Fixture: suppression behavior — every violation below carries a
+// mocos-lint allow() and the file must lint clean. Exercises both the
+// same-line and the standalone-previous-line suppression forms.
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::descent {
+
+double suppressed(const markov::TransitionMatrix& p, double x) {
+  // mocos-lint: allow(raw-solver) fixture: standalone-line suppression
+  const auto chain = markov::analyze_chain(p);
+  const bool zero = x == 0.0;  // mocos-lint: allow(float-eq) fixture
+  return zero ? 0.0 : chain.pi[0];
+}
+
+}  // namespace mocos::descent

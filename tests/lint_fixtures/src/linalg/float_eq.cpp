@@ -1,0 +1,12 @@
+// Fixture: float-eq — exact floating-point equality without a suppression.
+// Expected violation: float-eq at the comparison line. The integer
+// comparison below it must NOT be flagged.
+
+namespace mocos::linalg {
+
+bool is_zero(double x, int n) {
+  if (n == 0) return true;  // integer compare: no violation
+  return x == 0.0;  // VIOLATION float-eq (line 9)
+}
+
+}  // namespace mocos::linalg

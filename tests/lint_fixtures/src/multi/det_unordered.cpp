@@ -1,0 +1,18 @@
+// Fixture: det-unordered — folding over unordered-container iteration order
+// inside the determinism scope.
+// Expected violation: det-unordered at the range-for line.
+#include <cstddef>
+#include <unordered_map>
+
+namespace mocos::multi {
+
+double reduce(const std::unordered_map<std::size_t, double>& shares_in) {
+  std::unordered_map<std::size_t, double> shares = shares_in;
+  double total = 0.0;
+  for (const auto& entry : shares) {  // VIOLATION det-unordered (line 12)
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace mocos::multi

@@ -1,0 +1,12 @@
+// Fixture: det-rng — ambient entropy inside the determinism scope.
+// Expected violation: det-rng at the std::random_device line.
+#include <random>
+
+namespace mocos::runtime {
+
+unsigned ambient_seed() {
+  std::random_device entropy;  // VIOLATION det-rng (line 8)
+  return entropy();
+}
+
+}  // namespace mocos::runtime

@@ -1,0 +1,20 @@
+// Fixture: task-throw — a throw inside a lambda handed directly to
+// ThreadPool::submit escapes the pool and terminates the process.
+// Expected violation: task-throw at the throw line. The throw after the
+// submit call closes must NOT be flagged.
+#include <stdexcept>
+
+#include "src/runtime/thread_pool.hpp"
+
+namespace mocos::runtime {
+
+void unsafe(ThreadPool& pool, int x) {
+  pool.submit([x] {
+    if (x < 0) {
+      throw std::runtime_error("boom");  // VIOLATION task-throw (line 14)
+    }
+  });
+  if (x > 100) throw std::out_of_range("outside the task: no violation");
+}
+
+}  // namespace mocos::runtime

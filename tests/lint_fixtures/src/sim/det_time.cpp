@@ -1,0 +1,12 @@
+// Fixture: det-time — wall-clock read inside the determinism scope.
+// Expected violation: det-time at the system_clock line.
+#include <chrono>
+
+namespace mocos::sim {
+
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();  // VIOLATION det-time
+  return now.time_since_epoch().count();
+}
+
+}  // namespace mocos::sim

@@ -119,8 +119,9 @@ TEST(PassageVariance, MatchesSimulatedReturnVariance) {
     sum += steps;
     sum_sq += steps * steps;
   }
-  const double mean = sum / trials;
-  const double variance = sum_sq / trials - mean * mean;
+  const double n = static_cast<double>(trials);
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
   const auto chain = analyze_chain(p);
   EXPECT_NEAR(mean, chain.r(1, 0), 0.05 * chain.r(1, 0));
   EXPECT_NEAR(variance, var[1], 0.08 * var[1]);

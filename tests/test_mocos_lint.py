@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/mocos_lint.py.
+
+Runs the linter over the fixture tree in tests/lint_fixtures/ (which mirrors
+src/ so the directory-scoped rules fire) and asserts, per fixture:
+
+  - the exact rule id and line number of each expected violation,
+  - a nonzero exit status whenever a fixture violates a rule,
+  - zero violations for the clean, suppressed, and out-of-scope fixtures,
+  - and finally that the real src/ tree lints clean (exit 0).
+
+Registered as the `mocos_lint` ctest; runnable directly:
+    python3 tests/test_mocos_lint.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "lint", "mocos_lint.py")
+FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def run_lint(paths, root):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--json"] + paths,
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    try:
+        violations = json.loads(proc.stdout) if proc.stdout.strip() else []
+    except json.JSONDecodeError:
+        raise AssertionError("non-JSON lint output:\n" + proc.stdout)
+    return proc.returncode, violations
+
+
+def fixture(rel):
+    return os.path.join(FIXTURE_ROOT, rel)
+
+
+class FixtureViolations(unittest.TestCase):
+    """Each violating fixture yields exactly its expected (rule, line)
+    pairs and a nonzero exit status."""
+
+    EXPECTED = {
+        "src/runtime/det_rng.cpp": [("det-rng", 8)],
+        "src/sim/det_time.cpp": [("det-time", 8)],
+        "src/multi/det_unordered.cpp": [("det-unordered", 12)],
+        "src/descent/raw_solver.cpp": [("raw-solver", 9)],
+        "src/linalg/float_eq.cpp": [("float-eq", 9)],
+        "src/markov/discarded_status.cpp": [("discarded-status", 10)],
+        "src/runtime/task_throw.cpp": [("task-throw", 14)],
+        "src/core/bad_suppression.cpp": [("bad-suppression", 8),
+                                         ("float-eq", 9)],
+    }
+
+    def test_each_fixture_exact_rule_and_line(self):
+        for rel, expected in self.EXPECTED.items():
+            with self.subTest(fixture=rel):
+                code, violations = run_lint([fixture(rel)], FIXTURE_ROOT)
+                self.assertEqual(code, 1,
+                                 "%s: expected exit 1, got %d" % (rel, code))
+                got = [(v["rule"], v["line"]) for v in violations]
+                self.assertEqual(sorted(got), sorted(expected), rel)
+
+    def test_violation_paths_are_root_relative(self):
+        code, violations = run_lint(
+            [fixture("src/linalg/float_eq.cpp")], FIXTURE_ROOT)
+        self.assertEqual(code, 1)
+        self.assertEqual(violations[0]["path"], "src/linalg/float_eq.cpp")
+
+
+class CleanFixtures(unittest.TestCase):
+    """Suppressed, near-miss, and out-of-scope fixtures lint clean."""
+
+    CLEAN = [
+        "src/descent/suppressed.cpp",   # allow() on every violation
+        "src/core/clean.cpp",           # near-miss patterns
+        "src/cost/out_of_scope.cpp",    # scoped rules outside their dirs
+    ]
+
+    def test_clean_fixtures_exit_zero(self):
+        for rel in self.CLEAN:
+            with self.subTest(fixture=rel):
+                code, violations = run_lint([fixture(rel)], FIXTURE_ROOT)
+                self.assertEqual(violations, [], rel)
+                self.assertEqual(code, 0, rel)
+
+    def test_whole_fixture_tree_reports_every_violation(self):
+        code, violations = run_lint(
+            [os.path.join(FIXTURE_ROOT, "src")], FIXTURE_ROOT)
+        self.assertEqual(code, 1)
+        expected = sorted(
+            (rel, rule, line)
+            for rel, pairs in FixtureViolations.EXPECTED.items()
+            for rule, line in pairs)
+        got = sorted((v["path"], v["rule"], v["line"]) for v in violations)
+        self.assertEqual(got, expected)
+
+
+class SuppressionForms(unittest.TestCase):
+    """Same-line and standalone-previous-line suppressions both work, and
+    only for the named rule."""
+
+    def test_suppressed_fixture_has_raw_patterns(self):
+        # Guard against the fixture rotting: the suppressed file must still
+        # contain the raw violation patterns its allow() comments cover.
+        with open(fixture("src/descent/suppressed.cpp")) as f:
+            text = f.read()
+        self.assertIn("markov::analyze_chain(", text)
+        self.assertIn("== 0.0", text)
+        self.assertIn("mocos-lint: allow(raw-solver)", text)
+        self.assertIn("mocos-lint: allow(float-eq)", text)
+
+    def test_misspelled_suppression_reported_and_ineffective(self):
+        code, violations = run_lint(
+            [fixture("src/core/bad_suppression.cpp")], FIXTURE_ROOT)
+        self.assertEqual(code, 1)
+        rules = [v["rule"] for v in violations]
+        self.assertIn("bad-suppression", rules)
+        self.assertIn("float-eq", rules)  # the typo suppressed nothing
+
+
+class RealTreeIsClean(unittest.TestCase):
+    """The contract the CI gate enforces: src/ lints clean."""
+
+    def test_src_tree_exits_zero(self):
+        code, violations = run_lint(
+            [os.path.join(REPO_ROOT, "src")], REPO_ROOT)
+        self.assertEqual(
+            violations, [],
+            "src/ has lint violations:\n" + "\n".join(
+                "%s:%d [%s]" % (v["path"], v["line"], v["rule"])
+                for v in violations))
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

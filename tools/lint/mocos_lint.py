@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""mocos_lint — contract-enforcement static analysis for the mocos tree.
+
+Dependency-free (Python 3 stdlib only), token/regex based. Turns the
+project's implicit contracts into machine-checked rules:
+
+Determinism contract (PR 2): results must be bit-identical for any --jobs
+count. Enforced in `src/runtime/`, `src/sim/`, `src/descent/`, `src/multi/`:
+
+  det-rng        rand()/srand()/std::random_device — ambient entropy breaks
+                 replay; draw from util::Rng::stream(i) indexed streams.
+  det-time       time()/clock()/system_clock/steady_clock/... — wall-clock
+                 reads make results depend on when/where the run happened.
+  det-unordered  iteration over std::unordered_{map,set} — bucket order is
+                 implementation-defined, so any fold over it is
+                 scheduling/libstdc++-dependent. Reduce over indexed vectors.
+
+Numerical-safety contract (PR 1): descent/recovery code must route linear
+algebra through the guarded Try* layer so the recovery ladder can see
+failures:
+
+  raw-solver     throwing solver entry points (lu_factor, stationary_-
+                 distribution, fundamental_matrix, group_inverse,
+                 first_passage_times, analyze_chain) called in
+                 `src/descent/` outside the Try* layer.
+  float-eq       exact ==/!= against a floating-point literal anywhere in
+                 src/. Either convert to a tolerance check or annotate the
+                 intentional exact comparison with a suppression + reason.
+
+Error-handling contract:
+
+  task-throw     `throw` inside a lambda handed directly to
+                 ThreadPool::submit — the pool is a dumb executor; an
+                 escaping exception terminates the process. Use TaskGroup
+                 (which captures per-index) or catch internally.
+  discarded-status
+                 a try_*/check_* call used as a bare statement — the
+                 Status/StatusOr result is the whole point; dropping it
+                 hides exactly the failures the recovery ladder exists for.
+
+Suppressions (the allowlist mechanism):
+
+  x == 0.0;  // mocos-lint: allow(float-eq) exact sentinel from line_search
+  // mocos-lint: allow(det-time) coarse progress timestamp, not in results
+  next_line_with_violation();
+
+A same-line comment suppresses the named rules on that line; a line whose
+only content is the comment suppresses them on the next line. Unknown rule
+names in a suppression are themselves reported (bad-suppression) so typos
+cannot silently disable a gate.
+
+Usage:
+  mocos_lint.py [--root DIR] [--json] [--list-rules] [paths ...]
+
+Paths default to `<root>/src`. Exit status: 0 clean, 1 violations found,
+2 usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+# Directories (relative to --root, POSIX separators) under the determinism
+# contract: anything here runs, or is reachable from, indexed parallel work.
+DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/")
+
+# Descent + recovery code must use the guarded Try* solver layer.
+RAW_SOLVER_SCOPE = ("src/descent/",)
+
+RULES = {
+    "det-rng": "ambient randomness breaks the jobs-invariance determinism "
+               "contract; use util::Rng::stream(index)",
+    "det-time": "wall-clock reads make results depend on when the run "
+                "happened; thread timestamps in explicitly",
+    "det-unordered": "unordered-container iteration order is implementation-"
+                     "defined; iterate an indexed/sorted sequence instead",
+    "raw-solver": "throwing solver entry point in descent/recovery code; "
+                  "call the try_* variant so the recovery ladder can branch "
+                  "on the failure",
+    "float-eq": "exact floating-point equality; use a tolerance check or "
+                "suppress with a one-line justification",
+    "task-throw": "throw inside a ThreadPool::submit task escapes the pool "
+                  "and terminates the process; use TaskGroup or catch "
+                  "internally",
+    "discarded-status": "Status/StatusOr result of a guarded call is "
+                        "discarded; check it or bind it",
+    "bad-suppression": "suppression names an unknown rule id",
+}
+
+RE_DET_RNG = re.compile(r"\b(?:s?rand\s*\(|random_device\b)")
+RE_DET_TIME = re.compile(
+    r"\b(?:time\s*\(|clock\s*\(|system_clock\b|steady_clock\b|"
+    r"high_resolution_clock\b)")
+RE_UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;=]*>\s+(\w+)")
+RE_UNORDERED_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*(\w+)\s*\)")
+RE_UNORDERED_INLINE = re.compile(
+    r"\bfor\s*\([^;)]*unordered_(?:map|set|multimap|multiset)\b")
+RE_UNORDERED_BEGIN = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+RE_RAW_SOLVER = re.compile(
+    r"\b(lu_factor|stationary_distribution|fundamental_matrix|"
+    r"group_inverse|first_passage_times|analyze_chain)\s*\(")
+RE_FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?"
+RE_FLOAT_EQ = re.compile(
+    r"(?:(?:==|!=)\s*" + RE_FLOAT_LITERAL + r"(?![\w.])"
+    r"|" + RE_FLOAT_LITERAL + r"\s*(?:==|!=))")
+RE_DISCARDED = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:::|\.|->))*((?:try_|check_)\w+)\s*\(")
+RE_SUBMIT_CALL = re.compile(r"\bsubmit\s*\(")
+RE_THROW = re.compile(r"\bthrow\b")
+RE_SUPPRESSION = re.compile(r"mocos-lint:\s*allow\(([^)]*)\)")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:\\.|[^"\\])*"')
+RE_CHAR = re.compile(r"'(?:\\.|[^'\\])'")
+
+# A line whose code ends with one of these is an unfinished statement; the
+# next line is a continuation, not a statement start (guards discarded-status
+# against multi-line assignments like `Status s =\n    check_finite(...)`).
+CONTINUATION_TAIL = re.compile(r"(?:[=(,+\-*/%&|!<>?:]|\breturn|\bco_return)$")
+
+
+class Violation:
+    def __init__(self, path, line, rule, detail=""):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.detail = detail
+
+    def message(self):
+        base = RULES.get(self.rule, "")
+        if self.detail:
+            return "%s (%s)" % (base, self.detail)
+        return base
+
+
+def strip_code(line, in_block_comment):
+    """Returns (code, still_in_block_comment): the line with comments and
+    string/char literal contents blanked so token rules cannot match inside
+    them."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            break
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch == '"':
+            m = RE_STRING.match(line, i)
+            if m:
+                out.append('""')
+                i = m.end()
+                continue
+        if ch == "'":
+            m = RE_CHAR.match(line, i)
+            if m:
+                out.append("''")
+                i = m.end()
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def in_scope(rel_path, scope_dirs):
+    return any(rel_path.startswith(d) for d in scope_dirs)
+
+
+class SubmitTracker:
+    """Paren-depth tracker for the argument list of a ThreadPool::submit
+    call: any `throw` while the call is open is a task-throw violation."""
+
+    def __init__(self):
+        self.depth = 0
+        self.active = False
+
+    def feed(self, code, report):
+        pos = 0
+        while pos < len(code):
+            if not self.active:
+                m = RE_SUBMIT_CALL.search(code, pos)
+                if not m:
+                    return
+                self.active = True
+                self.depth = 1
+                pos = m.end()
+                continue
+            ch = code[pos]
+            if ch == "(":
+                self.depth += 1
+            elif ch == ")":
+                self.depth -= 1
+                if self.depth == 0:
+                    self.active = False
+                    pos += 1
+                    continue
+            elif code.startswith("throw", pos) and \
+                    RE_THROW.match(code, pos):
+                report(pos)
+            pos += 1
+
+
+def lint_file(abs_path, rel_path, violations):
+    try:
+        with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as err:
+        print("mocos_lint: cannot read %s: %s" % (abs_path, err),
+              file=sys.stderr)
+        return
+
+    determinism = in_scope(rel_path, DETERMINISM_SCOPE)
+    raw_solver = in_scope(rel_path, RAW_SOLVER_SCOPE)
+
+    in_block = False
+    unordered_vars = set()
+    pending_suppression = set()
+    prev_code_tail = ""
+    tracker = SubmitTracker()
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        code, in_block = strip_code(raw, in_block)
+
+        # Suppressions live in the comment part of the raw line.
+        suppressed = set(pending_suppression)
+        pending_suppression = set()
+        for m in RE_SUPPRESSION.finditer(raw):
+            names = {s.strip() for s in m.group(1).split(",") if s.strip()}
+            for name in names:
+                if name not in RULES or name == "bad-suppression":
+                    violations.append(Violation(
+                        rel_path, lineno, "bad-suppression",
+                        "allow(%s)" % name))
+            names &= set(RULES)
+            if code.strip():
+                suppressed |= names
+            else:
+                pending_suppression |= names
+
+        def report(rule, detail=""):
+            if rule not in suppressed:
+                violations.append(Violation(rel_path, lineno, rule, detail))
+
+        stripped = code.strip()
+
+        if determinism:
+            if RE_DET_RNG.search(code):
+                report("det-rng")
+            if RE_DET_TIME.search(code):
+                report("det-time")
+            for m in RE_UNORDERED_DECL.finditer(code):
+                unordered_vars.add(m.group(1))
+            if RE_UNORDERED_INLINE.search(code):
+                report("det-unordered")
+            else:
+                m = RE_UNORDERED_FOR.search(code)
+                if m and m.group(1) in unordered_vars:
+                    report("det-unordered", "range-for over '%s'" % m.group(1))
+                else:
+                    m = RE_UNORDERED_BEGIN.search(code)
+                    if m and m.group(1) in unordered_vars:
+                        report("det-unordered",
+                               "'%s.begin()'" % m.group(1))
+
+        if raw_solver:
+            m = RE_RAW_SOLVER.search(code)
+            if m:
+                report("raw-solver", "call to '%s'" % m.group(1))
+
+        if RE_FLOAT_EQ.search(code):
+            report("float-eq")
+
+        m = RE_DISCARDED.match(code)
+        if m and stripped.endswith(";") and \
+                not CONTINUATION_TAIL.search(prev_code_tail):
+            report("discarded-status", "result of '%s'" % m.group(1))
+
+        tracker.feed(code, lambda pos: report("task-throw"))
+
+        if stripped:
+            prev_code_tail = stripped
+
+
+def collect_files(paths, root):
+    del root  # paths resolve against the CWD; root only scopes the rules
+    files = []
+    for p in paths:
+        abs_p = os.path.abspath(p)
+        if os.path.isfile(abs_p):
+            files.append(abs_p)
+        elif os.path.isdir(abs_p):
+            for dirpath, dirnames, filenames in os.walk(abs_p):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print("mocos_lint: no such path: %s" % p, file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="mocos_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="tree root used to resolve rule scopes "
+                             "(default: repository root, two levels above "
+                             "this script)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit violations as a JSON array")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and rationale, then exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: <root>/src)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-18s %s" % (rule, RULES[rule]))
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", ".."))
+    paths = args.paths or [os.path.join(root, "src")]
+
+    violations = []
+    for abs_path in collect_files(paths, root):
+        rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
+        lint_file(abs_path, rel, violations)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+
+    if args.json:
+        print(json.dumps(
+            [{"path": v.path, "line": v.line, "rule": v.rule,
+              "message": v.message()} for v in violations],
+            indent=2))
+    else:
+        for v in violations:
+            print("%s:%d: [%s] %s" % (v.path, v.line, v.rule, v.message()))
+        if violations:
+            print("mocos_lint: %d violation%s" %
+                  (len(violations), "" if len(violations) == 1 else "s"),
+                  file=sys.stderr)
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
