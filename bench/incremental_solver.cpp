@@ -1,0 +1,200 @@
+// Incremental chain-solver cache vs. full re-solve: the tentpole number of
+// the rank-one update work. For each chain size M the bench replays the same
+// sequence of single-row probes twice — once through
+// ChainSolveCache::update_row (Sherman–Morrison on the resolvent, O(M²) per
+// probe) and once through the full try_analyze_chain pipeline (O(M³) per
+// probe) — and reports the per-probe speedup. Writes
+// BENCH_incremental_solver.json (to MOCOS_BENCH_CSV_DIR when set, else the
+// working directory).
+//
+// Correctness is part of what is measured: before timing, every probe's
+// incremental analysis is compared against the full solve (π, Z, R) and the
+// bench fails loudly on disagreement beyond 1e-9.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "src/markov/fundamental.hpp"
+#include "src/markov/incremental.hpp"
+#include "src/util/rng.hpp"
+
+namespace mocos::bench {
+namespace {
+
+struct SizePoint {
+  std::size_t m = 0;
+  std::size_t probes = 0;
+  double full_seconds = 0.0;
+  double incremental_seconds = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;  // incremental vs full, worst entry over π/Z/R
+};
+
+/// The probe sequence: row (k mod M) pulled a seeded random amount toward
+/// the uniform row — the shape of a coordinate-wise descent probe. Rows stay
+/// exact probability vectors by construction.
+linalg::Vector probe_row(const linalg::Matrix& p, std::size_t i,
+                         util::Rng& rng) {
+  const std::size_t n = p.rows();
+  const double eps = rng.uniform(0.01, 0.2);
+  const double u = 1.0 / static_cast<double>(n);
+  linalg::Vector row(n);
+  for (std::size_t j = 0; j < n; ++j)
+    row[j] = (1.0 - eps) * p(i, j) + eps * u;
+  return row;
+}
+
+double matrix_diff(const linalg::Matrix& a, const linalg::Matrix& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+  return worst;
+}
+
+SizePoint run_size(std::size_t m, std::size_t probes) {
+  SizePoint pt;
+  pt.m = m;
+  pt.probes = probes;
+
+  util::Rng rng(900 + m);
+  const markov::TransitionMatrix start = markov::TransitionMatrix::random(
+      m, rng);
+
+  // Correctness pass: replay the sequence once, comparing against the full
+  // pipeline at every probe.
+  {
+    markov::ChainSolveCache cache;
+    if (!cache.reset(start).is_ok()) {
+      std::cerr << "incremental_solver: cache reset failed at M=" << m << "\n";
+      std::exit(1);
+    }
+    util::Rng replay(1000 + m);
+    linalg::Matrix p = start.matrix();
+    for (std::size_t k = 0; k < probes; ++k) {
+      const std::size_t i = k % m;
+      const linalg::Vector row = probe_row(p, i, replay);
+      if (!cache.update_row(i, row).is_ok()) {
+        std::cerr << "incremental_solver: update_row failed at M=" << m
+                  << " probe " << k << "\n";
+        std::exit(1);
+      }
+      for (std::size_t j = 0; j < m; ++j) p(i, j) = row[j];
+      const auto full = markov::try_analyze_chain(markov::TransitionMatrix(p));
+      if (!full.ok()) {
+        std::cerr << "incremental_solver: full solve failed at M=" << m
+                  << " probe " << k << "\n";
+        std::exit(1);
+      }
+      const markov::ChainAnalysis& inc = cache.analysis();
+      double diff = 0.0;
+      for (std::size_t j = 0; j < m; ++j)
+        diff = std::max(diff, std::abs(inc.pi[j] - full->pi[j]));
+      diff = std::max(diff, matrix_diff(inc.z, full->z));
+      diff = std::max(diff, matrix_diff(inc.r, full->r));
+      pt.max_abs_diff = std::max(pt.max_abs_diff, diff);
+    }
+    if (pt.max_abs_diff > 1e-9) {
+      std::cerr << "incremental_solver: AGREEMENT VIOLATION at M=" << m
+                << ": max |incremental - full| = " << pt.max_abs_diff << "\n";
+      std::exit(1);
+    }
+  }
+
+  // Timing pass 1: cached rank-one updates.
+  {
+    markov::ChainSolveCache cache;
+    if (!cache.reset(start).is_ok()) std::exit(1);
+    util::Rng replay(1000 + m);
+    linalg::Matrix p = start.matrix();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < probes; ++k) {
+      const std::size_t i = k % m;
+      const linalg::Vector row = probe_row(p, i, replay);
+      if (!cache.update_row(i, row).is_ok()) std::exit(1);
+      for (std::size_t j = 0; j < m; ++j) p(i, j) = row[j];
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    pt.incremental_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  // Timing pass 2: the same probes through the full pipeline.
+  {
+    util::Rng replay(1000 + m);
+    linalg::Matrix p = start.matrix();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < probes; ++k) {
+      const std::size_t i = k % m;
+      const linalg::Vector row = probe_row(p, i, replay);
+      for (std::size_t j = 0; j < m; ++j) p(i, j) = row[j];
+      const auto full = markov::try_analyze_chain(markov::TransitionMatrix(p));
+      if (!full.ok()) std::exit(1);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    pt.full_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  pt.speedup = pt.incremental_seconds > 0.0
+                   ? pt.full_seconds / pt.incremental_seconds
+                   : 0.0;
+  return pt;
+}
+
+void write_json(const std::vector<SizePoint>& points) {
+  const char* dir = std::getenv("MOCOS_BENCH_CSV_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_incremental_solver.json";
+  std::ofstream out(path);
+  auto num = [&](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", x);
+    out << buf;
+  };
+  out << "{\n  \"scale\": \"" << (quick_mode() ? "quick" : "full")
+      << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& pt = points[i];
+    out << "    {\"m\": " << pt.m << ", \"probes\": " << pt.probes
+        << ", \"full_seconds\": ";
+    num(pt.full_seconds);
+    out << ", \"incremental_seconds\": ";
+    num(pt.incremental_seconds);
+    out << ", \"speedup\": ";
+    num(pt.speedup);
+    out << ", \"max_abs_diff\": ";
+    num(pt.max_abs_diff);
+    out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+int run() {
+  banner("incremental solver cache: update_row vs full re-solve");
+  const std::vector<std::size_t> sizes = {8, 16, 32, 64, 128};
+  const std::size_t probes = scaled(400, 40);
+
+  std::vector<SizePoint> points;
+  util::Table t({"M", "probes", "full s", "incremental s", "speedup",
+                 "max |diff|"});
+  for (std::size_t m : sizes) {
+    points.push_back(run_size(m, probes));
+    const SizePoint& pt = points.back();
+    t.add_row({std::to_string(pt.m), std::to_string(pt.probes),
+               util::fmt(pt.full_seconds, 4),
+               util::fmt(pt.incremental_seconds, 4), util::fmt(pt.speedup, 2),
+               util::fmt(pt.max_abs_diff, 12)});
+  }
+  t.print(std::cout);
+  write_json(points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mocos::bench
+
+int main() { return mocos::bench::run(); }

@@ -11,6 +11,7 @@
 #include "src/core/serialization.hpp"
 #include "src/geometry/polygon.hpp"
 #include "src/markov/entropy.hpp"
+#include "src/markov/incremental.hpp"
 #include "src/markov/spectral.hpp"
 #include "src/sensing/routed_travel_model.hpp"
 #include "src/sim/replication.hpp"
@@ -133,6 +134,7 @@ struct CliArgs {
   std::string batch_spec;   // batch mode: directory or list file
   std::string summary_path; // optional file for the batch JSON summary
   std::size_t jobs = 1;     // 0 = hardware concurrency
+  bool no_incremental = false;  // force full chain solves (A/B verification)
 };
 
 CliArgs parse_args(const std::vector<std::string>& args) {
@@ -160,6 +162,8 @@ CliArgs parse_args(const std::vector<std::string>& args) {
       parsed.batch_spec = value("--batch");
     } else if (a == "--summary") {
       parsed.summary_path = value("--summary");
+    } else if (a == "--no-incremental") {
+      parsed.no_incremental = true;
     } else if (!a.empty() && a[0] == '-') {
       throw std::invalid_argument("unknown flag: " + a);
     } else if (parsed.config_path.empty()) {
@@ -234,6 +238,7 @@ core::OptimizationOutcome run_optimization(
   if (opts.starts == 0) throw std::invalid_argument("starts: must be >= 1");
   if (opts.starts > 1) opts.random_start = true;  // V2 multi-start protocol
   opts.keep_trace = false;
+  opts.use_incremental = config.get_bool("incremental", true);
   return core::CoverageOptimizer(problem, opts).run(ctx);
 }
 
@@ -275,11 +280,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     cli = parse_args(args);
   } catch (const std::invalid_argument& e) {
     err << "mocos: " << e.what() << '\n'
-        << "usage: mocos_cli [--jobs N] [--summary FILE] "
+        << "usage: mocos_cli [--jobs N] [--summary FILE] [--no-incremental] "
            "(<config-file> | --batch <dir-or-list>)\n"
            "see src/cli/cli.hpp for the config format\n";
     return kExitBadConfig;
   }
+  // Process-global so it also covers paths that build their own descent
+  // configs (frontier sweeps, loaded-schedule audits). Deliberately assigned
+  // (not only set when true) so consecutive in-process run_cli calls do not
+  // leak the escape hatch into each other.
+  markov::force_disable_incremental(cli.no_incremental);
   try {
     if (!cli.batch_spec.empty()) return run_batch_mode(cli, out, err);
 

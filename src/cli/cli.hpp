@@ -36,6 +36,11 @@ core::Problem build_problem(const util::Config& config);
 ///   starts     = <n>         (perturbed only: multi-start count, runs on
 ///                             `ctx`; the winner is bit-identical for any
 ///                             job count)
+///   incremental = <bool>     (default true: probe evaluations run through
+///                             the rank-one ChainSolveCache; false forces
+///                             full O(M³) solves for A/B verification —
+///                             also reachable via --no-incremental or the
+///                             MOCOS_NO_INCREMENTAL environment variable)
 ///
 /// Shared by the single-run CLI and the batch runner.
 core::OptimizationOutcome run_optimization(const util::Config& config,
@@ -44,8 +49,9 @@ core::OptimizationOutcome run_optimization(const util::Config& config,
 
 /// Runs the full CLI. Usage:
 ///
-///   mocos_cli [--jobs N] [--summary FILE] <config-file>
-///   mocos_cli [--jobs N] [--summary FILE] --batch <dir-or-list>
+///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] <config-file>
+///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] --batch
+///             <dir-or-list>
 ///
 /// Single mode parses the config file, optimizes, and prints the outcome
 /// (plus an optional validation simulation when `simulate = <transitions>`

@@ -45,6 +45,7 @@ OptimizationOutcome CoverageOptimizer::run(
     cfg.random_start = options_.random_start;
     cfg.perturbed.base.step_policy = descent::StepPolicy::kLineSearch;
     cfg.perturbed.base.keep_trace = options_.keep_trace;
+    cfg.perturbed.base.incremental.enabled = options_.use_incremental;
     cfg.perturbed.noise_sigma = options_.noise_sigma;
     cfg.perturbed.annealing_k = options_.annealing_k;
     cfg.perturbed.max_iterations = options_.max_iterations;
@@ -73,6 +74,7 @@ OptimizationOutcome CoverageOptimizer::run(
     descent::PerturbedConfig cfg;
     cfg.base.step_policy = descent::StepPolicy::kLineSearch;
     cfg.base.keep_trace = options_.keep_trace;
+    cfg.base.incremental.enabled = options_.use_incremental;
     cfg.noise_sigma = options_.noise_sigma;
     cfg.annealing_k = options_.annealing_k;
     cfg.max_iterations = options_.max_iterations;
@@ -91,6 +93,7 @@ OptimizationOutcome CoverageOptimizer::run(
   descent::DescentConfig cfg;
   cfg.max_iterations = options_.max_iterations;
   cfg.keep_trace = options_.keep_trace;
+  cfg.incremental.enabled = options_.use_incremental;
   if (options_.algorithm == Algorithm::kAdaptive) {
     cfg.step_policy = descent::StepPolicy::kLineSearch;
   } else {

@@ -29,6 +29,11 @@ struct OptimizerOptions {
   /// single call. Starts run on the ExecutionContext handed to run(); the
   /// winner is bit-identical for any job count.
   std::size_t starts = 1;
+  /// Rank-one incremental chain solves for probe evaluations (see
+  /// src/markov/incremental.hpp). False forces every probe onto the full
+  /// O(M³) solve path — the `incremental = false` config key and the CLI
+  /// --no-incremental / MOCOS_NO_INCREMENTAL escape hatch.
+  bool use_incremental = true;
 };
 
 /// Facade tying the problem, the cost construction, and the §V algorithm

@@ -36,6 +36,14 @@ Partials CompositeCost::partials(const markov::ChainAnalysis& chain) const {
   return out;
 }
 
+void CompositeCost::partials_into(const markov::ChainAnalysis& chain,
+                                  Partials& out) const {
+  if (out.size() != chain.p.size())
+    throw std::invalid_argument("CompositeCost::partials_into: size mismatch");
+  out.clear();
+  for (const auto& t : terms_) t->accumulate_partials(chain, out);
+}
+
 std::vector<std::pair<std::string, double>> CompositeCost::breakdown(
     const markov::ChainAnalysis& chain) const {
   std::vector<std::pair<std::string, double>> out;

@@ -28,6 +28,10 @@ class CompositeCost {
   /// Sum of per-term partials (∂U/∂π, ∂U/∂Z, ∂U/∂P).
   Partials partials(const markov::ChainAnalysis& chain) const;
 
+  /// As partials(), but clears and refills a caller-owned buffer (which must
+  /// match the chain's size) — no per-probe allocations in gradient loops.
+  void partials_into(const markov::ChainAnalysis& chain, Partials& out) const;
+
   /// Per-term breakdown, for reporting.
   std::vector<std::pair<std::string, double>> breakdown(
       const markov::ChainAnalysis& chain) const;

@@ -1,6 +1,7 @@
 #include "src/cost/gradient.hpp"
 
 #include <limits>
+#include <stdexcept>
 
 #include "src/cost/projection.hpp"
 #include "src/markov/sensitivity.hpp"
@@ -21,6 +22,21 @@ linalg::Matrix cost_gradient(const CompositeCost& cost,
 linalg::Matrix projected_cost_gradient(const CompositeCost& cost,
                                        const markov::ChainAnalysis& chain) {
   return project_row_sum_zero(cost_gradient(cost, chain));
+}
+
+linalg::Matrix cost_gradient(const CompositeCost& cost,
+                             const markov::ChainSolveCache& cache) {
+  if (!cache.has_state())
+    throw std::logic_error("cost_gradient: ChainSolveCache has no state");
+  return cost_gradient(cost, cache.analysis());
+}
+
+linalg::Matrix projected_cost_gradient(const CompositeCost& cost,
+                                       const markov::ChainSolveCache& cache) {
+  if (!cache.has_state())
+    throw std::logic_error(
+        "projected_cost_gradient: ChainSolveCache has no state");
+  return project_row_sum_zero(cost_gradient(cost, cache.analysis()));
 }
 
 }  // namespace mocos::cost

@@ -21,6 +21,11 @@ struct Partials {
   std::size_t size() const { return du_dpi.size(); }
 
   Partials& operator+=(const Partials& rhs);
+
+  /// Zeroes all three buffers in place (no reallocation) so a probe loop —
+  /// e.g. gradient evaluations against an incremental ChainSolveCache — can
+  /// reuse one Partials across iterations.
+  void clear();
 };
 
 }  // namespace mocos::cost

@@ -1,0 +1,49 @@
+#include "src/descent/cached_cost.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/markov/fundamental.hpp"
+#include "src/util/fault_injection.hpp"
+
+namespace mocos::descent {
+
+CachedCostEvaluator::CachedCostEvaluator(const cost::CompositeCost& cost,
+                                         markov::IncrementalConfig config)
+    : cost_(cost), cache_(config) {}
+
+double CachedCostEvaluator::cost_at(const markov::TransitionMatrix& p) {
+  util::Status updated = cache_.update(p);
+  if (!updated.is_ok()) return std::numeric_limits<double>::infinity();
+  try {
+    const double u = cost_.value(cache_.analysis());
+    return std::isnan(u) ? std::numeric_limits<double>::infinity() : u;
+  } catch (const std::exception&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+util::StatusOr<const markov::ChainAnalysis*> CachedCostEvaluator::analyze(
+    const markov::TransitionMatrix& p, markov::StationarySolver solver) {
+  if (solver == markov::StationarySolver::kDirect) {
+    // The gradient-step analysis is usually a cache hit (the iterate was
+    // just cost-evaluated), so the direct stationary solve inside
+    // try_analyze_chain no longer runs here. Consult its fault site
+    // directly to keep the ladder's power-iteration demote rung reachable
+    // under injection, matching stationary.cpp's try_direct.
+    if (util::fault::fire(util::fault::Site::kStationary))
+      return util::Status(util::StatusCode::kSingularMatrix,
+                          "stationary solve failed (fault injection)");
+    util::Status updated = cache_.update(p);
+    if (!updated.is_ok()) return updated;
+    return &cache_.analysis();
+  }
+  util::StatusOr<markov::ChainAnalysis> chain =
+      markov::try_analyze_chain(p, solver);
+  if (!chain.ok()) return chain.status();
+  fallback_.emplace(std::move(*chain));
+  return &*fallback_;
+}
+
+}  // namespace mocos::descent

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "src/cost/composite_cost.hpp"
+#include "src/markov/incremental.hpp"
+#include "src/markov/stationary.hpp"
+#include "src/util/status.hpp"
+
+namespace mocos::descent {
+
+/// Cost/analysis evaluator backed by a ChainSolveCache, shared by the
+/// deterministic and perturbed descent drivers. Every probe — gradient
+/// evaluations, line-search φ(t) samples, candidate acceptance checks — goes
+/// through one cache, so consecutive probes that differ in a few rows (or
+/// none, as when an accepted step re-analyzes the line search's final probe)
+/// are refreshed by rank-one updates instead of full re-factorizations.
+///
+/// With incremental solves disabled (config, --no-incremental, or the
+/// MOCOS_NO_INCREMENTAL environment variable) the cache degenerates to the
+/// original full-solve pipeline, giving an A/B reference path.
+class CachedCostEvaluator {
+ public:
+  CachedCostEvaluator(const cost::CompositeCost& cost,
+                      markov::IncrementalConfig config);
+
+  /// safe_cost through the cache: U_ε(p), or +infinity when the chain
+  /// analysis or cost evaluation fails (non-ergodic probe, singular system),
+  /// so searches treat such points as infeasible.
+  [[nodiscard]] double cost_at(const markov::TransitionMatrix& p);
+
+  /// Guarded chain analysis for gradient evaluations. The direct solver runs
+  /// through the cache; the power-iteration rung of the recovery ladder
+  /// bypasses it (the cache's resolvent route *is* a direct solve). The
+  /// pointer stays valid until the next call on this evaluator.
+  [[nodiscard]] util::StatusOr<const markov::ChainAnalysis*> analyze(
+      const markov::TransitionMatrix& p,
+      markov::StationarySolver solver = markov::StationarySolver::kDirect);
+
+  [[nodiscard]] const markov::ChainSolveCache& cache() const {
+    return cache_;
+  }
+
+ private:
+  const cost::CompositeCost& cost_;
+  markov::ChainSolveCache cache_;
+  std::optional<markov::ChainAnalysis> fallback_;  // power-iteration results
+};
+
+}  // namespace mocos::descent

@@ -7,6 +7,7 @@
 
 #include "src/cost/gradient.hpp"
 #include "src/cost/projection.hpp"
+#include "src/descent/cached_cost.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
 #include "src/util/guard.hpp"
@@ -27,7 +28,10 @@ PerturbedDescent::PerturbedDescent(const cost::CompositeCost& cost,
 PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
                                       util::Rng& rng) const {
   markov::TransitionMatrix p = start;
-  double current = safe_cost(cost_, p);
+  // One incremental solver cache for the whole stochastic run (gradient,
+  // line-search probes, and acceptance evaluations).
+  CachedCostEvaluator evaluator(cost_, config_.base.incremental);
+  double current = evaluator.cost_at(p);
   if (std::isinf(current))
     throw std::invalid_argument("PerturbedDescent: infeasible start matrix");
 
@@ -59,7 +63,7 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
                             config_.base.recovery_margin_growth,
                         config_.base.recovery_margin_cap);
       p = reproject_interior(p, margin);
-      const double refreshed = safe_cost(cost_, p);
+      const double refreshed = evaluator.cost_at(p);
       if (std::isfinite(refreshed)) current = refreshed;
       result.recovery.record(it, RecoveryAction::kMarginWidened, cause.code(),
                              "margin " + std::to_string(margin));
@@ -68,21 +72,21 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
   };
 
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
-    util::StatusOr<markov::ChainAnalysis> chain =
-        markov::try_analyze_chain(p, solver);
+    util::StatusOr<const markov::ChainAnalysis*> chain =
+        evaluator.analyze(p, solver);
     if (!chain.ok() && solver == markov::StationarySolver::kDirect &&
         util::is_numerical_failure(chain.status().code())) {
       solver = markov::StationarySolver::kPowerIteration;
       result.recovery.record(it, RecoveryAction::kPowerIterationFallback,
                              chain.status().code(), chain.status().message());
-      chain = markov::try_analyze_chain(p, solver);
+      chain = evaluator.analyze(p, solver);
     }
     if (!chain.ok()) {
       ++result.iterations;
       if (!recover(it, chain.status())) break;
       continue;
     }
-    linalg::Matrix grad = cost::cost_gradient(cost_, *chain);
+    linalg::Matrix grad = cost::cost_gradient(cost_, **chain);
     const util::Status grad_ok = util::check_finite(grad, "gradient");
     if (!grad_ok.is_ok()) {
       ++result.iterations;
@@ -116,7 +120,7 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
     const double max_step = max_feasible_step(p.matrix(), direction, margin);
 
     auto phi = [&](double t) {
-      return safe_cost(cost_, apply_step(p, direction, t, margin));
+      return evaluator.cost_at(apply_step(p, direction, t, margin));
     };
     const LineSearchResult ls =
         trisection_search(phi, current, max_step, config_.base.line_search);
@@ -139,7 +143,7 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
 
     const markov::TransitionMatrix candidate =
         apply_step(p, direction, step, margin);
-    const double cand_cost = safe_cost(cost_, candidate);
+    const double cand_cost = evaluator.cost_at(candidate);
 
     bool accept = cand_cost < current;
     if (!accept && std::isfinite(cand_cost)) {

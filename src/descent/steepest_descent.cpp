@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/cost/gradient.hpp"
+#include "src/descent/cached_cost.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
 #include "src/util/guard.hpp"
@@ -84,8 +85,11 @@ SteepestDescent::SteepestDescent(const cost::CompositeCost& cost,
 DescentResult SteepestDescent::run(
     const markov::TransitionMatrix& start) const {
   markov::TransitionMatrix p = start;
-  DescentResult result{p,  safe_cost(cost_, p), 0, StopReason::kMaxIterations,
-                       Trace{}, RecoveryLog{}};
+  // All probe evaluations in this run — gradients, line-search samples,
+  // candidate checks — share one incremental solver cache.
+  CachedCostEvaluator evaluator(cost_, config_.incremental);
+  DescentResult result{p,  evaluator.cost_at(p), 0,
+                       StopReason::kMaxIterations, Trace{}, RecoveryLog{}};
   if (std::isinf(result.cost))
     throw std::invalid_argument("SteepestDescent: infeasible start matrix");
 
@@ -119,7 +123,7 @@ DescentResult SteepestDescent::run(
                             config_.recovery_margin_growth,
                         config_.recovery_margin_cap);
       p = reproject_interior(p, margin);
-      const double refreshed = safe_cost(cost_, p);
+      const double refreshed = evaluator.cost_at(p);
       if (std::isfinite(refreshed)) {
         last_good = p;
         result.cost = refreshed;
@@ -136,20 +140,20 @@ DescentResult SteepestDescent::run(
 
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
     // --- Guarded evaluation: chain analysis, then the gradient. ----------
-    util::StatusOr<markov::ChainAnalysis> chain =
-        markov::try_analyze_chain(p, solver);
+    util::StatusOr<const markov::ChainAnalysis*> chain =
+        evaluator.analyze(p, solver);
     if (!chain.ok() && solver == markov::StationarySolver::kDirect &&
         util::is_numerical_failure(chain.status().code())) {
       solver = markov::StationarySolver::kPowerIteration;
       result.recovery.record(it, RecoveryAction::kPowerIterationFallback,
                              chain.status().code(), chain.status().message());
-      chain = markov::try_analyze_chain(p, solver);
+      chain = evaluator.analyze(p, solver);
     }
     if (!chain.ok()) {
       if (!recover(it, chain.status())) break;
       continue;
     }
-    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, *chain);
+    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, **chain);
     const util::Status grad_ok = util::check_finite(grad, "gradient");
     if (!grad_ok.is_ok()) {
       if (!recover(it, grad_ok)) break;
@@ -192,11 +196,11 @@ DescentResult SteepestDescent::run(
         step = std::min(step, config_.max_entry_change / biggest);
       if (step > 0.0) {
         candidate = apply_step(p, direction, step, margin);
-        new_cost = safe_cost(cost_, candidate);
+        new_cost = evaluator.cost_at(candidate);
       }
     } else {
       auto phi = [&](double t) {
-        return safe_cost(cost_, apply_step(p, direction, t, margin));
+        return evaluator.cost_at(apply_step(p, direction, t, margin));
       };
       const LineSearchResult ls =
           trisection_search(phi, result.cost, max_step, config_.line_search);

@@ -6,6 +6,7 @@
 #include "src/descent/line_search.hpp"
 #include "src/descent/recovery.hpp"
 #include "src/descent/trace.hpp"
+#include "src/markov/incremental.hpp"
 #include "src/markov/transition_matrix.hpp"
 
 namespace mocos::descent {
@@ -73,6 +74,13 @@ struct DescentConfig {
   /// the boundary where the barrier and ergodicity break down.
   double recovery_margin_growth = 16.0;
   double recovery_margin_cap = 1e-4;
+
+  // --- Incremental solver cache (rank-one chain updates) -----------------
+  /// Parameters of the ChainSolveCache all probe evaluations run through.
+  /// Set incremental.enabled = false (or export MOCOS_NO_INCREMENTAL=1, or
+  /// pass --no-incremental to the CLI) to force every probe onto the full
+  /// O(M³) solve path for A/B verification.
+  markov::IncrementalConfig incremental;
 };
 
 struct DescentResult {

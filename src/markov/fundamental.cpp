@@ -50,10 +50,9 @@ ChainAnalysis analyze_chain(const TransitionMatrix& p) {
   linalg::Vector pi = stationary_distribution(p);
   linalg::Matrix w = stationary_rows(pi);
   linalg::Matrix z = fundamental_matrix(p.matrix(), pi);
-  linalg::Matrix z2 = z * z;
   linalg::Matrix r = first_passage_times(z, pi);
-  return ChainAnalysis{p,           std::move(pi), std::move(w),
-                       std::move(z), std::move(z2), std::move(r)};
+  return ChainAnalysis{p, std::move(pi), std::move(w), std::move(z),
+                       std::move(r)};
 }
 
 util::StatusOr<ChainAnalysis> try_analyze_chain(const TransitionMatrix& p,
@@ -72,12 +71,7 @@ util::StatusOr<ChainAnalysis> try_analyze_chain(const TransitionMatrix& p,
   if (!r.ok()) return r.status();
 
   linalg::Matrix w = stationary_rows(*pi);
-  linalg::Matrix z2 = *z * *z;
-  return ChainAnalysis{p,
-                       std::move(*pi),
-                       std::move(w),
-                       std::move(*z),
-                       std::move(z2),
+  return ChainAnalysis{p, std::move(*pi), std::move(w), std::move(*z),
                        std::move(*r)};
 }
 

@@ -30,7 +30,6 @@ struct ChainAnalysis {
   linalg::Vector pi;   // stationary distribution
   linalg::Matrix w;    // 1 pi^T
   linalg::Matrix z;    // fundamental matrix
-  linalg::Matrix z2;   // Z^2, cached for the Schweitzer dZ formula
   linalg::Matrix r;    // expected first passage times R_ij (Eq. 8)
 };
 

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/linalg/lu.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/markov/fundamental.hpp"
+#include "src/markov/transition_matrix.hpp"
+#include "src/util/status.hpp"
+
+namespace mocos::markov {
+
+/// Tuning knobs for ChainSolveCache. The defaults keep the incremental path
+/// indistinguishable from full solves (agreement to ~1e-10 over hundreds of
+/// consecutive row updates) while still amortizing almost every probe.
+struct IncrementalConfig {
+  /// Master switch; when false every update is a full O(M³) re-solve (the
+  /// MOCOS_NO_INCREMENTAL A/B verification mode).
+  bool enabled = true;
+  /// A Sherman–Morrison update whose denominator |1 - bᵀG e_i| falls below
+  /// this floor is rejected (near-singular perturbed system) and answered
+  /// with a full re-factorization instead.
+  double min_denominator = 1e-8;
+  /// Full re-factorization after this many consecutive row updates, bounding
+  /// the O(ε·κ) round-off drift the rank-one updates accumulate.
+  std::size_t refactor_period = 64;
+  /// After every incremental refresh the stationary residual ‖πP − π‖∞ is
+  /// checked against this tolerance; a violation forces a full rebuild (and
+  /// counts in Stats::residual_fallbacks).
+  double residual_tolerance = 1e-9;
+};
+
+/// Incremental Markov-chain solver cache (rank-one updates).
+///
+/// Coordinate-wise steepest descent perturbs one row of P per probe, so each
+/// probe's chain analysis is an exact rank-one update of the previous one.
+/// The cache maintains the resolvent
+///
+///   G = (I − P + 𝟙cᵀ)⁻¹,   c = 𝟙/M  (fixed, independent of P),
+///
+/// which is nonsingular for every irreducible row-stochastic P and from which
+/// all of Eqs. 5–8 follow in O(M²):
+///
+///   πᵀ = cᵀG          (stationary distribution, Eq. 5)
+///   A# = G − 𝟙(πᵀG)   (group inverse of A = I − P, Eq. 7)
+///   Z  = A# + 𝟙πᵀ     (Kemeny–Snell fundamental matrix, Eq. 6)
+///   R  from (Z, π)    (first passage times, Eq. 8)
+///
+/// Replacing row i of P by r adds −e_i bᵀ (b = r − p_i, bᵀ𝟙 = 0) to the
+/// resolvent system, so Sherman–Morrison refreshes G in O(M²):
+///
+///   G' = G + (G e_i)(bᵀG) / (1 − bᵀG e_i).
+///
+/// When the denominator is ill-conditioned (|1 − bᵀG e_i| below
+/// IncrementalConfig::min_denominator), or drift/residual guards trip, the
+/// cache falls back to a full guarded re-factorization through the same
+/// `Try*` layer the descent recovery ladder uses — the caller only ever sees
+/// a Status.
+class ChainSolveCache {
+ public:
+  explicit ChainSolveCache(IncrementalConfig config = {});
+
+  /// Full O(M³) (re)build of the cache state from scratch. Any failure
+  /// (non-ergodic chain, singular resolvent, non-finite values) invalidates
+  /// the cache; has_state() turns false and the status explains why.
+  [[nodiscard]] util::Status reset(const TransitionMatrix& p);
+
+  /// Replaces row i of the cached P by `new_row` (a probability vector of
+  /// matching size) via Sherman–Morrison; O(M²) on the happy path, full
+  /// rebuild on guard trips. Requires has_state().
+  [[nodiscard]] util::Status update_row(std::size_t i,
+                                        const linalg::Vector& new_row);
+
+  /// Brings the cache to `p` by diffing rows against the cached matrix and
+  /// applying a rank-one update per changed row. Falls back to reset() when
+  /// the cache is empty, the size changed, too many rows changed to beat a
+  /// re-factorization, or any per-row guard trips. This is the entry point
+  /// the descent drivers call for every probe.
+  [[nodiscard]] util::Status update(const TransitionMatrix& p);
+
+  /// True when the cache holds a valid analysis (last reset/update was ok).
+  [[nodiscard]] bool has_state() const { return analysis_.has_value(); }
+
+  /// The cached analysis; requires has_state().
+  [[nodiscard]] const ChainAnalysis& analysis() const { return *analysis_; }
+
+  /// Group inverse A# = Z − W (Eq. 7), maintained alongside the analysis;
+  /// requires has_state().
+  [[nodiscard]] const linalg::Matrix& a_sharp() const { return a_sharp_; }
+
+  /// LU factors of the resolvent system from the most recent full
+  /// factorization (empty when the full-solve A/B path is active).
+  [[nodiscard]] const std::optional<linalg::LuDecomposition>& lu() const {
+    return lu_;
+  }
+
+  /// Counters for tests, benches, and the CLI recovery log.
+  struct Stats {
+    std::size_t full_solves = 0;            // reset() completions
+    std::size_t incremental_row_updates = 0;
+    std::size_t denominator_fallbacks = 0;  // |denom| < min_denominator
+    std::size_t drift_refactors = 0;        // refactor_period exceeded
+    std::size_t residual_fallbacks = 0;     // ‖πP − π‖∞ check failed
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] const IncrementalConfig& config() const { return config_; }
+
+  /// True when rank-one updates are in use: config().enabled and not
+  /// globally disabled via MOCOS_NO_INCREMENTAL / --no-incremental.
+  [[nodiscard]] bool incremental_active() const;
+
+ private:
+  /// Derives π, W, Z, A#, R from g_ and installs the analysis for `p`.
+  [[nodiscard]] util::Status derive_from_resolvent(const TransitionMatrix& p);
+
+  /// The Sherman–Morrison core: refreshes g_ for row i := new_row. Returns
+  /// kSingularMatrix when the denominator guard (or the injected
+  /// kIncrementalDenominator fault) trips; the caller then does a full
+  /// rebuild.
+  [[nodiscard]] util::Status apply_row_update(std::size_t i,
+                                              const linalg::Vector& new_row);
+
+  /// ‖πP − π‖∞ of the cached analysis.
+  [[nodiscard]] double stationary_residual() const;
+
+  IncrementalConfig config_;
+  linalg::Matrix p_mat_;    // cached transition matrix entries
+  linalg::Matrix g_;        // resolvent (empty on the full-solve A/B path)
+  linalg::Matrix a_sharp_;  // group inverse A#
+  std::optional<linalg::LuDecomposition> lu_;
+  std::optional<ChainAnalysis> analysis_;
+  std::size_t updates_since_refactor_ = 0;
+  Stats stats_;
+};
+
+/// Process-wide escape hatch: true when the MOCOS_NO_INCREMENTAL environment
+/// variable is set (to anything but "0"/"false"/"off"/"") or
+/// force_disable_incremental(true) was called (the CLI --no-incremental
+/// flag / `incremental = false` config key). Caches constructed while this
+/// holds run every update as a full solve, giving a bit-level A/B reference.
+[[nodiscard]] bool incremental_globally_disabled();
+void force_disable_incremental(bool disabled);
+
+}  // namespace mocos::markov

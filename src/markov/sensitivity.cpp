@@ -13,8 +13,14 @@ linalg::Vector stationary_directional_derivative(const ChainAnalysis& chain,
 
 linalg::Matrix fundamental_directional_derivative(const ChainAnalysis& chain,
                                                   const linalg::Matrix& pdot) {
-  // dZ = Z Ṗ Z - W Ṗ Z².
-  return chain.z * pdot * chain.z - chain.w * pdot * chain.z2;
+  // dZ = Z Ṗ Z - W Ṗ Z². Since W = 𝟙πᵀ, the correction is rank one:
+  // W Ṗ Z² = 𝟙 (πᵀ Ṗ Z Z), so three row-vector products replace the cached
+  // Z² (which would cost an O(M³) product per chain analysis to maintain).
+  const linalg::Vector pi_pdot_z2 =
+      linalg::mul(linalg::mul(linalg::mul(chain.pi, pdot), chain.z), chain.z);
+  return chain.z * pdot * chain.z -
+         linalg::Matrix::outer(linalg::Vector(chain.pi.size(), 1.0),
+                               pi_pdot_z2);
 }
 
 linalg::Matrix chain_rule_gradient(const ChainAnalysis& chain,
@@ -35,10 +41,13 @@ linalg::Matrix chain_rule_gradient(const ChainAnalysis& chain,
 
   // Z-channel, term 2: -π_k Σ_ij ∂U/∂z_ij (Z²)_lj = -π_k (G (Z²)ᵀ summed
   // over i)_l; define s_l = Σ_ij G_ij (Z²)_lj = Σ_j (Σ_i G_ij) (Z²)_lj.
+  // Z² appears only in this vector product, so compute s = Z (Z g) with two
+  // matvecs instead of materializing Z².
   linalg::Vector col_sum_g(n, 0.0);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) col_sum_g[j] += du_dz(i, j);
-  const linalg::Vector s = linalg::mul(chain.z2, col_sum_g);
+  const linalg::Vector s =
+      linalg::mul(chain.z, linalg::mul(chain.z, col_sum_g));
 
   linalg::Matrix grad(n, n);
   for (std::size_t k = 0; k < n; ++k) {

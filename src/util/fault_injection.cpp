@@ -16,6 +16,8 @@ const char* to_string(Site site) {
       return "gradient";
     case Site::kLineSearch:
       return "line-search";
+    case Site::kIncrementalDenominator:
+      return "incremental-denominator";
     case Site::kSiteCount:
       break;
   }

@@ -111,11 +111,12 @@ TEST_F(DescentRecoveryTest, PersistentNaNGradientAbandonsGracefully) {
 
 TEST_F(DescentRecoveryTest, SingularFactorizationFallsBackToPowerIteration) {
   Fixture f;
-  // One injected singular factorization: the direct stationary solve fails
-  // once, the ladder demotes to power iteration and the run completes.
-  // Invocations 0-1 are the start-cost evaluation (stationary + fundamental
-  // factor); invocation 2 is iteration 0's direct stationary solve.
-  fault::ScopedFault guard(fault::Site::kLuFactor, 2, 1);
+  // One injected direct-solve failure: iteration 0's chain analysis fails,
+  // the ladder demotes to power iteration and the run completes. The solver
+  // cache makes that analysis a cache hit of the start-cost evaluation, so
+  // the kStationary site is consulted by CachedCostEvaluator::analyze
+  // itself; invocation 0 is exactly iteration 0's analysis.
+  fault::ScopedFault guard(fault::Site::kStationary, 0, 1);
   const auto result = SteepestDescent(f.u, line_search_config(30))
                           .run(f.start());
 
@@ -123,6 +124,21 @@ TEST_F(DescentRecoveryTest, SingularFactorizationFallsBackToPowerIteration) {
   EXPECT_NE(result.reason, StopReason::kNumericalFailure);
   EXPECT_EQ(result.recovery.count(RecoveryAction::kPowerIterationFallback),
             1u);
+  EXPECT_EQ(result.recovery.count(RecoveryAction::kAbandoned), 0u);
+}
+
+TEST_F(DescentRecoveryTest, SingularProbeFactorizationIsAbsorbed) {
+  Fixture f;
+  // A single LU failure inside a line-search probe (invocation 0 is the
+  // start evaluation's resolvent factorization; later invocations are probe
+  // rebuilds) surfaces as an infinite probe cost, which the search simply
+  // avoids: no ladder involvement, the run completes normally.
+  fault::ScopedFault guard(fault::Site::kLuFactor, 2, 1);
+  const auto result = SteepestDescent(f.u, line_search_config(30))
+                          .run(f.start());
+
+  EXPECT_TRUE(std::isfinite(result.cost));
+  EXPECT_NE(result.reason, StopReason::kNumericalFailure);
   EXPECT_EQ(result.recovery.count(RecoveryAction::kAbandoned), 0u);
 }
 

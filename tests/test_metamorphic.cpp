@@ -1,0 +1,165 @@
+// Metamorphic tests: known transformations of a problem with exactly known
+// effects on the outputs. Unlike the unit tests these never check absolute
+// numbers — only that the implementation respects the symmetries the math
+// promises, which catches indexing bugs no hand-computed fixture would.
+//
+// Relations covered:
+//  1. PoI relabeling. Permuting the PoI list (positions + targets) and
+//     conjugating the schedule by the same permutation must leave the cost,
+//     ΔC, and Ē invariant, and permute the per-PoI shares/exposures.
+//  2. Chain-level permutation similarity: π, Z, R transform by relabeling.
+//  3. Physical-time rescaling. speed → speed/s and pause → pause·s scales
+//     every duration T_jk and coverage time T_jk,i by exactly s, so ΔC
+//     scales by s², the coverage shares C̄_i are invariant (ratios of
+//     times), and the transition-counted exposure Ē is invariant.
+
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/problem.hpp"
+#include "src/cost/composite_cost.hpp"
+#include "src/cost/metrics.hpp"
+#include "src/geometry/topology.hpp"
+#include "src/markov/fundamental.hpp"
+#include "src/util/rng.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos {
+namespace {
+
+/// Six PoIs in general position with a deliberately non-uniform allocation,
+/// so no symmetry of the instance can mask a relabeling bug.
+const std::vector<geometry::Vec2> kPositions = {
+    {0.0, 0.0}, {2.0, 0.3}, {0.7, 1.9}, {3.1, 2.2}, {1.5, 3.4}, {3.8, 0.9}};
+const std::vector<double> kTargets = {0.25, 0.10, 0.20, 0.15, 0.05, 0.25};
+
+core::Problem make_problem(const std::vector<std::size_t>& perm,
+                           core::Physics physics) {
+  std::vector<geometry::Vec2> pos(perm.size());
+  std::vector<double> tgt(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    pos[i] = kPositions[perm[i]];
+    tgt[i] = kTargets[perm[i]];
+  }
+  core::Weights w;
+  w.alpha = 1.0;
+  w.beta = 0.5;
+  w.epsilon = 1e-4;
+  return core::Problem(geometry::Topology("metamorphic", std::move(pos),
+                                          std::move(tgt)),
+                       physics, w);
+}
+
+std::vector<std::size_t> identity_perm() { return {0, 1, 2, 3, 4, 5}; }
+
+/// Conjugates a schedule by the relabeling: state i of the permuted problem
+/// is state perm[i] of the original, so P'(i,j) = P(perm[i], perm[j]).
+markov::TransitionMatrix conjugate(const markov::TransitionMatrix& p,
+                                   const std::vector<std::size_t>& perm) {
+  const std::size_t n = p.size();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = p(perm[i], perm[j]);
+  return markov::TransitionMatrix(std::move(m));
+}
+
+TEST(Metamorphic, PoiRelabelingLeavesScalarMetricsInvariant) {
+  const std::vector<std::vector<std::size_t>> perms = {
+      {5, 0, 3, 1, 4, 2}, {1, 2, 3, 4, 5, 0}, {3, 4, 0, 5, 2, 1}};
+  const core::Problem base = make_problem(identity_perm(), core::Physics{});
+  const cost::CompositeCost base_cost = base.make_cost();
+
+  util::Rng rng(2024);
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    const markov::TransitionMatrix p = test::random_positive_chain(6, rng);
+    const cost::Metrics m = base.metrics_of(p);
+    const double u = base_cost.value(markov::analyze_chain(p));
+
+    for (const auto& perm : perms) {
+      SCOPED_TRACE("trial " + std::to_string(trial));
+      const core::Problem relabeled = make_problem(perm, core::Physics{});
+      const markov::TransitionMatrix q = conjugate(p, perm);
+      const cost::Metrics mm = relabeled.metrics_of(q);
+
+      EXPECT_NEAR(mm.delta_c, m.delta_c, 1e-12 + 1e-9 * m.delta_c);
+      EXPECT_NEAR(mm.e_bar, m.e_bar, 1e-9);
+      EXPECT_NEAR(relabeled.report_cost(q), base.report_cost(p), 1e-9);
+
+      // The full penalized cost U_ε (barrier included) is also invariant:
+      // the barrier only reads entries of P, which relabeling permutes.
+      const double uu =
+          relabeled.make_cost().value(markov::analyze_chain(q));
+      EXPECT_NEAR(uu, u, 1e-9 * (1.0 + std::abs(u)));
+
+      // Per-PoI vectors permute with the labels.
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        EXPECT_NEAR(mm.c_share[i], m.c_share[perm[i]], 1e-10);
+        EXPECT_NEAR(mm.exposure[i], m.exposure[perm[i]], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, ChainAnalysisRespectsPermutationSimilarity) {
+  const std::vector<std::size_t> perm = {4, 2, 0, 5, 1, 3};
+  util::Rng rng(7);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const markov::TransitionMatrix p = test::random_positive_chain(6, rng);
+    const markov::TransitionMatrix q = conjugate(p, perm);
+    const markov::ChainAnalysis a = markov::analyze_chain(p);
+    const markov::ChainAnalysis b = markov::analyze_chain(q);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(b.pi[i], a.pi[perm[i]], 1e-12);
+      for (std::size_t j = 0; j < 6; ++j) {
+        EXPECT_NEAR(b.z(i, j), a.z(perm[i], perm[j]), 1e-10);
+        EXPECT_NEAR(b.r(i, j), a.r(perm[i], perm[j]), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, TimeRescalingScalesDurationsAndMetricsExactly) {
+  const double s = 3.0;
+  core::Physics base_phys;          // speed 1, pause 1
+  core::Physics scaled_phys;
+  scaled_phys.speed = base_phys.speed / s;
+  scaled_phys.pause = base_phys.pause * s;
+
+  const core::Problem base = make_problem(identity_perm(), base_phys);
+  const core::Problem scaled = make_problem(identity_perm(), scaled_phys);
+
+  // Every duration and per-PoI coverage time scales by exactly s.
+  const std::size_t n = base.num_pois();
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(scaled.tensors().durations()(j, k),
+                  s * base.tensors().durations()(j, k), 1e-12);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(scaled.tensors().coverage_of(i)(j, k),
+                    s * base.tensors().coverage_of(i)(j, k), 1e-12);
+    }
+
+  util::Rng rng(99);
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const markov::TransitionMatrix p = test::random_positive_chain(n, rng);
+    const cost::Metrics m = base.metrics_of(p);
+    const cost::Metrics ms = scaled.metrics_of(p);
+
+    // ΔC is a sum of squared time-weighted deviations: scales by s².
+    EXPECT_NEAR(ms.delta_c, s * s * m.delta_c, 1e-9 * (1.0 + m.delta_c));
+    // Coverage shares are ratios of times: invariant.
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(ms.c_share[i], m.c_share[i], 1e-12);
+    // Exposure counts transitions, not seconds (Eq. 3's unit-transition
+    // convention): invariant under physical-time rescaling.
+    EXPECT_NEAR(ms.e_bar, m.e_bar, 1e-12);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(ms.exposure[i], m.exposure[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mocos

@@ -5,7 +5,8 @@ Dependency-free (Python 3 stdlib only), token/regex based. Turns the
 project's implicit contracts into machine-checked rules:
 
 Determinism contract (PR 2): results must be bit-identical for any --jobs
-count. Enforced in `src/runtime/`, `src/sim/`, `src/descent/`, `src/multi/`:
+count. Enforced in `src/runtime/`, `src/sim/`, `src/descent/`, `src/multi/`,
+and `src/markov/incremental.*` (the solver cache every descent probe rides):
 
   det-rng        rand()/srand()/std::random_device — ambient entropy breaks
                  replay; draw from util::Rng::stream(i) indexed streams.
@@ -22,7 +23,8 @@ failures:
   raw-solver     throwing solver entry points (lu_factor, stationary_-
                  distribution, fundamental_matrix, group_inverse,
                  first_passage_times, analyze_chain) called in
-                 `src/descent/` outside the Try* layer.
+                 `src/descent/` or `src/markov/incremental.*` outside the
+                 Try* layer.
   float-eq       exact ==/!= against a floating-point literal anywhere in
                  src/. Either convert to a tolerance check or annotate the
                  intentional exact comparison with a suppression + reason.
@@ -66,10 +68,17 @@ SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 
 # Directories (relative to --root, POSIX separators) under the determinism
 # contract: anything here runs, or is reachable from, indexed parallel work.
-DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/")
+# The incremental solver cache is on the list because every descent probe
+# flows through it: nondeterministic iteration there would break the
+# jobs-invariance guarantee end to end.
+DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/",
+                     "src/markov/incremental")
 
-# Descent + recovery code must use the guarded Try* solver layer.
-RAW_SOLVER_SCOPE = ("src/descent/",)
+# Descent + recovery code must use the guarded Try* solver layer. The
+# incremental cache sits on the descent hot path and owns the fallback from
+# Sherman-Morrison updates to full re-factorization, so its internals are
+# held to the same try_*-only contract.
+RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental")
 
 RULES = {
     "det-rng": "ambient randomness breaks the jobs-invariance determinism "
