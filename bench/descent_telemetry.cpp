@@ -1,0 +1,166 @@
+// Observability overhead on a realistic descent: an M=64 (8x8 grid)
+// adaptive run timed three ways — obs disabled (no registry, no sink: the
+// default for every non---metrics run), with a MetricsRegistry installed,
+// and with a TraceSink installed. The run is deterministic, so all variants
+// execute the identical iteration sequence and differ only in telemetry.
+//
+// The disabled path's cost is too small to resolve by differencing whole-run
+// times (it is a thread-local pointer load per site), so it is bounded
+// instead: a micro-loop measures ns per disabled call site and the bound
+// multiplies that by a generous per-iteration site count. The contract
+// (DESIGN.md §10) is that this bound stays under 3% of an iteration.
+// Writes BENCH_descent_telemetry.json (to MOCOS_BENCH_CSV_DIR when set,
+// else the working directory).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "src/geometry/topology.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mocos::bench {
+namespace {
+
+// Upper bound on obs call sites crossed per descent iteration (metric
+// helpers + trace_active checks across descent, cached cost, and recovery).
+constexpr double kSitesPerIteration = 32.0;
+constexpr double kTargetPct = 3.0;
+
+core::Problem grid_problem(std::size_t side) {
+  core::Weights w;
+  w.alpha = 1.0;
+  w.beta = 1.0;
+  return core::Problem(
+      geometry::make_grid("grid:bench", side, side,
+                          geometry::uniform_targets(side * side)),
+      core::Physics{}, w);
+}
+
+core::OptimizerOptions descent_options() {
+  core::OptimizerOptions opts;
+  opts.algorithm = core::Algorithm::kAdaptive;
+  opts.max_iterations = scaled(40, 6);
+  return opts;
+}
+
+/// One timed optimization; returns (seconds, iterations). Best-of-3 damps
+/// scheduler noise.
+std::pair<double, std::size_t> timed_run(const core::Problem& problem) {
+  double best = 0.0;
+  std::size_t iterations = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::OptimizationOutcome outcome =
+        core::CoverageOptimizer(problem, descent_options()).run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || s < best) best = s;
+    iterations = outcome.iterations;
+  }
+  return {best, iterations};
+}
+
+/// ns per obs::count call with no registry installed (the disabled path:
+/// one thread-local pointer load and a branch).
+double disabled_ns_per_site() {
+  constexpr std::size_t kCalls = 10'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    obs::count("bench.disabled_site");
+    if (obs::trace_active()) obs::trace_instant("bench.never", "bench");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() * 1e9 /
+         static_cast<double>(kCalls);
+}
+
+int run() {
+  banner("descent telemetry overhead (M=64 adaptive descent)");
+  const core::Problem problem = grid_problem(8);
+
+  // Warm-up (page in the solver path) before any timing.
+  (void)core::CoverageOptimizer(problem, descent_options()).run();
+
+  const auto [baseline_s, iterations] = timed_run(problem);
+
+  obs::MetricsRegistry registry;
+  double metrics_s = 0.0;
+  {
+    obs::ScopedMetrics install(&registry);
+    metrics_s = timed_run(problem).first;
+  }
+
+  std::ostringstream trace_out;
+  obs::TraceSink sink(trace_out);
+  double trace_s = 0.0;
+  {
+    obs::ScopedTraceInstall install(&sink);
+    trace_s = timed_run(problem).first;
+  }
+
+  const double ns_per_site = disabled_ns_per_site();
+  const double iter_s = baseline_s / static_cast<double>(iterations);
+  const double disabled_pct =
+      100.0 * kSitesPerIteration * ns_per_site * 1e-9 / iter_s;
+  const double metrics_pct = 100.0 * (metrics_s - baseline_s) / baseline_s;
+  const double trace_pct = 100.0 * (trace_s - baseline_s) / baseline_s;
+
+  util::Table t({"variant", "seconds", "overhead %"});
+  t.add_row({"disabled (measured run)", util::fmt(baseline_s, 4), "-"});
+  t.add_row({"disabled (site-cost bound)", "-", util::fmt(disabled_pct, 4)});
+  t.add_row({"--metrics", util::fmt(metrics_s, 4), util::fmt(metrics_pct, 2)});
+  t.add_row({"--trace", util::fmt(trace_s, 4), util::fmt(trace_pct, 2)});
+  t.print(std::cout);
+  std::cout << "disabled site cost: " << util::fmt(ns_per_site, 2)
+            << " ns/site over " << iterations << " iterations\n";
+
+  const char* dir = std::getenv("MOCOS_BENCH_CSV_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_descent_telemetry.json";
+  std::ofstream out(path);
+  auto num = [&](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", x);
+    out << buf;
+  };
+  out << "{\n  \"scale\": \"" << (quick_mode() ? "quick" : "full")
+      << "\",\n  \"m\": 64,\n  \"iterations\": " << iterations
+      << ",\n  \"baseline_seconds\": ";
+  num(baseline_s);
+  out << ",\n  \"metrics_seconds\": ";
+  num(metrics_s);
+  out << ",\n  \"trace_seconds\": ";
+  num(trace_s);
+  out << ",\n  \"metrics_overhead_pct\": ";
+  num(metrics_pct);
+  out << ",\n  \"trace_overhead_pct\": ";
+  num(trace_pct);
+  out << ",\n  \"disabled_ns_per_site\": ";
+  num(ns_per_site);
+  out << ",\n  \"disabled_sites_per_iteration\": ";
+  num(kSitesPerIteration);
+  out << ",\n  \"disabled_overhead_pct\": ";
+  num(disabled_pct);
+  out << ",\n  \"disabled_overhead_target_pct\": ";
+  num(kTargetPct);
+  out << "\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+
+  if (disabled_pct >= kTargetPct) {
+    std::cerr << "descent_telemetry: DISABLED-PATH OVERHEAD "
+              << util::fmt(disabled_pct, 4) << "% exceeds the "
+              << util::fmt(kTargetPct, 1) << "% target\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mocos::bench
+
+int main() { return mocos::bench::run(); }

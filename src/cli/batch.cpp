@@ -9,6 +9,8 @@
 
 #include "src/cli/cli.hpp"
 #include "src/core/optimizer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/status.hpp"
 
 namespace mocos::cli {
@@ -147,8 +149,23 @@ std::vector<ScenarioOutcome> run_batch(const std::vector<std::string>& configs,
   // One scenario per task; the inner context is serial so a scenario never
   // re-enters the pool it is running on (no nested-wait deadlock).
   runtime::parallel_for(ctx, configs.size(), [&](std::size_t i) {
-    outcomes[i] = run_scenario(configs[i]);
+    if (obs::trace_active()) {
+      obs::ScopedSpan span("batch.scenario", "batch",
+                           obs::TraceArgs().str("config", configs[i]));
+      outcomes[i] = run_scenario(configs[i]);
+    } else {
+      outcomes[i] = run_scenario(configs[i]);
+    }
   });
+  // Counted after the barrier from the index-ordered outcomes, so the
+  // counters are jobs-invariant like every other metric.
+  if (obs::current_metrics() != nullptr) {
+    obs::count("batch.scenarios", outcomes.size());
+    std::uint64_t failures = 0;
+    for (const ScenarioOutcome& o : outcomes)
+      if (!o.ok()) ++failures;
+    obs::count("batch.failures", failures);
+  }
   return outcomes;
 }
 

@@ -1,12 +1,16 @@
 #include "src/cli/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "src/cli/batch.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/core/pareto.hpp"
 #include "src/core/serialization.hpp"
 #include "src/geometry/polygon.hpp"
@@ -133,6 +137,8 @@ struct CliArgs {
   std::string config_path;  // single mode (exclusive with batch_spec)
   std::string batch_spec;   // batch mode: directory or list file
   std::string summary_path; // optional file for the batch JSON summary
+  std::string metrics_path; // optional metrics JSON snapshot (--metrics)
+  std::string trace_path;   // optional NDJSON trace (--trace / MOCOS_TRACE)
   std::size_t jobs = 1;     // 0 = hardware concurrency
   bool no_incremental = false;  // force full chain solves (A/B verification)
 };
@@ -162,6 +168,10 @@ CliArgs parse_args(const std::vector<std::string>& args) {
       parsed.batch_spec = value("--batch");
     } else if (a == "--summary") {
       parsed.summary_path = value("--summary");
+    } else if (a == "--metrics") {
+      parsed.metrics_path = value("--metrics");
+    } else if (a == "--trace") {
+      parsed.trace_path = value("--trace");
     } else if (a == "--no-incremental") {
       parsed.no_incremental = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -226,7 +236,8 @@ core::OptimizationOutcome run_optimization(
                                      0,
                                      descent::Trace{},
                                      descent::StopReason::kMaxIterations,
-                                     descent::RecoveryLog{}};
+                                     descent::RecoveryLog{},
+                                     markov::ChainSolveCache::Stats{}};
   }
   core::OptimizerOptions opts;
   opts.algorithm = parse_algorithm(config);
@@ -271,20 +282,8 @@ int run_batch_mode(const CliArgs& cli, std::ostream& out, std::ostream& err) {
   return kExitSuccess;
 }
 
-}  // namespace
-
-int run_cli(const std::vector<std::string>& args, std::ostream& out,
-            std::ostream& err) {
-  CliArgs cli;
-  try {
-    cli = parse_args(args);
-  } catch (const std::invalid_argument& e) {
-    err << "mocos: " << e.what() << '\n'
-        << "usage: mocos_cli [--jobs N] [--summary FILE] [--no-incremental] "
-           "(<config-file> | --batch <dir-or-list>)\n"
-           "see src/cli/cli.hpp for the config format\n";
-    return kExitBadConfig;
-  }
+/// The CLI proper, after flag parsing and observability setup.
+int run_cli_impl(const CliArgs& cli, std::ostream& out, std::ostream& err) {
   // Process-global so it also covers paths that build their own descent
   // configs (frontier sweeps, loaded-schedule audits). Deliberately assigned
   // (not only set when true) so consecutive in-process run_cli calls do not
@@ -433,6 +432,65 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "mocos: error: " << e.what() << '\n';
     return kExitRuntimeError;
   }
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  CliArgs cli;
+  try {
+    cli = parse_args(args);
+  } catch (const std::invalid_argument& e) {
+    err << "mocos: " << e.what() << '\n'
+        << "usage: mocos_cli [--jobs N] [--summary FILE] [--no-incremental]\n"
+           "                 [--metrics FILE] [--trace FILE] "
+           "(<config-file> | --batch <dir-or-list>)\n"
+           "see src/cli/cli.hpp for the config format\n";
+    return kExitBadConfig;
+  }
+
+  // --trace FILE wins over the MOCOS_TRACE environment variable. Traces and
+  // metrics are side files only: stdout/stderr and the --summary document are
+  // byte-identical with and without them.
+  std::string trace_path = cli.trace_path;
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("MOCOS_TRACE")) {
+      if (*env != '\0') trace_path = env;
+    }
+  }
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> sink;
+  std::optional<obs::ScopedTraceInstall> trace_install;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      err << "mocos: --trace: cannot write " << trace_path << '\n';
+      return kExitBadConfig;
+    }
+    sink = std::make_unique<obs::TraceSink>(trace_file);
+    trace_install.emplace(sink.get());
+  }
+  obs::MetricsRegistry registry;
+  std::optional<obs::ScopedMetrics> metrics_install;
+  if (!cli.metrics_path.empty()) metrics_install.emplace(&registry);
+
+  int code = kExitRuntimeError;
+  {
+    obs::ScopedSpan span("cli.run", "cli");
+    code = run_cli_impl(cli, out, err);
+  }
+  if (sink != nullptr) sink->flush();
+
+  if (!cli.metrics_path.empty()) {
+    std::ofstream metrics_file(cli.metrics_path);
+    if (!metrics_file) {
+      err << "mocos: --metrics: cannot write " << cli.metrics_path << '\n';
+      return code == kExitSuccess ? kExitBadConfig : code;
+    }
+    registry.snapshot().write_json(metrics_file);
+  }
+  return code;
 }
 
 }  // namespace mocos::cli

@@ -18,7 +18,8 @@ CoverageOptimizer::CoverageOptimizer(const Problem& problem,
 OptimizationOutcome CoverageOptimizer::finish(
     Algorithm algorithm, markov::TransitionMatrix best, double cost,
     std::size_t iterations, descent::Trace trace,
-    descent::StopReason stop_reason, descent::RecoveryLog recovery) const {
+    descent::StopReason stop_reason, descent::RecoveryLog recovery,
+    markov::ChainSolveCache::Stats chain_stats) const {
   cost::Metrics metrics = problem_.metrics_of(best);
   const double report =
       metrics.cost(problem_.weights().alpha, problem_.weights().beta);
@@ -30,7 +31,8 @@ OptimizationOutcome CoverageOptimizer::finish(
                              iterations,
                              std::move(trace),
                              stop_reason,
-                             std::move(recovery)};
+                             std::move(recovery),
+                             chain_stats};
 }
 
 OptimizationOutcome CoverageOptimizer::run(
@@ -57,7 +59,7 @@ OptimizationOutcome CoverageOptimizer::run(
     return finish(Algorithm::kPerturbed, std::move(ms.best.best_p),
                   ms.best.best_cost, ms.best.iterations,
                   std::move(ms.best.trace), ms.best.reason,
-                  std::move(ms.best.recovery));
+                  std::move(ms.best.recovery), ms.best.chain_stats);
   }
   util::Rng rng(options_.seed);
   const markov::TransitionMatrix start =
@@ -87,7 +89,7 @@ OptimizationOutcome CoverageOptimizer::run(
     descent::PerturbedResult res = driver.run(start, rng);
     return finish(Algorithm::kPerturbed, std::move(res.best_p), res.best_cost,
                   res.iterations, std::move(res.trace), res.reason,
-                  std::move(res.recovery));
+                  std::move(res.recovery), res.chain_stats);
   }
 
   descent::DescentConfig cfg;
@@ -103,7 +105,8 @@ OptimizationOutcome CoverageOptimizer::run(
   descent::SteepestDescent driver(cost, cfg);
   descent::DescentResult res = driver.run(start);
   return finish(options_.algorithm, std::move(res.p), res.cost, res.iterations,
-                std::move(res.trace), res.reason, std::move(res.recovery));
+                std::move(res.trace), res.reason, std::move(res.recovery),
+                res.chain_stats);
 }
 
 }  // namespace mocos::core

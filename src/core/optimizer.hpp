@@ -64,7 +64,8 @@ class CoverageOptimizer {
                              markov::TransitionMatrix best, double cost,
                              std::size_t iterations, descent::Trace trace,
                              descent::StopReason stop_reason,
-                             descent::RecoveryLog recovery) const;
+                             descent::RecoveryLog recovery,
+                             markov::ChainSolveCache::Stats chain_stats) const;
 
   const Problem& problem_;
   OptimizerOptions options_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/markov/fundamental.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/fault_injection.hpp"
 
 namespace mocos::descent {
@@ -44,6 +45,17 @@ util::StatusOr<const markov::ChainAnalysis*> CachedCostEvaluator::analyze(
   if (!chain.ok()) return chain.status();
   fallback_.emplace(std::move(*chain));
   return &*fallback_;
+}
+
+void record_cache_metrics(const markov::ChainSolveCache::Stats& stats) {
+  if (obs::current_metrics() == nullptr) return;
+  obs::count("chain_cache.full_solves", stats.full_solves);
+  obs::count("chain_cache.exact_hits", stats.exact_hits);
+  obs::count("chain_cache.row_updates", stats.incremental_row_updates);
+  obs::count("chain_cache.denominator_fallbacks",
+             stats.denominator_fallbacks);
+  obs::count("chain_cache.drift_refactors", stats.drift_refactors);
+  obs::count("chain_cache.residual_fallbacks", stats.residual_fallbacks);
 }
 
 }  // namespace mocos::descent

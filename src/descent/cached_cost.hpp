@@ -47,4 +47,10 @@ class CachedCostEvaluator {
   std::optional<markov::ChainAnalysis> fallback_;  // power-iteration results
 };
 
+/// Adds a finished cache's counters to the current metrics registry
+/// (chain_cache.full_solves, .row_updates, ...); no-op when metrics are off.
+/// Called once per evaluator at the end of a descent run — counters are
+/// commutative, so this is jobs-invariant wherever the run executed.
+void record_cache_metrics(const markov::ChainSolveCache::Stats& stats);
+
 }  // namespace mocos::descent

@@ -10,6 +10,8 @@
 #include "src/descent/cached_cost.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/guard.hpp"
 
 namespace mocos::descent {
@@ -36,7 +38,10 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
     throw std::invalid_argument("PerturbedDescent: infeasible start matrix");
 
   PerturbedResult result{p, current, p, current, 0, 0, 0, Trace{},
-                         StopReason::kMaxIterations, RecoveryLog{}};
+                         StopReason::kMaxIterations, RecoveryLog{},
+                         markov::ChainSolveCache::Stats{}};
+  obs::count("descent.perturbed.runs");
+  obs::ScopedSpan run_span("descent.perturbed_run", "descent");
   double margin = config_.base.probability_margin;
   markov::StationarySolver solver = markov::StationarySolver::kDirect;
   std::size_t consecutive_failures = 0;
@@ -134,6 +139,7 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
       // paper's escape move.
       step = rng.uniform(0.0, max_step);
       ++result.random_steps;
+      obs::count("descent.random_steps");
     }
     // mocos-lint: allow(float-eq)
     if (step == 0.0) {
@@ -154,7 +160,10 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
           config_.annealing_k /
           std::log(static_cast<double>(it) + 2.0);
       accept = rng.bernoulli(std::exp(-delta_u / temperature));
-      if (accept) ++result.accepted_worsening;
+      if (accept) {
+        ++result.accepted_worsening;
+        obs::count("descent.worsening_accepted");
+      }
     }
 
     ++result.iterations;
@@ -181,11 +190,38 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
       result.trace.record(
           {result.iterations, current, step, grad_norm, accept});
 
+    if (obs::current_metrics() != nullptr) {
+      obs::count("descent.iterations");
+      obs::count("descent.line_search.probes", ls.evaluations);
+      obs::count(accept ? "descent.steps.accepted"
+                        : "descent.steps.rejected");
+      obs::observe("descent.gradient_norm", obs::decade_bounds(-12, 3),
+                   grad_norm);
+      obs::observe("descent.step_size", obs::decade_bounds(-12, 0), step);
+    }
+    if (obs::trace_active()) {
+      obs::TraceArgs args;
+      args.num("iteration", static_cast<double>(result.iterations))
+          .num("u", current)
+          .num("step", step)
+          .num("grad_norm", grad_norm)
+          .num("probes", static_cast<double>(ls.evaluations))
+          .num("accepted", accept ? 1.0 : 0.0);
+      for (const auto& [term, value] : cost_.breakdown(**chain))
+        args.num("term." + term, value);
+      obs::trace_instant("descent.iteration", "descent", args);
+    }
+
     if (config_.stall_limit > 0 && since_improvement >= config_.stall_limit) {
       result.reason = StopReason::kStallLimit;
       break;
     }
   }
+
+  // The quench polish reports its own cache metrics inside run(); only the
+  // stochastic phase's evaluator is recorded here, so counters never double.
+  result.chain_stats = evaluator.cache().stats();
+  record_cache_metrics(result.chain_stats);
 
   if (config_.polish_iterations > 0) {
     DescentConfig quench = config_.base;
@@ -194,12 +230,14 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
     quench.keep_trace = false;
     const DescentResult polished =
         SteepestDescent(cost_, quench).run(result.best_p);
+    result.chain_stats.add(polished.chain_stats);
     if (polished.cost < result.best_cost &&
         std::isfinite(polished.cost)) {
       result.best_cost = polished.cost;
       result.best_p = polished.p;
     }
   }
+  obs::gauge_set("descent.final_cost", result.best_cost);
 
   result.final_p = p;
   result.final_cost = current;

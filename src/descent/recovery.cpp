@@ -1,5 +1,11 @@
 #include "src/descent/recovery.hpp"
 
+#include <string>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace mocos::descent {
 
 const char* to_string(RecoveryAction action) {
@@ -16,6 +22,21 @@ const char* to_string(RecoveryAction action) {
       return "abandoned";
   }
   return "unknown";
+}
+
+void RecoveryLog::record(std::size_t iteration, RecoveryAction action,
+                         util::StatusCode cause, std::string detail) {
+  obs::count(std::string("descent.recovery.") + to_string(action));
+  if (obs::trace_active()) {
+    obs::trace_instant(
+        "descent.recovery", "descent",
+        obs::TraceArgs()
+            .num("iteration", static_cast<double>(iteration))
+            .str("action", to_string(action))
+            .str("cause", util::to_string(cause))
+            .str("detail", detail));
+  }
+  events_.push_back({iteration, action, cause, std::move(detail)});
 }
 
 std::size_t RecoveryLog::count(RecoveryAction action) const {

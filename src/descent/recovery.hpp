@@ -35,10 +35,11 @@ struct RecoveryEvent {
 /// often instances needed rescue (and which rung saved them).
 class RecoveryLog {
  public:
+  /// Appends the event; the single choke point every ladder rung passes
+  /// through, so it doubles as the observability hook (a
+  /// descent.recovery.<action> counter and a trace instant when enabled).
   void record(std::size_t iteration, RecoveryAction action,
-              util::StatusCode cause, std::string detail) {
-    events_.push_back({iteration, action, cause, std::move(detail)});
-  }
+              util::StatusCode cause, std::string detail);
 
   const std::vector<RecoveryEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }

@@ -10,6 +10,8 @@
 #include "src/descent/cached_cost.hpp"
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/guard.hpp"
 
 namespace mocos::descent {
@@ -88,10 +90,24 @@ DescentResult SteepestDescent::run(
   // All probe evaluations in this run — gradients, line-search samples,
   // candidate checks — share one incremental solver cache.
   CachedCostEvaluator evaluator(cost_, config_.incremental);
-  DescentResult result{p,  evaluator.cost_at(p), 0,
-                       StopReason::kMaxIterations, Trace{}, RecoveryLog{}};
+  DescentResult result{p,
+                       evaluator.cost_at(p),
+                       0,
+                       StopReason::kMaxIterations,
+                       Trace{},
+                       RecoveryLog{},
+                       markov::ChainSolveCache::Stats{}};
   if (std::isinf(result.cost))
     throw std::invalid_argument("SteepestDescent: infeasible start matrix");
+  obs::count("descent.runs");
+  obs::ScopedSpan run_span("descent.run", "descent");
+  // Shared epilogue for both exit paths: export the cache counters that were
+  // previously dropped here, and the final cost as a gauge.
+  auto finalize = [&] {
+    result.chain_stats = evaluator.cache().stats();
+    record_cache_metrics(result.chain_stats);
+    obs::gauge_set("descent.final_cost", result.cost);
+  };
 
   // Recovery-ladder state. `last_good` is the most recent iterate whose cost
   // evaluated finite (the start qualifies by the check above); the ladder
@@ -188,6 +204,7 @@ DescentResult SteepestDescent::run(
 
     double step = 0.0;
     double new_cost = result.cost;
+    std::size_t probes = 0;
     markov::TransitionMatrix candidate = p;
     if (config_.step_policy == StepPolicy::kConstant) {
       step = std::min(config_.constant_step * step_scale, max_step);
@@ -197,6 +214,7 @@ DescentResult SteepestDescent::run(
       if (step > 0.0) {
         candidate = apply_step(p, direction, step, margin);
         new_cost = evaluator.cost_at(candidate);
+        probes = 1;
       }
     } else {
       auto phi = [&](double t) {
@@ -205,6 +223,7 @@ DescentResult SteepestDescent::run(
       const LineSearchResult ls =
           trisection_search(phi, result.cost, max_step, config_.line_search);
       step = ls.step;
+      probes = ls.evaluations;
       if (step > 0.0) {
         candidate = apply_step(p, direction, step, margin);
         new_cost = ls.value;
@@ -226,6 +245,33 @@ DescentResult SteepestDescent::run(
       result.trace.record({result.iterations, new_cost, step, grad_norm,
                            /*accepted=*/step > 0.0});
 
+    if (obs::current_metrics() != nullptr) {
+      obs::count("descent.iterations");
+      obs::count("descent.line_search.probes", probes);
+      obs::count(step > 0.0 ? "descent.steps.accepted"
+                            : "descent.steps.rejected");
+      obs::observe("descent.gradient_norm", obs::decade_bounds(-12, 3),
+                   grad_norm);
+      if (step > 0.0)
+        obs::observe("descent.step_size", obs::decade_bounds(-12, 0), step);
+    }
+    if (obs::trace_active()) {
+      // Per-iteration telemetry: cost U at the analyzed iterate, its
+      // per-term breakdown (coverage ΔC, exposure Ē, barrier/energy/entropy
+      // contributions), and the transition just taken from it.
+      obs::TraceArgs args;
+      args.num("iteration", static_cast<double>(result.iterations))
+          .num("u", result.cost)
+          .num("u_next", new_cost)
+          .num("step", step)
+          .num("grad_norm", grad_norm)
+          .num("probes", static_cast<double>(probes))
+          .num("accepted", step > 0.0 ? 1.0 : 0.0);
+      for (const auto& [term, value] : cost_.breakdown(**chain))
+        args.num("term." + term, value);
+      obs::trace_instant("descent.iteration", "descent", args);
+    }
+
     // Exact on purpose: 0.0 is the line search's "no acceptable step"
     // sentinel, assigned literally — any accepted step is strictly positive.
     // mocos-lint: allow(float-eq)
@@ -235,6 +281,7 @@ DescentResult SteepestDescent::run(
       result.cost = new_cost;
       result.reason = StopReason::kNoDescentStep;
       result.p = p;
+      finalize();
       return result;
     }
 
@@ -254,6 +301,7 @@ DescentResult SteepestDescent::run(
   // On numerical failure the ladder already rolled p back to the last good
   // iterate, so the reported (p, cost) pair is finite and consistent.
   result.p = p;
+  finalize();
   return result;
 }
 

@@ -91,6 +91,10 @@ struct DescentResult {
   Trace trace;
   /// Rescue events taken by the recovery ladder (empty on clean runs).
   RecoveryLog recovery;
+  /// Solver-cache counters of the evaluator that served every probe of this
+  /// run (previously computed but dropped at this boundary); flows through
+  /// PerturbedResult and OptimizationOutcome to the CLI/metrics surface.
+  markov::ChainSolveCache::Stats chain_stats;
 };
 
 /// Cost of a candidate transition matrix; +infinity when the analysis fails

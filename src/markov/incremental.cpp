@@ -8,6 +8,7 @@
 
 #include "src/markov/passage_times.hpp"
 #include "src/markov/stationary.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/fault_injection.hpp"
 #include "src/util/guard.hpp"
 
@@ -35,6 +36,16 @@ linalg::Matrix resolvent_system(const linalg::Matrix& p) {
     for (std::size_t j = 0; j < n; ++j)
       m(i, j) = (i == j ? 1.0 : 0.0) - p(i, j) + c;
   return m;
+}
+
+/// Trace note for the rare rank-one-update bailouts (guard trips, drift
+/// refactors). Counters for the same events ride on Stats and are exported
+/// once per descent run via record_cache_metrics.
+void note_fallback(const char* kind) {
+  if (obs::trace_active()) {
+    obs::trace_instant("chain_cache.fallback", "markov",
+                       obs::TraceArgs().str("kind", kind));
+  }
 }
 
 }  // namespace
@@ -208,12 +219,14 @@ util::Status ChainSolveCache::update_row(std::size_t i,
   if (!incremental_active() || g_.empty()) return rebuild_with_row();
   if (updates_since_refactor_ >= config_.refactor_period) {
     ++stats_.drift_refactors;
+    note_fallback("drift-refactor");
     return rebuild_with_row();
   }
 
   util::Status applied = apply_row_update(i, new_row);
   if (!applied.is_ok()) {
     ++stats_.denominator_fallbacks;
+    note_fallback("denominator");
     return rebuild_with_row();
   }
   ++stats_.incremental_row_updates;
@@ -224,6 +237,7 @@ util::Status ChainSolveCache::update_row(std::size_t i,
     // Accumulated round-off (or a nearly reducible perturbed chain) broke an
     // invariant; the re-factorization restores it from scratch.
     ++stats_.residual_fallbacks;
+    note_fallback("residual");
     return reset(TransitionMatrix(p_mat_));
   }
   return util::Status::ok();
@@ -246,13 +260,16 @@ util::Status ChainSolveCache::update(const TransitionMatrix& p) {
   if (changed.empty()) {
     // Same iterate as the cached one (a line search landing on an
     // already-probed point): the analysis is current.
+    ++stats_.exact_hits;
     return util::Status::ok();
   }
   if (static_cast<double>(changed.size()) >
           kRebuildRowFraction * static_cast<double>(n) ||
       updates_since_refactor_ + changed.size() > config_.refactor_period) {
-    if (updates_since_refactor_ + changed.size() > config_.refactor_period)
+    if (updates_since_refactor_ + changed.size() > config_.refactor_period) {
       ++stats_.drift_refactors;
+      note_fallback("drift-refactor");
+    }
     return reset(p);
   }
 
@@ -260,6 +277,7 @@ util::Status ChainSolveCache::update(const TransitionMatrix& p) {
     util::Status applied = apply_row_update(i, p.row(i));
     if (!applied.is_ok()) {
       ++stats_.denominator_fallbacks;
+      note_fallback("denominator");
       return reset(p);
     }
     ++stats_.incremental_row_updates;
@@ -269,6 +287,7 @@ util::Status ChainSolveCache::update(const TransitionMatrix& p) {
   util::Status derived = derive_from_resolvent(p);
   if (!derived.is_ok() || stationary_residual() > config_.residual_tolerance) {
     ++stats_.residual_fallbacks;
+    note_fallback("residual");
     return reset(p);
   }
   return util::Status::ok();

@@ -98,10 +98,23 @@ class ChainSolveCache {
   /// Counters for tests, benches, and the CLI recovery log.
   struct Stats {
     std::size_t full_solves = 0;            // reset() completions
+    std::size_t exact_hits = 0;             // update() with zero changed rows
+                                            // (re-probe of the cached iterate)
     std::size_t incremental_row_updates = 0;
     std::size_t denominator_fallbacks = 0;  // |denom| < min_denominator
     std::size_t drift_refactors = 0;        // refactor_period exceeded
     std::size_t residual_fallbacks = 0;     // ‖πP − π‖∞ check failed
+
+    /// Accumulates another cache's counters (an optimization run can span
+    /// several caches — e.g. the stochastic phase and its quench polish).
+    void add(const Stats& other) {
+      full_solves += other.full_solves;
+      exact_hits += other.exact_hits;
+      incremental_row_updates += other.incremental_row_updates;
+      denominator_fallbacks += other.denominator_fallbacks;
+      drift_refactors += other.drift_refactors;
+      residual_fallbacks += other.residual_fallbacks;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

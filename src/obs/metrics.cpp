@@ -1,0 +1,252 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace mocos::obs {
+
+namespace {
+
+thread_local MetricsRegistry* t_current = nullptr;
+
+void json_number(double x, std::ostream& out) {
+  // Same deterministic, locale-independent spelling the batch summary uses.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  out << buf;
+}
+
+void json_escape(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+}
+
+void Histogram::observe(double x) {
+  const std::size_t b = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+void Histogram::fold(const std::vector<std::uint64_t>& other_counts,
+                     std::uint64_t other_count, double other_sum,
+                     double other_min, double other_max) {
+  if (other_counts.size() != buckets_.size())
+    throw std::invalid_argument("Histogram::fold: bucket count mismatch");
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    buckets_[b].fetch_add(other_counts[b], std::memory_order_relaxed);
+  if (other_count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = other_min;
+    max_ = other_max;
+  } else {
+    min_ = std::min(min_, other_min);
+    max_ = std::max(max_, other_max);
+  }
+  count_ += other_count;
+  sum_ += other_sum;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(counters[i].name, out);
+    out << "\": " << counters[i].value;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(gauges[i].name, out);
+    out << "\": ";
+    json_number(gauges[i].value, out);
+  }
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(h.name, out);
+    out << "\": {\"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) out << ", ";
+      json_number(h.bounds[j], out);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << h.counts[j];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": ";
+    json_number(h.sum, out);
+    out << ", \"min\": ";
+    json_number(h.min, out);
+    out << ", \"max\": ";
+    json_number(h.max, out);
+    out << "}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    if (g->has_value()) snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.bounds = h->bounds();
+    v.counts = h->counts();
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const MetricsSnapshot::CounterValue& c : other.counters)
+    counter(c.name).add(c.value);
+  for (const MetricsSnapshot::GaugeValue& g : other.gauges)
+    gauge(g.name).set(g.value);
+  for (const MetricsSnapshot::HistogramValue& hv : other.histograms) {
+    Histogram& h = histogram(hv.name, hv.bounds);
+    if (h.bounds() != hv.bounds)
+      throw std::invalid_argument("MetricsRegistry::merge: bucket bounds of '" +
+                                  hv.name + "' differ");
+    h.fold(hv.counts, hv.count, hv.sum, hv.min, hv.max);
+  }
+}
+
+MetricsRegistry* current_metrics() { return t_current; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* registry)
+    : previous_(t_current) {
+  t_current = registry;
+}
+
+ScopedMetrics::~ScopedMetrics() { t_current = previous_; }
+
+std::vector<double> decade_bounds(int lo_exp, int hi_exp) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hi_exp - lo_exp + 1));
+  for (int e = lo_exp; e <= hi_exp; ++e)
+    out.push_back(std::pow(10.0, static_cast<double>(e)));
+  return out;
+}
+
+}  // namespace mocos::obs

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mocos::obs {
+
+/// Monotone event counter. Increments are relaxed atomic adds: integer
+/// addition commutes, so the final value is independent of which thread
+/// performed which increment — the one metric kind that is deterministic
+/// even without sharding.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value. Writes from parallel regions are only deterministic
+/// through the per-task shards `runtime::parallel_for` installs (merge order
+/// is task-index order); sequential code may set gauges directly.
+class Gauge {
+ public:
+  void set(double v) {
+    v_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_value() const {
+    return set_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+/// Fixed-bucket histogram: bucket b counts observations x with
+/// bounds[b-1] <= x < bounds[b] (underflow bucket first, implicit +infinity
+/// overflow bucket last); the edges are fixed at creation. Bucket counts
+/// are integers (order-independent); the running
+/// sum/min/max are deterministic under the sharding contract because each
+/// shard observes sequentially and shards merge in index order.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Merges another histogram's state in (bucket counts add, min/max widen).
+  /// `counts` must match bounds().size() + 1.
+  void fold(const std::vector<std::uint64_t>& other_counts,
+            std::uint64_t other_count, double other_sum, double other_min,
+            double other_max);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  mutable std::mutex mu_;                            // guards sum/min/max
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Plain-data copy of a registry's state: sorted by name, mergeable, and
+/// serializable. Contains no wall-clock fields by construction — the
+/// determinism contract for metrics (DESIGN.md §10) is that every value is
+/// a function of algorithm state only.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter by name, 0 when absent (test convenience).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Deterministic JSON document: keys sorted, numbers printed with the
+  /// same shortest-round-trip format the batch summary uses, no timing
+  /// fields. Byte-identical across runs and --jobs values.
+  void write_json(std::ostream& out) const;
+};
+
+/// Thread-safe registry of named metrics.
+///
+/// Determinism contract: metric *values* derived from algorithm state must
+/// be bit-identical for any `--jobs N`. Counters satisfy this anywhere
+/// (commutative integer adds). Gauges and histogram sum/min/max rely on the
+/// sharding protocol: `runtime::parallel_for` gives every task index its own
+/// shard registry (serial and pooled paths alike, so the arithmetic
+/// association is identical for any job count) and merges the shards into
+/// the parent in index order after the barrier.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` fixes the bucket edges on first creation; later lookups of the
+  /// same name ignore the argument (the registry keeps one set of edges per
+  /// name so merges are well-defined).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Folds a snapshot in: counters/histogram buckets add, gauges overwrite,
+  /// histogram min/max widen. Callers merge shards in task-index order; the
+  /// merge itself is sequential, so the result is reproducible.
+  void merge(const MetricsSnapshot& other);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The registry instrumented code reports into: a thread-local pointer, null
+/// when metrics collection is off (the zero-cost disabled path — every
+/// instrumentation site first checks this). Installed by the CLI for
+/// --metrics runs and by parallel_for's per-task shards.
+[[nodiscard]] MetricsRegistry* current_metrics();
+
+/// RAII installation of `registry` as the current thread's metrics sink;
+/// restores the previous pointer on destruction (nesting = sharding).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* registry);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+// --- Call-site helpers (all no-ops when no registry is installed) ---------
+
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (MetricsRegistry* m = current_metrics()) m->counter(name).add(n);
+}
+
+inline void gauge_set(std::string_view name, double v) {
+  if (MetricsRegistry* m = current_metrics()) m->gauge(name).set(v);
+}
+
+inline void observe(std::string_view name, std::vector<double> bounds,
+                    double v) {
+  if (MetricsRegistry* m = current_metrics())
+    m->histogram(name, std::move(bounds)).observe(v);
+}
+
+/// Logarithmic bucket edges 10^lo .. 10^hi (one bucket per decade), the
+/// shared shape for step-size and gradient-norm histograms.
+[[nodiscard]] std::vector<double> decade_bounds(int lo_exp, int hi_exp);
+
+}  // namespace mocos::obs

@@ -1,0 +1,143 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mocos::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_trace{nullptr};
+
+void json_escape(std::string_view s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+std::int64_t wall_ns() {
+  // Trace timestamps are the one sanctioned wall-clock read (DESIGN.md §10):
+  // they go only into trace files, never into reports or metric values.
+  using Clock = std::chrono::steady_clock;  // mocos-lint: allow(det-time)
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::ostream& out) : out_(out), epoch_ns_(wall_ns()) {}
+
+std::uint64_t TraceSink::now_us() const {
+  const std::int64_t delta = wall_ns() - epoch_ns_;
+  return delta <= 0 ? 0 : static_cast<std::uint64_t>(delta) / 1000u;
+}
+
+int TraceSink::thread_id() {
+  thread_local int tid = -1;
+  thread_local const TraceSink* owner = nullptr;
+  if (owner != this) {
+    owner = this;
+    tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tid;
+}
+
+void TraceSink::begin(std::string_view name, std::string_view cat,
+                      const TraceArgs& args) {
+  emit('B', name, cat, args);
+}
+
+void TraceSink::end(std::string_view name, std::string_view cat) {
+  emit('E', name, cat, {});
+}
+
+void TraceSink::instant(std::string_view name, std::string_view cat,
+                        const TraceArgs& args) {
+  emit('i', name, cat, args);
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+void TraceSink::emit(char phase, std::string_view name, std::string_view cat,
+                     const TraceArgs& args) {
+  const std::uint64_t ts = now_us();
+  const int tid = thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << "{\"ph\":\"" << phase << "\",\"name\":\"";
+  json_escape(name, out_);
+  out_ << "\",\"cat\":\"";
+  json_escape(cat, out_);
+  out_ << "\",\"ts\":" << ts << ",\"tid\":" << tid;
+  if (!args.empty()) {
+    out_ << ",\"args\":{";
+    bool first = true;
+    for (const TraceArgs::Item& item : args.items()) {
+      if (!first) out_ << ",";
+      first = false;
+      out_ << "\"";
+      json_escape(item.key, out_);
+      out_ << "\":";
+      if (item.is_number) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", item.number);
+        out_ << buf;
+      } else {
+        out_ << "\"";
+        json_escape(item.text, out_);
+        out_ << "\"";
+      }
+    }
+    out_ << "}";
+  }
+  out_ << "}\n";
+}
+
+TraceSink* current_trace() {
+  return g_trace.load(std::memory_order_acquire);
+}
+
+ScopedTraceInstall::ScopedTraceInstall(TraceSink* sink)
+    : previous_(g_trace.load(std::memory_order_acquire)) {
+  g_trace.store(sink, std::memory_order_release);
+}
+
+ScopedTraceInstall::~ScopedTraceInstall() {
+  g_trace.store(previous_, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat,
+                       const TraceArgs& args)
+    : sink_(current_trace()), name_(name), cat_(cat) {
+  if (sink_ != nullptr) sink_->begin(name_, cat_, args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ != nullptr) sink_->end(name_, cat_);
+}
+
+}  // namespace mocos::obs

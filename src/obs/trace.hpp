@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mocos::obs {
+
+/// Key/value arguments attached to a trace event. Values are either numbers
+/// (printed with the deterministic %.17g spelling) or strings; insertion
+/// order is preserved in the emitted JSON.
+class TraceArgs {
+ public:
+  TraceArgs() = default;
+
+  TraceArgs& num(std::string_view key, double value) {
+    items_.push_back({std::string(key), value, std::string(), true});
+    return *this;
+  }
+  TraceArgs& str(std::string_view key, std::string_view value) {
+    items_.push_back({std::string(key), 0.0, std::string(value), false});
+    return *this;
+  }
+
+  struct Item {
+    std::string key;
+    double number;
+    std::string text;
+    bool is_number;
+  };
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Newline-delimited JSON trace writer. Each event is one object:
+///
+///   {"ph":"B","name":...,"cat":...,"ts":<us>,"tid":<n>,"args":{...}}
+///
+/// `ph` is "B" (span begin), "E" (span end), or "i" (instant), following
+/// the Chrome tracing phase letters so tools/trace/trace2chrome.py is a
+/// thin re-wrapping. `ts` is microseconds since the sink was created,
+/// read from the wall clock — traces are the ONE artifact exempt from the
+/// determinism contract (DESIGN.md §10); timestamps never leak into
+/// reports or metric values. `tid` is a small dense id assigned to each
+/// thread on first use (registration order, which is scheduling-dependent
+/// like the timestamps).
+///
+/// Writes are serialized by an internal mutex; events from one thread
+/// appear in program order.
+class TraceSink {
+ public:
+  /// Events are written to `out`, which must outlive the sink.
+  explicit TraceSink(std::ostream& out);
+
+  void begin(std::string_view name, std::string_view cat,
+             const TraceArgs& args = {});
+  void end(std::string_view name, std::string_view cat);
+  void instant(std::string_view name, std::string_view cat,
+               const TraceArgs& args = {});
+
+  /// Flushes the underlying stream.
+  void flush();
+
+ private:
+  void emit(char phase, std::string_view name, std::string_view cat,
+            const TraceArgs& args);
+  [[nodiscard]] std::uint64_t now_us() const;
+  [[nodiscard]] int thread_id();
+
+  std::ostream& out_;
+  std::mutex mu_;
+  std::int64_t epoch_ns_ = 0;
+  std::atomic<int> next_tid_{0};
+};
+
+/// The process-global sink instrumented code writes to, or null when
+/// tracing is off (the zero-cost disabled path — call sites check
+/// `trace_active()` before building TraceArgs).
+[[nodiscard]] TraceSink* current_trace();
+[[nodiscard]] inline bool trace_active() { return current_trace() != nullptr; }
+
+/// RAII installation of a process-global sink (the CLI installs one for
+/// --trace / MOCOS_TRACE runs). Restores the previous sink on destruction.
+class ScopedTraceInstall {
+ public:
+  explicit ScopedTraceInstall(TraceSink* sink);
+  ~ScopedTraceInstall();
+  ScopedTraceInstall(const ScopedTraceInstall&) = delete;
+  ScopedTraceInstall& operator=(const ScopedTraceInstall&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
+
+/// RAII span: emits "B" on construction and "E" on destruction when a sink
+/// is installed, nothing otherwise.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view cat,
+             const TraceArgs& args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  std::string cat_;
+};
+
+/// Instant-event helper; no-op when tracing is off. Call sites with
+/// expensive args should guard on trace_active() first.
+inline void trace_instant(std::string_view name, std::string_view cat,
+                          const TraceArgs& args = {}) {
+  if (TraceSink* sink = current_trace()) sink->instant(name, cat, args);
+}
+
+}  // namespace mocos::obs

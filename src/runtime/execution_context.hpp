@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/runtime/thread_pool.hpp"
 
 namespace mocos::runtime {
@@ -55,18 +57,54 @@ class ExecutionContext {
 /// Runs `fn(i)` for i in [0, n). Serial contexts (and n <= 1) loop inline;
 /// otherwise the iterations run as indexed tasks on the context's pool with
 /// a full barrier. Exceptions propagate deterministically (lowest index).
+///
+/// Metrics sharding: when a metrics registry is installed
+/// (obs::current_metrics() != nullptr), every task index gets its own shard
+/// registry — in the serial path too, so the arithmetic association of
+/// gauge/histogram folds is identical for any --jobs value — and the shards
+/// merge into the parent sequentially in index order after the barrier.
+/// That is what makes metric values bit-identical across job counts.
 template <typename Fn>
 void parallel_for(const ExecutionContext& ctx, std::size_t n, Fn&& fn) {
   if (n == 0) return;
+  obs::MetricsRegistry* parent = obs::current_metrics();
+  if (parent != nullptr) {
+    // Counted identically in both paths below, so these are jobs-invariant.
+    parent->counter("runtime.parallel_for.calls").add(1);
+    parent->counter("runtime.parallel_for.tasks").add(n);
+  }
   if (n == 1 || ctx.serial()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (parent == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards[i] = std::make_unique<obs::MetricsRegistry>();
+      obs::ScopedMetrics scope(shards[i].get());
+      fn(i);
+    }
+    for (const auto& shard : shards) parent->merge(shard->snapshot());
     return;
   }
   TaskGroup group(ctx.pool());
+  if (parent == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      group.run([&fn, i] { fn(i); });
+    }
+    group.wait();
+    return;
+  }
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(n);
   for (std::size_t i = 0; i < n; ++i) {
-    group.run([&fn, i] { fn(i); });
+    shards[i] = std::make_unique<obs::MetricsRegistry>();
+    group.run([&fn, i, shard = shards[i].get()] {
+      obs::ScopedMetrics scope(shard);
+      fn(i);
+    });
   }
   group.wait();
+  for (const auto& shard : shards) parent->merge(shard->snapshot());
 }
 
 }  // namespace mocos::runtime

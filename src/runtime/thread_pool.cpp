@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/trace.hpp"
+
 namespace mocos::runtime {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -69,7 +71,17 @@ void TaskGroup::run(std::function<void()> task) {
   pool_.submit([this, index, task = std::move(task)] {
     std::exception_ptr error;
     try {
-      task();
+      // Span timing only — no metric counters here: TaskGroups never exist
+      // at --jobs 1, so any metric emitted from this wrapper would break
+      // jobs-invariance. Wall-time belongs to traces alone.
+      if (obs::trace_active()) {
+        obs::ScopedSpan span(
+            "runtime.task", "runtime",
+            obs::TraceArgs().num("index", static_cast<double>(index)));
+        task();
+      } else {
+        task();
+      }
     } catch (...) {
       error = std::current_exception();
     }

@@ -2,6 +2,10 @@
 
 #ifdef MOCOS_FAULT_INJECTION
 #include <atomic>
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #endif
 
 namespace mocos::util::fault {
@@ -138,7 +142,16 @@ bool fire(Site site) {
       break;
     }
   }
-  if (hit) s.fired.fetch_add(1, std::memory_order_relaxed);
+  if (hit) {
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    // Rare by construction (a firing injected fault), so the string build is
+    // off the hot path; the un-hit call stays two relaxed atomic ops.
+    obs::count(std::string("fault.fired.") + to_string(site));
+    if (obs::trace_active()) {
+      obs::trace_instant("fault.fired", "fault",
+                         obs::TraceArgs().str("site", to_string(site)));
+    }
+  }
   return hit;
 }
 

@@ -1,0 +1,14 @@
+// Fixture: obs-only-clock — wall-clock read in src/ outside both src/obs/
+// and the determinism scope. src/cost is outside det-time's scope, so this
+// is exactly the gap the obs-only-clock rule closes.
+// Expected violation: obs-only-clock at the steady_clock line.
+#include <chrono>
+
+namespace mocos::cost {
+
+inline long long profile_hack() {
+  const auto t0 = std::chrono::steady_clock::now();  // VIOLATION obs-only-clock
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace mocos::cost

@@ -1,0 +1,19 @@
+// Fixture: src/obs/ is inside the determinism scope, so a clock read there
+// is a det-time violation (not obs-only-clock) unless it carries an explicit
+// allow() justification like the real trace-sink epoch does.
+// Expected violation: det-time at the unsuppressed system_clock line.
+#include <chrono>
+
+namespace mocos::obs {
+
+inline long long sanctioned_epoch() {
+  // mocos-lint: allow(det-time) fixture mirror of the trace-sink epoch
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline long long unsanctioned_epoch() {
+  const auto now = std::chrono::system_clock::now();  // VIOLATION det-time
+  return now.time_since_epoch().count();
+}
+
+}  // namespace mocos::obs

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "gtest/gtest.h"
+#include "src/core/optimizer.hpp"
 #include "src/linalg/matrix.hpp"
 #include "src/markov/fundamental.hpp"
 #include "src/markov/group_inverse.hpp"
@@ -167,10 +168,12 @@ TEST(ChainProperties, UpdateByMatrixDiffsRowsAndStaysConsistent) {
   ASSERT_TRUE(cache.reset(start).is_ok());
   ASSERT_EQ(cache.stats().full_solves, 1u);
 
-  // Re-analyzing the identical matrix is free: no solves, no updates.
+  // Re-analyzing the identical matrix is free: no solves, no updates, one
+  // exact hit.
   ASSERT_TRUE(cache.update(start).is_ok());
   EXPECT_EQ(cache.stats().full_solves, 1u);
   EXPECT_EQ(cache.stats().incremental_row_updates, 0u);
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
 
   // A one-row change goes through the rank-one path...
   linalg::Matrix m = start.matrix();
@@ -311,6 +314,29 @@ TEST(ChainProperties, UpdateRowValidatesInput) {
   const auto full = markov::try_analyze_chain(test::chain3());
   ASSERT_TRUE(full.ok());
   EXPECT_LE(analysis_diff(cache.analysis(), *full), kAgreementTol);
+}
+
+TEST(ChainProperties, OptimizationOutcomeExportsCacheStats) {
+  // The descent drivers have always collected ChainSolveCache::Stats; the
+  // outcome now carries them across the descent boundary instead of
+  // dropping them. An adaptive run both rebuilds (every dense descent step
+  // changes all rows, which exceeds the rebuild fraction) and re-probes the
+  // cached iterate (the gradient analysis of a just-accepted line-search
+  // candidate), so both counters must be visible on the outcome.
+  const core::Problem problem = test::paper_problem(1, 0.0, 1.0);
+  core::OptimizerOptions opts;
+  opts.algorithm = core::Algorithm::kAdaptive;
+  opts.max_iterations = 50;
+  const core::OptimizationOutcome outcome =
+      core::CoverageOptimizer(problem, opts).run();
+  EXPECT_GT(outcome.chain_stats.full_solves, 0u);
+  EXPECT_GT(outcome.chain_stats.exact_hits, 0u);
+
+  // Accumulation across phases: Stats::add sums every counter.
+  markov::ChainSolveCache::Stats sum = outcome.chain_stats;
+  sum.add(outcome.chain_stats);
+  EXPECT_EQ(sum.full_solves, 2 * outcome.chain_stats.full_solves);
+  EXPECT_EQ(sum.exact_hits, 2 * outcome.chain_stats.exact_hits);
 }
 
 TEST(ChainProperties, ResetRejectsNonErgodicChain) {

@@ -166,5 +166,55 @@ TEST(GoldenCli, BatchSummaryJson) {
   EXPECT_TRUE(matches_golden(normalize(summary), "batch_summary.golden"));
 }
 
+TEST(GoldenCli, ObservabilityFlagsDoNotPerturbSingleRunReport) {
+  // The observability contract (DESIGN.md §10): --metrics/--trace must not
+  // change a single byte of the report — no tokenizer tolerance here.
+  const std::string conf = std::string(golden_dir()) + "/single.conf";
+  std::ostringstream plain_out, plain_err;
+  ASSERT_EQ(run_cli({conf}, plain_out, plain_err), kExitSuccess)
+      << plain_err.str();
+
+  const std::string metrics_path = testing::TempDir() + "/obs_single.json";
+  const std::string trace_path = testing::TempDir() + "/obs_single.ndjson";
+  std::ostringstream obs_out, obs_err;
+  ASSERT_EQ(run_cli({conf, "--metrics", metrics_path, "--trace", trace_path},
+                    obs_out, obs_err),
+            kExitSuccess)
+      << obs_err.str();
+
+  EXPECT_EQ(plain_out.str(), obs_out.str());
+  // Both sinks actually collected something.
+  const std::string metrics = read_file(metrics_path);
+  EXPECT_NE(metrics.find("\"descent.iterations\""), std::string::npos);
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"ph\":\"B\",\"name\":\"cli.run\""),
+            std::string::npos);
+}
+
+TEST(GoldenCli, ObservabilityFlagsDoNotPerturbBatchSummary) {
+  const std::string batch_dir = std::string(golden_dir()) + "/batch";
+  const std::string plain_summary = testing::TempDir() + "/obs_plain.json";
+  std::ostringstream plain_out, plain_err;
+  ASSERT_EQ(run_cli({"--batch", batch_dir, "--summary", plain_summary},
+                    plain_out, plain_err),
+            kExitBatchPartialFailure);
+
+  const std::string obs_summary = testing::TempDir() + "/obs_batch.json";
+  const std::string metrics_path = testing::TempDir() + "/obs_batch_m.json";
+  const std::string trace_path = testing::TempDir() + "/obs_batch.ndjson";
+  std::ostringstream obs_out, obs_err;
+  ASSERT_EQ(run_cli({"--batch", batch_dir, "--summary", obs_summary,
+                     "--metrics", metrics_path, "--trace", trace_path},
+                    obs_out, obs_err),
+            kExitBatchPartialFailure);
+
+  EXPECT_EQ(plain_out.str(), obs_out.str());
+  EXPECT_EQ(read_file(plain_summary), read_file(obs_summary));
+  const std::string metrics = read_file(metrics_path);
+  EXPECT_NE(metrics.find("\"batch.scenarios\""), std::string::npos);
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"name\":\"batch.scenario\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mocos::cli

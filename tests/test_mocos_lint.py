@@ -59,6 +59,12 @@ class FixtureViolations(unittest.TestCase):
         "src/runtime/task_throw.cpp": [("task-throw", 14)],
         "src/core/bad_suppression.cpp": [("bad-suppression", 8),
                                          ("float-eq", 9)],
+        # Observability clock contract: outside src/obs/ (and outside the
+        # determinism scope, where det-time already fires) a clock read is
+        # obs-only-clock; inside src/obs/ it is det-time unless the site
+        # carries an allow() justification like the real trace-sink epoch.
+        "src/cost/clock_outside_obs.cpp": [("obs-only-clock", 10)],
+        "src/obs/clock_in_obs.cpp": [("det-time", 15)],
     }
 
     def test_each_fixture_exact_rule_and_line(self):

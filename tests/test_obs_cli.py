@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""End-to-end observability tests for the mocos CLI (stdlib only).
+
+Drives the built mocos_cli binary and asserts the DESIGN.md §10 contract:
+
+  - the --metrics JSON validates against tools/trace/metrics_schema.json
+    (via a built-in validator for the schema subset it uses, so the test
+    needs no third-party jsonschema package),
+  - metric values are bit-identical for --jobs 1 and --jobs 8 (the
+    jobs-invariance acceptance gate for the metrics layer),
+  - the --trace NDJSON converts cleanly through tools/trace/trace2chrome.py
+    and the result is loadable Chrome-tracing JSON,
+  - MOCOS_TRACE=file enables tracing without the flag.
+
+Registered as the `ObsCli.*` ctests; runnable directly:
+    python3 tests/test_obs_cli.py --cli build/tools/mocos_cli
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA = os.path.join(REPO_ROOT, "tools", "trace", "metrics_schema.json")
+TRACE2CHROME = os.path.join(REPO_ROOT, "tools", "trace", "trace2chrome.py")
+BATCH_DIR = os.path.join(REPO_ROOT, "tests", "golden", "batch")
+SINGLE_CONF = os.path.join(REPO_ROOT, "tests", "golden", "single.conf")
+
+CLI = None  # resolved in main()
+
+# The golden batch directory contains b_bad_algorithm.conf, which fails by
+# design, so every batch run exits with the partial-failure code.
+EXIT_BATCH_PARTIAL = 4
+
+
+def validate(instance, schema, path="$"):
+    """Validates `instance` against the JSON Schema subset used by
+    metrics_schema.json (type, required, properties, additionalProperties,
+    items, minimum). Returns a list of error strings."""
+    errors = []
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(instance, dict):
+            return ["%s: expected object, got %s"
+                    % (path, type(instance).__name__)]
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append("%s: missing required key %r" % (path, key))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            sub = path + "." + key
+            if key in props:
+                errors += validate(value, props[key], sub)
+            elif isinstance(extra, dict):
+                errors += validate(value, extra, sub)
+            elif extra is False:
+                errors.append("%s: unexpected key %r" % (path, key))
+    elif expected == "array":
+        if not isinstance(instance, list):
+            return ["%s: expected array, got %s"
+                    % (path, type(instance).__name__)]
+        items = schema.get("items")
+        if items:
+            for i, value in enumerate(instance):
+                errors += validate(value, items, "%s[%d]" % (path, i))
+    elif expected == "integer":
+        if not isinstance(instance, int) or isinstance(instance, bool):
+            errors.append("%s: expected integer, got %r" % (path, instance))
+        elif "minimum" in schema and instance < schema["minimum"]:
+            errors.append("%s: %d below minimum %d"
+                          % (path, instance, schema["minimum"]))
+    elif expected == "number":
+        if not isinstance(instance, (int, float)) or \
+                isinstance(instance, bool):
+            errors.append("%s: expected number, got %r" % (path, instance))
+    return errors
+
+
+def run_cli(args, env_extra=None):
+    env = dict(os.environ)
+    env.pop("MOCOS_TRACE", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run([CLI] + args, capture_output=True, text=True,
+                          env=env)
+
+
+class SchemaValidator(unittest.TestCase):
+    """The mini-validator itself rejects shape violations (so a vacuous
+    pass cannot hide a schema drift)."""
+
+    def setUp(self):
+        with open(SCHEMA) as f:
+            self.schema = json.load(f)
+
+    def test_accepts_minimal_document(self):
+        doc = {"counters": {}, "gauges": {}, "histograms": {}}
+        self.assertEqual(validate(doc, self.schema), [])
+
+    def test_rejects_missing_section_and_bad_types(self):
+        self.assertTrue(validate({"counters": {}}, self.schema))
+        self.assertTrue(validate(
+            {"counters": {"x": -1}, "gauges": {}, "histograms": {}},
+            self.schema))
+        self.assertTrue(validate(
+            {"counters": {}, "gauges": {"g": "oops"}, "histograms": {}},
+            self.schema))
+        self.assertTrue(validate(
+            {"counters": {}, "gauges": {}, "histograms": {},
+             "timing": {}}, self.schema))
+        self.assertTrue(validate(
+            {"counters": {}, "gauges": {},
+             "histograms": {"h": {"bounds": [], "counts": []}}},
+            self.schema))
+
+
+class MetricsOutput(unittest.TestCase):
+    def test_single_run_metrics_validate_against_schema(self):
+        with open(SCHEMA) as f:
+            schema = json.load(f)
+        with tempfile.TemporaryDirectory() as tmp:
+            metrics = os.path.join(tmp, "m.json")
+            proc = run_cli([SINGLE_CONF, "--metrics", metrics])
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            with open(metrics) as f:
+                doc = json.load(f)
+        self.assertEqual(validate(doc, schema), [])
+        self.assertGreater(doc["counters"].get("descent.iterations", 0), 0)
+        self.assertIn("descent.final_cost", doc["gauges"])
+        self.assertIn("descent.gradient_norm", doc["histograms"])
+
+    def test_batch_metrics_are_jobs_invariant(self):
+        """The acceptance gate: --jobs 1 and --jobs 8 batch runs write
+        byte-identical metric files."""
+        docs = {}
+        for jobs in ("1", "8"):
+            with tempfile.TemporaryDirectory() as tmp:
+                metrics = os.path.join(tmp, "m.json")
+                proc = run_cli(["--batch", BATCH_DIR, "--jobs", jobs,
+                                "--metrics", metrics])
+                self.assertEqual(proc.returncode, EXIT_BATCH_PARTIAL,
+                                 proc.stderr)
+                with open(metrics) as f:
+                    docs[jobs] = f.read()
+        self.assertEqual(docs["1"], docs["8"])
+        doc = json.loads(docs["1"])
+        self.assertEqual(doc["counters"].get("batch.scenarios"), 3)
+        self.assertEqual(doc["counters"].get("batch.failures"), 1)
+
+    def test_metrics_to_unwritable_path_is_a_config_error(self):
+        proc = run_cli([SINGLE_CONF, "--metrics", "/nonexistent/dir/m.json"])
+        self.assertEqual(proc.returncode, 2)
+
+
+class TraceOutput(unittest.TestCase):
+    def test_trace_converts_to_chrome_format(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            trace = os.path.join(tmp, "t.ndjson")
+            chrome = os.path.join(tmp, "t.json")
+            proc = run_cli([SINGLE_CONF, "--trace", trace])
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            conv = subprocess.run(
+                [sys.executable, TRACE2CHROME, trace, "-o", chrome],
+                capture_output=True, text=True)
+            self.assertEqual(conv.returncode, 0, conv.stderr)
+            with open(chrome) as f:
+                doc = json.load(f)
+        events = doc["traceEvents"]
+        self.assertTrue(events)
+        names = {e["name"] for e in events}
+        self.assertIn("cli.run", names)
+        self.assertIn("descent.iteration", names)
+        phases = {e["ph"] for e in events}
+        self.assertLessEqual(phases, {"B", "E", "i"})
+        for e in events:
+            self.assertIn("pid", e)
+
+    def test_env_var_enables_tracing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            trace = os.path.join(tmp, "env.ndjson")
+            proc = run_cli([SINGLE_CONF],
+                           env_extra={"MOCOS_TRACE": trace})
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            with open(trace) as f:
+                first = json.loads(f.readline())
+        self.assertEqual(first["ph"], "B")
+        self.assertEqual(first["name"], "cli.run")
+
+    def test_trace2chrome_rejects_malformed_input(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.ndjson")
+            with open(bad, "w") as f:
+                f.write('{"ph":"B","name":"x"}\n')  # missing cat/ts/tid
+            conv = subprocess.run([sys.executable, TRACE2CHROME, bad],
+                                  capture_output=True, text=True)
+        self.assertEqual(conv.returncode, 1)
+        self.assertIn("missing key", conv.stderr)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True,
+                        help="path to the built mocos_cli binary")
+    args, rest = parser.parse_known_args()
+    global CLI
+    CLI = os.path.abspath(args.cli)
+    if not os.path.exists(CLI):
+        print("test_obs_cli: no such binary: %s" % CLI, file=sys.stderr)
+        return 2
+    unittest.main(argv=[sys.argv[0]] + rest, verbosity=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

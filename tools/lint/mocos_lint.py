@@ -40,6 +40,16 @@ Error-handling contract:
                  Status/StatusOr result is the whole point; dropping it
                  hides exactly the failures the recovery ladder exists for.
 
+Observability contract (PR 5): src/obs/ is the only module allowed to read
+a wall clock (the trace sink stamps spans; timestamps never reach reports
+or metric values):
+
+  obs-only-clock wall-clock read in src/ outside both src/obs/ and the
+                 determinism scope. Inside the determinism scope the
+                 stricter det-time rule already fires; inside src/obs/
+                 clock reads are still det-time violations so each site
+                 carries an explicit allow() justification.
+
 Suppressions (the allowlist mechanism):
 
   x == 0.0;  // mocos-lint: allow(float-eq) exact sentinel from line_search
@@ -70,9 +80,11 @@ SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 # contract: anything here runs, or is reachable from, indexed parallel work.
 # The incremental solver cache is on the list because every descent probe
 # flows through it: nondeterministic iteration there would break the
-# jobs-invariance guarantee end to end.
+# jobs-invariance guarantee end to end. src/obs/ is on the list because its
+# metric values must be jobs-invariant too — its single sanctioned clock
+# site (the trace sink epoch) carries an explicit det-time suppression.
 DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/",
-                     "src/markov/incremental")
+                     "src/markov/incremental", "src/obs/")
 
 # Descent + recovery code must use the guarded Try* solver layer. The
 # incremental cache sits on the descent hot path and owns the fallback from
@@ -97,6 +109,9 @@ RULES = {
                   "internally",
     "discarded-status": "Status/StatusOr result of a guarded call is "
                         "discarded; check it or bind it",
+    "obs-only-clock": "wall-clock read outside src/obs/; the trace sink is "
+                      "the only sanctioned clock site — record timing as a "
+                      "span/instant through src/obs/trace.hpp",
     "bad-suppression": "suppression names an unknown rule id",
 }
 
@@ -235,6 +250,10 @@ def lint_file(abs_path, rel_path, violations):
 
     determinism = in_scope(rel_path, DETERMINISM_SCOPE)
     raw_solver = in_scope(rel_path, RAW_SOLVER_SCOPE)
+    # Everything in src/ outside the determinism scope (where det-time
+    # already covers clocks) and outside src/obs/ (the sanctioned sink).
+    obs_clock = (rel_path.startswith("src/") and not determinism
+                 and not rel_path.startswith("src/obs/"))
 
     in_block = False
     unordered_vars = set()
@@ -285,6 +304,9 @@ def lint_file(abs_path, rel_path, violations):
                     if m and m.group(1) in unordered_vars:
                         report("det-unordered",
                                "'%s.begin()'" % m.group(1))
+
+        if obs_clock and RE_DET_TIME.search(code):
+            report("obs-only-clock")
 
         if raw_solver:
             m = RE_RAW_SOLVER.search(code)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""trace2chrome — convert a mocos NDJSON trace to Chrome tracing format.
+
+The CLI's --trace flag (or MOCOS_TRACE=file) streams newline-delimited JSON
+events, one object per line, so a crashed run still leaves a readable
+prefix:
+
+  {"ph": "B", "name": "cli.run", "cat": "cli", "ts": 12, "tid": 0}
+  {"ph": "i", "name": "descent.iteration", "cat": "descent", "ts": 90,
+   "tid": 0, "args": {"iteration": 1, "u": 0.43}}
+  {"ph": "E", "name": "cli.run", "cat": "cli", "ts": 1520, "tid": 0}
+
+Chrome's about://tracing and Perfetto (ui.perfetto.dev) load a single JSON
+object {"traceEvents": [...]}. This script wraps the events, adds the pid
+field the viewers require, and widens instants to thread scope so they are
+visible at any zoom. Dependency-free (Python 3 stdlib only).
+
+Usage:
+  trace2chrome.py [-o OUT.json] [TRACE.ndjson]
+
+Reads stdin when no input file is given; writes stdout when -o is omitted.
+Exit status: 0 on success, 1 on malformed input, 2 on usage error.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("ph", "name", "cat", "ts", "tid")
+KNOWN_PHASES = ("B", "E", "i")
+
+
+def convert_lines(lines):
+    """Yields Chrome trace events for the NDJSON `lines`; raises ValueError
+    with a line number on malformed input."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue  # a flush boundary or trailing newline
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError("line %d: not valid JSON: %s" % (lineno, err))
+        if not isinstance(event, dict):
+            raise ValueError("line %d: event is not a JSON object" % lineno)
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            raise ValueError("line %d: missing key(s) %s"
+                             % (lineno, ", ".join(missing)))
+        if event["ph"] not in KNOWN_PHASES:
+            raise ValueError("line %d: unknown phase %r"
+                             % (lineno, event["ph"]))
+        event.setdefault("pid", 0)
+        if event["ph"] == "i":
+            # Thread-scoped instants render as ticks on the emitting
+            # thread's track instead of full-height global lines.
+            event.setdefault("s", "t")
+        yield event
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="trace2chrome", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="NDJSON trace file (default: stdin)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file (default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.trace is None:
+        lines = sys.stdin
+        close_in = None
+    else:
+        try:
+            close_in = open(args.trace, "r", encoding="utf-8")
+        except OSError as err:
+            print("trace2chrome: %s" % err, file=sys.stderr)
+            return 2
+        lines = close_in
+
+    try:
+        events = list(convert_lines(lines))
+    except ValueError as err:
+        print("trace2chrome: %s" % err, file=sys.stderr)
+        return 1
+    finally:
+        if close_in is not None:
+            close_in.close()
+
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    text = json.dumps(document, indent=1)
+    if args.output is None:
+        print(text)
+    else:
+        try:
+            with open(args.output, "w", encoding="utf-8") as out:
+                out.write(text + "\n")
+        except OSError as err:
+            print("trace2chrome: %s" % err, file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
