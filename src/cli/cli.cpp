@@ -216,6 +216,12 @@ core::Problem build_problem(const util::Config& config) {
 core::OptimizationOutcome run_optimization(
     const util::Config& config, const core::Problem& problem,
     const runtime::ExecutionContext& ctx) {
+  return run_optimization(config, problem, ctx, RunHooks{});
+}
+
+core::OptimizationOutcome run_optimization(
+    const util::Config& config, const core::Problem& problem,
+    const runtime::ExecutionContext& ctx, const RunHooks& hooks) {
   // Audit mode: evaluate a previously saved schedule instead of optimizing
   // a new one.
   const std::string load_path = config.get_string("load_schedule", "");
@@ -242,7 +248,10 @@ core::OptimizationOutcome run_optimization(
   core::OptimizerOptions opts;
   opts.algorithm = parse_algorithm(config);
   opts.max_iterations = config.get_size("iterations", 2000);
-  opts.seed = config.get_size("seed", 1);
+  opts.seed = config.get_size(
+      "seed", hooks.default_seed
+                  ? static_cast<std::size_t>(*hooks.default_seed)
+                  : std::size_t{1});
   opts.random_start = config.get_bool("random_start", false);
   opts.constant_step = config.get_double("step", 1e-6);
   opts.starts = config.get_size("starts", 1);
@@ -250,7 +259,17 @@ core::OptimizationOutcome run_optimization(
   if (opts.starts > 1) opts.random_start = true;  // V2 multi-start protocol
   opts.keep_trace = false;
   opts.use_incremental = config.get_bool("incremental", true);
-  return core::CoverageOptimizer(problem, opts).run(ctx);
+  opts.should_stop = hooks.should_stop;
+  opts.shared_cache = hooks.shared_cache;
+  const core::CoverageOptimizer optimizer(problem, opts);
+  // A warm start only applies to single-start runs of the right size; a
+  // mismatch (topology changed under a reused cache_key) silently falls back
+  // to the config's own start policy rather than failing the request.
+  if (hooks.warm_start != nullptr && opts.starts == 1 &&
+      hooks.warm_start->size() == problem.num_pois()) {
+    return optimizer.run(*hooks.warm_start);
+  }
+  return optimizer.run(ctx);
 }
 
 namespace {

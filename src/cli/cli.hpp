@@ -1,11 +1,13 @@
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "src/core/optimizer.hpp"
 #include "src/core/problem.hpp"
+#include "src/markov/incremental.hpp"
 #include "src/runtime/execution_context.hpp"
 #include "src/util/config.hpp"
 
@@ -47,6 +49,33 @@ core::OptimizationOutcome run_optimization(const util::Config& config,
                                            const core::Problem& problem,
                                            const runtime::ExecutionContext& ctx);
 
+/// Per-request hooks mocos_serve threads into an optimization run; all
+/// fields optional, and the default-constructed value reproduces the plain
+/// run_optimization behavior bit for bit.
+struct RunHooks {
+  /// Polled once per descent iteration; true stops the run with
+  /// StopReason::kCancelled (request deadline / drain).
+  std::function<bool()> should_stop;
+  /// Long-lived solver cache to run all probes through (warm cross-request
+  /// reuse; caller guarantees exclusive access). Only honored for
+  /// single-start runs.
+  markov::ChainSolveCache* shared_cache = nullptr;
+  /// Start matrix override (the previous solution of a same-topology
+  /// session); ignored when its size does not match the problem or the
+  /// config asks for multi-start / a loaded schedule.
+  const markov::TransitionMatrix* warm_start = nullptr;
+  /// Seed override applied when the config does not set `seed` (mocos_serve
+  /// derives it from the request id so replays are scheduling-independent).
+  std::optional<std::uint64_t> default_seed;
+};
+
+/// run_optimization with serve-layer hooks (deadline cancellation, warm
+/// caches, warm starts, request-id-keyed seeds).
+core::OptimizationOutcome run_optimization(const util::Config& config,
+                                           const core::Problem& problem,
+                                           const runtime::ExecutionContext& ctx,
+                                           const RunHooks& hooks);
+
 /// Runs the full CLI. Usage:
 ///
 ///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] <config-file>
@@ -78,11 +107,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 
 /// Exit codes returned by run_cli, kept as named constants for tests and
-/// wrapping scripts.
+/// wrapping scripts. mocos_serve reuses the same taxonomy as per-response
+/// `code` values (a response is a scenario-scoped exit), extending it with
+/// the two request-lifecycle outcomes a batch run cannot have: a deadline
+/// that expired (5) and an admission-control shed (6).
 inline constexpr int kExitSuccess = 0;
 inline constexpr int kExitRuntimeError = 1;
 inline constexpr int kExitBadConfig = 2;
 inline constexpr int kExitNumericalFailure = 3;
 inline constexpr int kExitBatchPartialFailure = 4;
+inline constexpr int kExitDeadlineExceeded = 5;  // serve responses only
+inline constexpr int kExitShed = 6;              // serve responses only
 
 }  // namespace mocos::cli

@@ -48,6 +48,9 @@ OptimizationOutcome CoverageOptimizer::run(
     cfg.perturbed.base.step_policy = descent::StepPolicy::kLineSearch;
     cfg.perturbed.base.keep_trace = options_.keep_trace;
     cfg.perturbed.base.incremental.enabled = options_.use_incremental;
+    // should_stop flows into every start; shared_cache deliberately does not
+    // (parallel starts sharing one cache would race on its state).
+    cfg.perturbed.base.should_stop = options_.should_stop;
     cfg.perturbed.noise_sigma = options_.noise_sigma;
     cfg.perturbed.annealing_k = options_.annealing_k;
     cfg.perturbed.max_iterations = options_.max_iterations;
@@ -77,6 +80,8 @@ OptimizationOutcome CoverageOptimizer::run(
     cfg.base.step_policy = descent::StepPolicy::kLineSearch;
     cfg.base.keep_trace = options_.keep_trace;
     cfg.base.incremental.enabled = options_.use_incremental;
+    cfg.base.should_stop = options_.should_stop;
+    cfg.base.shared_cache = options_.shared_cache;
     cfg.noise_sigma = options_.noise_sigma;
     cfg.annealing_k = options_.annealing_k;
     cfg.max_iterations = options_.max_iterations;
@@ -96,6 +101,8 @@ OptimizationOutcome CoverageOptimizer::run(
   cfg.max_iterations = options_.max_iterations;
   cfg.keep_trace = options_.keep_trace;
   cfg.incremental.enabled = options_.use_incremental;
+  cfg.should_stop = options_.should_stop;
+  cfg.shared_cache = options_.shared_cache;
   if (options_.algorithm == Algorithm::kAdaptive) {
     cfg.step_policy = descent::StepPolicy::kLineSearch;
   } else {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "src/core/problem.hpp"
@@ -34,6 +35,15 @@ struct OptimizerOptions {
   /// O(M³) solve path — the `incremental = false` config key and the CLI
   /// --no-incremental / MOCOS_NO_INCREMENTAL escape hatch.
   bool use_incremental = true;
+  /// Cooperative cancellation: polled once per descent iteration; returning
+  /// true ends the run with StopReason::kCancelled and the best iterate so
+  /// far (mocos_serve request deadlines). Null: never stops early.
+  std::function<bool()> should_stop;
+  /// Externally owned solver cache for all probe evaluations — mocos_serve's
+  /// warm-reuse path. Only honored for single-start runs (parallel starts
+  /// sharing one cache would race); the caller guarantees exclusive access
+  /// for the duration of run().
+  markov::ChainSolveCache* shared_cache = nullptr;
 };
 
 /// Facade tying the problem, the cost construction, and the §V algorithm

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "src/markov/fundamental.hpp"
 #include "src/obs/metrics.hpp"
@@ -12,13 +13,17 @@ namespace mocos::descent {
 
 CachedCostEvaluator::CachedCostEvaluator(const cost::CompositeCost& cost,
                                          markov::IncrementalConfig config)
-    : cost_(cost), cache_(config) {}
+    : cost_(cost), owned_(std::in_place, config), cache_(&*owned_) {}
+
+CachedCostEvaluator::CachedCostEvaluator(const cost::CompositeCost& cost,
+                                         markov::ChainSolveCache& shared)
+    : cost_(cost), cache_(&shared), initial_stats_(shared.stats()) {}
 
 double CachedCostEvaluator::cost_at(const markov::TransitionMatrix& p) {
-  util::Status updated = cache_.update(p);
+  util::Status updated = cache_->update(p);
   if (!updated.is_ok()) return std::numeric_limits<double>::infinity();
   try {
-    const double u = cost_.value(cache_.analysis());
+    const double u = cost_.value(cache_->analysis());
     return std::isnan(u) ? std::numeric_limits<double>::infinity() : u;
   } catch (const std::exception&) {
     return std::numeric_limits<double>::infinity();
@@ -36,9 +41,9 @@ util::StatusOr<const markov::ChainAnalysis*> CachedCostEvaluator::analyze(
     if (util::fault::fire(util::fault::Site::kStationary))
       return util::Status(util::StatusCode::kSingularMatrix,
                           "stationary solve failed (fault injection)");
-    util::Status updated = cache_.update(p);
+    util::Status updated = cache_->update(p);
     if (!updated.is_ok()) return updated;
-    return &cache_.analysis();
+    return &cache_->analysis();
   }
   util::StatusOr<markov::ChainAnalysis> chain =
       markov::try_analyze_chain(p, solver);

@@ -24,6 +24,13 @@ class CachedCostEvaluator {
   CachedCostEvaluator(const cost::CompositeCost& cost,
                       markov::IncrementalConfig config);
 
+  /// Rides an externally owned cache instead of a private one — the
+  /// mocos_serve warm-reuse path, where consecutive same-topology requests
+  /// probe matrices that are rank-one deltas of each other. The caller
+  /// guarantees exclusive access to `shared` for this evaluator's lifetime.
+  CachedCostEvaluator(const cost::CompositeCost& cost,
+                      markov::ChainSolveCache& shared);
+
   /// safe_cost through the cache: U_ε(p), or +infinity when the chain
   /// analysis or cost evaluation fails (non-ergodic probe, singular system),
   /// so searches treat such points as infeasible.
@@ -38,12 +45,21 @@ class CachedCostEvaluator {
       markov::StationarySolver solver = markov::StationarySolver::kDirect);
 
   [[nodiscard]] const markov::ChainSolveCache& cache() const {
-    return cache_;
+    return *cache_;
+  }
+
+  /// Counters accumulated by *this evaluator's* probes: on a private cache
+  /// that is everything, on a shared cache the delta since construction —
+  /// either way the number a single descent run should report.
+  [[nodiscard]] markov::ChainSolveCache::Stats run_stats() const {
+    return cache_->stats().delta_since(initial_stats_);
   }
 
  private:
   const cost::CompositeCost& cost_;
-  markov::ChainSolveCache cache_;
+  std::optional<markov::ChainSolveCache> owned_;
+  markov::ChainSolveCache* cache_;  // &*owned_ or the shared cache
+  markov::ChainSolveCache::Stats initial_stats_;
   std::optional<markov::ChainAnalysis> fallback_;  // power-iteration results
 };
 

@@ -31,8 +31,12 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
                                       util::Rng& rng) const {
   markov::TransitionMatrix p = start;
   // One incremental solver cache for the whole stochastic run (gradient,
-  // line-search probes, and acceptance evaluations).
-  CachedCostEvaluator evaluator(cost_, config_.base.incremental);
+  // line-search probes, and acceptance evaluations) — the run's own, or the
+  // caller's long-lived one (mocos_serve warm reuse across requests).
+  CachedCostEvaluator evaluator =
+      config_.base.shared_cache != nullptr
+          ? CachedCostEvaluator(cost_, *config_.base.shared_cache)
+          : CachedCostEvaluator(cost_, config_.base.incremental);
   double current = evaluator.cost_at(p);
   if (std::isinf(current))
     throw std::invalid_argument("PerturbedDescent: infeasible start matrix");
@@ -77,6 +81,13 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
   };
 
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    // Cooperative cancellation (request deadlines, server drain); the
+    // best-seen iterate is still returned, so a deadline-cut run degrades
+    // to "the best schedule found in the time allowed".
+    if (config_.base.should_stop && config_.base.should_stop()) {
+      result.reason = StopReason::kCancelled;
+      break;
+    }
     util::StatusOr<const markov::ChainAnalysis*> chain =
         evaluator.analyze(p, solver);
     if (!chain.ok() && solver == markov::StationarySolver::kDirect &&
@@ -220,10 +231,13 @@ PerturbedResult PerturbedDescent::run(const markov::TransitionMatrix& start,
 
   // The quench polish reports its own cache metrics inside run(); only the
   // stochastic phase's evaluator is recorded here, so counters never double.
-  result.chain_stats = evaluator.cache().stats();
+  result.chain_stats = evaluator.run_stats();
   record_cache_metrics(result.chain_stats);
 
-  if (config_.polish_iterations > 0) {
+  // A cancelled run skips the quench: the deadline already expired, and the
+  // polish would burn an unbounded extra slice of it.
+  if (config_.polish_iterations > 0 &&
+      result.reason != StopReason::kCancelled) {
     DescentConfig quench = config_.base;
     quench.step_policy = StepPolicy::kLineSearch;
     quench.max_iterations = config_.polish_iterations;

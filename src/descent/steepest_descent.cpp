@@ -30,6 +30,8 @@ const char* to_string(StopReason reason) {
       return "stall-limit";
     case StopReason::kNumericalFailure:
       return "numerical-failure";
+    case StopReason::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -88,8 +90,12 @@ DescentResult SteepestDescent::run(
     const markov::TransitionMatrix& start) const {
   markov::TransitionMatrix p = start;
   // All probe evaluations in this run — gradients, line-search samples,
-  // candidate checks — share one incremental solver cache.
-  CachedCostEvaluator evaluator(cost_, config_.incremental);
+  // candidate checks — share one incremental solver cache: the run's own, or
+  // the caller's long-lived one (mocos_serve warm reuse across requests).
+  CachedCostEvaluator evaluator =
+      config_.shared_cache != nullptr
+          ? CachedCostEvaluator(cost_, *config_.shared_cache)
+          : CachedCostEvaluator(cost_, config_.incremental);
   DescentResult result{p,
                        evaluator.cost_at(p),
                        0,
@@ -104,7 +110,7 @@ DescentResult SteepestDescent::run(
   // Shared epilogue for both exit paths: export the cache counters that were
   // previously dropped here, and the final cost as a gauge.
   auto finalize = [&] {
-    result.chain_stats = evaluator.cache().stats();
+    result.chain_stats = evaluator.run_stats();
     record_cache_metrics(result.chain_stats);
     obs::gauge_set("descent.final_cost", result.cost);
   };
@@ -155,6 +161,13 @@ DescentResult SteepestDescent::run(
   linalg::Matrix prev_direction;
 
   for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    // Cooperative cancellation (request deadlines, server drain): polled
+    // once per iteration, so a cancelled run still returns a consistent
+    // finite iterate instead of being torn down mid-evaluation.
+    if (config_.should_stop && config_.should_stop()) {
+      result.reason = StopReason::kCancelled;
+      break;
+    }
     // --- Guarded evaluation: chain analysis, then the gradient. ----------
     util::StatusOr<const markov::ChainAnalysis*> chain =
         evaluator.analyze(p, solver);

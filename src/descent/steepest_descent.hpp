@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "src/cost/composite_cost.hpp"
@@ -29,9 +30,12 @@ enum class StopReason {
   kNoDescentStep,      // line search returned Δt* = 0 (local optimum)
   kCostTolerance,      // relative cost change below tolerance
   kStallLimit,         // perturbed run: no best-cost improvement for too long
-  kNumericalFailure    // recovery ladder exhausted its retry budget; the
+  kNumericalFailure,   // recovery ladder exhausted its retry budget; the
                        // result carries the last good iterate and a populated
                        // RecoveryLog instead of NaN
+  kCancelled           // DescentConfig::should_stop returned true (request
+                       // deadline / server drain); the result carries the
+                       // best iterate reached so far, fully finite
 };
 
 const char* to_string(StopReason reason);
@@ -81,6 +85,20 @@ struct DescentConfig {
   /// pass --no-incremental to the CLI) to force every probe onto the full
   /// O(M³) solve path for A/B verification.
   markov::IncrementalConfig incremental;
+
+  // --- Cooperative cancellation + cross-request cache reuse (serve) ------
+  /// Polled once per iteration (cheap next to an O(M²) probe); returning
+  /// true stops the run with StopReason::kCancelled and the best iterate so
+  /// far. The functor must be wall-clock-free from the descent's point of
+  /// view: any clock lives behind it (mocos_serve's deadline check), so this
+  /// file stays inside the determinism lint scope.
+  std::function<bool()> should_stop;
+  /// Externally owned solver cache to run all probes through instead of a
+  /// per-run private one — mocos_serve's warm-cache path, where consecutive
+  /// same-topology requests are rank-one deltas of each other. The caller
+  /// guarantees exclusive access for the duration of the run (the server's
+  /// per-key lanes serialize same-cache requests). Null: private cache.
+  markov::ChainSolveCache* shared_cache = nullptr;
 };
 
 struct DescentResult {

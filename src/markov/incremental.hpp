@@ -115,6 +115,23 @@ class ChainSolveCache {
       drift_refactors += other.drift_refactors;
       residual_fallbacks += other.residual_fallbacks;
     }
+
+    /// Counters accumulated since `baseline` (a snapshot of the same cache
+    /// taken earlier). Lets a descent run report only its own work when it
+    /// rides a long-lived shared cache (mocos_serve warm reuse) whose
+    /// counters span many requests.
+    [[nodiscard]] Stats delta_since(const Stats& baseline) const {
+      Stats d;
+      d.full_solves = full_solves - baseline.full_solves;
+      d.exact_hits = exact_hits - baseline.exact_hits;
+      d.incremental_row_updates =
+          incremental_row_updates - baseline.incremental_row_updates;
+      d.denominator_fallbacks =
+          denominator_fallbacks - baseline.denominator_fallbacks;
+      d.drift_refactors = drift_refactors - baseline.drift_refactors;
+      d.residual_fallbacks = residual_fallbacks - baseline.residual_fallbacks;
+      return d;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -37,6 +37,19 @@ class Gauge {
     v_.store(v, std::memory_order_relaxed);
     set_.store(true, std::memory_order_relaxed);
   }
+  /// Raises the gauge to `v` if above the current value (or unset). The CAS
+  /// loop makes concurrent raises keep the true maximum — the high-water-mark
+  /// use (peak queue depth) that plain set() would lose under contention.
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!has_value() || v > cur) {
+      if (v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        set_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (has_value() && cur >= v) return;
+    }
+  }
   [[nodiscard]] bool has_value() const {
     return set_.load(std::memory_order_relaxed);
   }
@@ -187,6 +200,10 @@ inline void count(std::string_view name, std::uint64_t n = 1) {
 
 inline void gauge_set(std::string_view name, double v) {
   if (MetricsRegistry* m = current_metrics()) m->gauge(name).set(v);
+}
+
+inline void gauge_set_max(std::string_view name, double v) {
+  if (MetricsRegistry* m = current_metrics()) m->gauge(name).set_max(v);
 }
 
 inline void observe(std::string_view name, std::vector<double> bounds,

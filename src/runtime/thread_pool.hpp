@@ -36,12 +36,20 @@ class ThreadPool {
   /// a TaskGroup (which captures exceptions per task) or catch internally.
   void submit(std::function<void()> task);
 
+  /// Tasks queued but not yet picked up by a worker. Advisory only — the
+  /// value is stale the moment the lock drops; admission control in
+  /// mocos_serve keeps its own authoritative in-flight count.
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

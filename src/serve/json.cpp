@@ -1,0 +1,236 @@
+#include "src/serve/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace mocos::serve {
+
+namespace {
+
+/// Hand-rolled recursive-descent scanner over the line. All errors funnel
+/// through fail() so every malformed input produces a kInvalidConfig status
+/// with the byte offset, which the serve loop turns into a structured
+/// decode-error response.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  util::StatusOr<std::map<std::string, JsonValue>> parse_object() {
+    skip_ws();
+    if (!consume('{')) return fail("expected '{'");
+    std::map<std::string, JsonValue> out;
+    skip_ws();
+    if (consume('}')) return finish(std::move(out));
+    while (true) {
+      skip_ws();
+      std::string key;
+      util::Status s = parse_string(key);
+      if (!s.is_ok()) return s;
+      if (out.count(key) != 0) return fail("duplicate key \"" + key + "\"");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue value;
+      s = parse_value(value);
+      if (!s.is_ok()) return s;
+      out.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return finish(std::move(out));
+      return fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  util::StatusOr<std::map<std::string, JsonValue>> finish(
+      std::map<std::string, JsonValue> out) {
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after object");
+    return out;
+  }
+
+  util::Status parse_value(JsonValue& value) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      return parse_string(value.str);
+    }
+    if (c == '{' || c == '[')
+      return fail("nested objects/arrays are not supported");
+    if (match_word("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return util::Status::ok();
+    }
+    if (match_word("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return util::Status::ok();
+    }
+    if (match_word("null")) {
+      value.kind = JsonValue::Kind::kNull;
+      return util::Status::ok();
+    }
+    return parse_number(value);
+  }
+
+  util::Status parse_number(JsonValue& value) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(token, &used);
+    } catch (const std::exception&) {
+      pos_ = start;
+      return fail("malformed number \"" + token + "\"");
+    }
+    if (used != token.size()) {
+      pos_ = start;
+      return fail("malformed number \"" + token + "\"");
+    }
+    value.kind = JsonValue::Kind::kNumber;
+    value.num = parsed;
+    return util::Status::ok();
+  }
+
+  util::Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':  out.push_back('"');  break;
+        case '\\': out.push_back('\\'); break;
+        case '/':  out.push_back('/');  break;
+        case 'b':  out.push_back('\b'); break;
+        case 'f':  out.push_back('\f'); break;
+        case 'n':  out.push_back('\n'); break;
+        case 'r':  out.push_back('\r'); break;
+        case 't':  out.push_back('\t'); break;
+        case 'u': {
+          const util::Status s = parse_unicode_escape(out);
+          if (!s.is_ok()) return s;
+          break;
+        }
+        default:
+          return fail(std::string("invalid escape \"\\") + esc + "\"");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// \uXXXX for the Basic Multilingual Plane, encoded as UTF-8. Surrogate
+  /// pairs are rejected — request ids and config text have no business
+  /// containing astral-plane characters, and rejecting keeps the decoder's
+  /// behavior easy to state.
+  util::Status parse_unicode_escape(std::string& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("invalid hex digit in \\u escape");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF)
+      return fail("surrogate \\u escapes are not supported");
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return util::Status::ok();
+  }
+
+  bool match_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  util::Status fail(const std::string& what) const {
+    return util::Status(util::StatusCode::kInvalidConfig,
+                        "json: " + what + " at offset " +
+                            std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<std::map<std::string, JsonValue>> parse_flat_object(
+    std::string_view line) {
+  return Scanner(line).parse_object();
+}
+
+void write_json_string(std::string_view s, std::ostream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':  out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n";  break;
+      case '\t': out << "\\t";  break;
+      case '\r': out << "\\r";  break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(double x, std::ostream& out) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  out << buf;
+}
+
+}  // namespace mocos::serve

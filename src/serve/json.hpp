@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.hpp"
+
+namespace mocos::serve {
+
+/// One value of a flat NDJSON request object. Requests are deliberately
+/// restricted to a single level of string/number/bool/null fields — nested
+/// objects and arrays are a decode error, which keeps the parser small
+/// enough to audit and the malformed-input surface enumerable.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;     // kString
+  double num = 0.0;    // kNumber
+  bool boolean = false;  // kBool
+};
+
+/// Parses one NDJSON line: a flat JSON object mapping string keys to
+/// string/number/bool/null values. Duplicate keys, nesting, trailing
+/// garbage, and invalid escapes all return kInvalidConfig with a message
+/// naming the offset — the decode-fault path of the serve loop, never an
+/// exception.
+[[nodiscard]] util::StatusOr<std::map<std::string, JsonValue>>
+parse_flat_object(std::string_view line);
+
+/// Writes `s` as a JSON string literal (quotes included), escaping the
+/// characters NDJSON cannot carry raw.
+void write_json_string(std::string_view s, std::ostream& out);
+
+/// Shortest round-trip-exact decimal (%.17g): locale-independent and
+/// identical across runs, the same convention as the batch summary — the
+/// byte-reproducibility contract for response logs depends on it.
+void write_json_number(double x, std::ostream& out);
+
+}  // namespace mocos::serve

@@ -1,0 +1,57 @@
+#include "src/serve/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/fault_injection.hpp"
+
+namespace mocos::serve {
+
+AdmissionGate::AdmissionGate(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("AdmissionGate: capacity == 0");
+}
+
+bool AdmissionGate::try_admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ >= capacity_ ||
+      util::fault::fire(util::fault::Site::kServeQueueFull)) {
+    ++shed_;
+    return false;
+  }
+  ++depth_;
+  peak_ = std::max(peak_, depth_);
+  return true;
+}
+
+void AdmissionGate::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ == 0)
+    throw std::logic_error("AdmissionGate: release() without admit");
+  --depth_;
+}
+
+std::size_t AdmissionGate::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+std::size_t AdmissionGate::peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::uint64_t AdmissionGate::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::uint64_t AdmissionGate::retry_after_ms_hint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // 25 ms per held slot: an empty gate says "come right back", a gate shed
+  // at capacity C says "wait ~25·C ms" — enough signal for a client-side
+  // exponential backoff to anchor on without the server keeping any clock.
+  return 25 * static_cast<std::uint64_t>(depth_);
+}
+
+}  // namespace mocos::serve

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace mocos::serve {
+
+/// Admission control for the serve loop: a counting gate over the number of
+/// requests admitted but not yet responded to. The reader thread calls
+/// try_admit() per decoded request; a full gate means the request is shed
+/// with a retry-after hint instead of queued — the queue of in-flight work
+/// is bounded by construction, so server memory is too.
+///
+/// The gate is the authoritative count (ThreadPool::pending() is advisory):
+/// admit and release bracket the whole request lifecycle, including time
+/// spent waiting inside a cache-key lane.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t capacity);
+
+  /// Claims a slot; false = shed (queue full, or the kServeQueueFull
+  /// injection site fired). Never blocks.
+  [[nodiscard]] bool try_admit();
+
+  /// Returns the slot claimed by a successful try_admit(). Exactly once per
+  /// admitted request, when its response is handed to the writer.
+  void release();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t depth() const;
+  /// High-water mark of depth() over the gate's lifetime — the bounded-queue
+  /// assertion in tests reads this (peak <= capacity always holds).
+  [[nodiscard]] std::size_t peak() const;
+  [[nodiscard]] std::uint64_t shed_count() const;
+
+  /// Backoff hint for a shed response: proportional to how loaded the gate
+  /// is, and a pure function of gate state — no clock — so shed responses
+  /// stay byte-reproducible.
+  [[nodiscard]] std::uint64_t retry_after_ms_hint() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::size_t depth_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace mocos::serve

@@ -1,0 +1,125 @@
+#include "src/serve/serve_cli.hpp"
+
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "src/cli/cli.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/fault_injection.hpp"
+
+namespace mocos::serve {
+
+namespace {
+
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": expected a number, got \"" + text +
+                                "\"");
+  }
+  if (used != text.size())
+    throw std::invalid_argument(flag + ": expected a number, got \"" + text +
+                                "\"");
+  return static_cast<std::size_t>(v);
+}
+
+/// `SITE:PROB:SEED`, e.g. "serve-decode:0.1:7". Site names are the stable
+/// identifiers from util::fault::to_string, so the flag reaches library
+/// sites (lu-factor, stationary, ...) as well as the serve-layer ones.
+void arm_fault_spec(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos)
+    throw std::invalid_argument("--fault: expected SITE:PROB:SEED, got \"" +
+                                spec + "\"");
+  const std::string site_name = spec.substr(0, first);
+  const std::string prob_text = spec.substr(first + 1, second - first - 1);
+  const std::string seed_text = spec.substr(second + 1);
+  const auto site = util::fault::site_from_string(site_name);
+  if (!site)
+    throw std::invalid_argument("--fault: unknown site \"" + site_name +
+                                "\"");
+  double probability = 0.0;
+  try {
+    probability = std::stod(prob_text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--fault: bad probability \"" + prob_text +
+                                "\"");
+  }
+  if (probability < 0.0 || probability > 1.0)
+    throw std::invalid_argument("--fault: probability must be in [0, 1]");
+  const std::size_t seed = parse_count("--fault", seed_text);
+  util::fault::arm_probabilistic(*site, probability,
+                                 static_cast<std::uint64_t>(seed));
+}
+
+ServeOptions parse_options(const std::vector<std::string>& args) {
+  ServeOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&](const std::string& flag) -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(flag + ": missing value");
+      return args[++i];
+    };
+    if (arg == "--jobs") {
+      options.jobs = parse_count(arg, value(arg));
+    } else if (arg == "--queue-depth") {
+      options.queue_capacity = parse_count(arg, value(arg));
+      if (options.queue_capacity == 0)
+        throw std::invalid_argument("--queue-depth: must be >= 1");
+    } else if (arg == "--default-deadline-ms") {
+      options.default_deadline_ms = parse_count(arg, value(arg));
+    } else if (arg == "--watchdog-grace-ms") {
+      options.watchdog_grace_ms = parse_count(arg, value(arg));
+    } else if (arg == "--metrics") {
+      options.metrics_path = value(arg);
+    } else if (arg == "--metrics-every") {
+      options.metrics_every = parse_count(arg, value(arg));
+    } else if (arg == "--timings") {
+      options.timings = true;
+    } else if (arg == "--fault") {
+      arm_fault_spec(value(arg));
+    } else {
+      throw std::invalid_argument("unknown flag \"" + arg + "\"");
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err) {
+  ServeOptions options;
+  try {
+    options = parse_options(args);
+  } catch (const std::invalid_argument& e) {
+    err << "mocos_serve: " << e.what() << '\n';
+    return cli::kExitBadConfig;
+  }
+  try {
+    const ServeReport report = serve(in, out, options);
+    err << "mocos_serve: " << report.requests << " requests: " << report.ok
+        << " ok, " << report.errors << " failed, "
+        << report.deadline_exceeded << " deadline-exceeded, " << report.shed
+        << " shed; peak queue depth " << report.peak_depth << "/"
+        << options.queue_capacity
+        << (report.drained_early ? "; drained on signal" : "") << '\n';
+    const bool all_ok = report.ok == report.requests;
+    return all_ok ? cli::kExitSuccess : cli::kExitBatchPartialFailure;
+  } catch (const std::exception& e) {
+    err << "mocos_serve: " << e.what() << '\n';
+    return cli::kExitRuntimeError;
+  }
+}
+
+}  // namespace mocos::serve

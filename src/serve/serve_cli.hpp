@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mocos::serve {
+
+/// Runs the mocos_serve command line:
+///
+///   mocos_serve [--jobs N] [--queue-depth N] [--default-deadline-ms N]
+///               [--watchdog-grace-ms N] [--metrics FILE]
+///               [--metrics-every N] [--timings]
+///               [--fault SITE:PROB:SEED]...
+///
+/// Reads NDJSON requests from `in` (see src/serve/request.hpp for the
+/// request language), writes one NDJSON response per request to `out` in
+/// arrival order, and a final human-readable tally to `err`.
+///
+/// --fault arms a request-layer fault-injection site probabilistically
+/// (e.g. `--fault serve-queue-full:0.2:42`): the deterministic chaos knob
+/// the robustness tests and the CI smoke run use. Repeatable.
+///
+/// Process exit codes: 0 = every request succeeded; 4 = the server ran
+/// cleanly but at least one request failed, was shed, or missed its
+/// deadline (mirrors the batch runner's partial-failure code); 2 = bad
+/// usage; 1 = unexpected internal failure.
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err);
+
+}  // namespace mocos::serve

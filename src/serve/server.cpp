@@ -1,0 +1,479 @@
+#include "src/serve/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/cli/cli.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/problem.hpp"
+#include "src/markov/incremental.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/runtime/thread_pool.hpp"
+#include "src/serve/queue.hpp"
+#include "src/serve/request.hpp"
+#include "src/util/config.hpp"
+#include "src/util/fault_injection.hpp"
+#include "src/util/status.hpp"
+
+namespace mocos::serve {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+
+// The serve layer is the one place in src/ allowed to read a clock outside
+// src/obs: deadlines and the watchdog are *about* wall time. Every read goes
+// through these two helpers; nothing downstream of them flows into response
+// payloads except deadline/timing fields, which are documented as outside
+// the byte-reproducibility contract.
+// mocos-lint: allow(det-time)
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point now() {
+  return Clock::now();  // mocos-lint: allow(det-time)
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(now() - start).count();
+}
+
+/// One admitted request in flight. `responded` is the first-wins latch
+/// between the worker and the watchdog: whoever flips it false->true owns
+/// delivering the response and releasing the admission slot, so exactly one
+/// response per request survives even when both race.
+struct Pending {
+  std::uint64_t seq = 0;
+  Request request;
+  std::uint64_t deadline_ms = 0;  // resolved against the server default
+  std::atomic<bool> started{false};
+  std::atomic<bool> responded{false};
+  /// Set by the watchdog when it answers on the worker's behalf; the
+  /// cooperative should_stop includes it, so an abandoned-but-alive worker
+  /// stops at its next iteration boundary instead of finishing the run.
+  std::atomic<bool> abandoned{false};
+  Clock::time_point start_time;
+};
+
+class ServerImpl {
+ public:
+  ServerImpl(const ServeOptions& options, std::ostream& out)
+      : options_(options),
+        out_(out),
+        gate_(options.queue_capacity),
+        pool_(options.jobs) {}
+
+  ServeReport run(std::istream& in) {
+    std::thread watchdog([this] { watchdog_loop(); });
+    std::string line;
+    std::uint64_t seq = 0;
+    while (!drain_requested()) {
+      if (!std::getline(in, line)) break;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      wait_for_buffer_space();
+      const std::uint64_t this_seq = seq++;
+      accept(this_seq, line);
+    }
+    const bool drained_early = drain_requested();
+
+    // Drain: everything admitted (or shed/refused) gets its response before
+    // we tear anything down. Requests past their deadline are failed by the
+    // cooperative check or, failing that, the watchdog — so this wait
+    // terminates for every deadline-carrying request.
+    {
+      std::unique_lock<std::mutex> lock(emit_mu_);
+      emit_cv_.wait(lock, [&] { return next_emit_ == seq; });
+    }
+    watchdog_stop_.store(true, std::memory_order_relaxed);
+    watchdog.join();
+
+    ServeReport report;
+    {
+      std::lock_guard<std::mutex> lock(emit_mu_);
+      report = report_;
+      report.requests = seq;
+      report.peak_depth = gate_.peak();
+      report.drained_early = drained_early;
+      registry_.counter("serve.requests.total").add(seq);
+      registry_.gauge("serve.queue.capacity")
+          .set(static_cast<double>(gate_.capacity()));
+      registry_.gauge("serve.queue.peak_depth")
+          .set(static_cast<double>(gate_.peak()));
+      registry_.gauge("serve.queue.depth")
+          .set(static_cast<double>(gate_.depth()));
+      write_metrics_locked();
+    }
+    return report;
+  }
+
+ private:
+  /// Requests sharing a cache_key form a lane: they run one at a time, in
+  /// arrival order, against the lane's long-lived solver cache and previous
+  /// solution. Serializing per key is what makes warm-cache state — and with
+  /// it the response log — independent of worker count.
+  struct Lane {
+    markov::ChainSolveCache cache;
+    std::optional<markov::TransitionMatrix> last_solution;
+    std::deque<std::shared_ptr<Pending>> waiting;
+    bool running = false;
+    std::uint64_t uses = 0;
+  };
+
+  void accept(std::uint64_t seq, const std::string& line) {
+    util::StatusOr<Request> parsed = parse_request(line);
+    if (!parsed.ok()) {
+      Response r;
+      r.seq = seq;
+      r.code = cli::kExitBadConfig;
+      r.status = "error";
+      r.error = parsed.status().to_string();
+      deliver(std::move(r), obs::MetricsSnapshot{});
+      return;
+    }
+    if (!gate_.try_admit()) {
+      Response r;
+      r.seq = seq;
+      r.id = parsed->id;
+      r.code = cli::kExitShed;
+      r.status = "shed";
+      r.error = "queue full (capacity " + std::to_string(gate_.capacity()) +
+                "); retry after the hinted backoff";
+      r.retry_after_ms = gate_.retry_after_ms_hint();
+      deliver(std::move(r), obs::MetricsSnapshot{});
+      return;
+    }
+    auto pending = std::make_shared<Pending>();
+    pending->seq = seq;
+    pending->request = std::move(*parsed);
+    pending->deadline_ms = pending->request.has_deadline
+                               ? pending->request.deadline_ms
+                               : options_.default_deadline_ms;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.emplace(seq, pending);
+    }
+    dispatch(std::move(pending));
+  }
+
+  void dispatch(std::shared_ptr<Pending> pending) {
+    if (pending->request.cache_key.empty()) {
+      // Cold request: its own evaluator, any worker, no ordering constraint
+      // beyond the in-order reorder buffer at emission.
+      pool_.submit([this, pending] { process(pending, nullptr); });
+      return;
+    }
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    Lane& lane = lanes_[pending->request.cache_key];
+    lane.waiting.push_back(std::move(pending));
+    if (!lane.running) {
+      lane.running = true;
+      const std::string key = lane.waiting.front()->request.cache_key;
+      pool_.submit([this, key] { pump_lane(key); });
+    }
+  }
+
+  void pump_lane(const std::string& key) {
+    for (;;) {
+      std::shared_ptr<Pending> next;
+      Lane* lane = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(lanes_mu_);
+        lane = &lanes_[key];  // std::map: stable address across inserts
+        if (lane->waiting.empty()) {
+          lane->running = false;
+          return;
+        }
+        next = std::move(lane->waiting.front());
+        lane->waiting.pop_front();
+      }
+      process(next, lane);
+    }
+  }
+
+  void process(const std::shared_ptr<Pending>& pending, Lane* lane) {
+    pending->start_time = now();
+    pending->started.store(true, std::memory_order_release);
+    obs::MetricsRegistry request_metrics;
+    Response response = execute(pending, lane, request_metrics);
+    response.seq = pending->seq;
+    response.id = pending->request.id;
+    if (options_.timings) response.elapsed_ms = ms_since(pending->start_time);
+    if (!pending->responded.exchange(true)) {
+      erase_inflight(pending->seq);
+      deliver(std::move(response), request_metrics.snapshot());
+      gate_.release();
+    }
+    // else: the watchdog already answered (and released the slot); this
+    // worker's late result is dropped on the floor, per the first-wins rule.
+  }
+
+  /// The whole per-request failure-isolation story lives here: every way a
+  /// request can go wrong — bad config text, numerical breakdown, deadline,
+  /// injected wedge — converges to a filled-in Response, never an escaped
+  /// exception (the pool would std::terminate).
+  Response execute(const std::shared_ptr<Pending>& pending, Lane* lane,
+                   obs::MetricsRegistry& request_metrics) {
+    Response r;
+    const Request& req = pending->request;
+    obs::ScopedMetrics install(&request_metrics);
+    obs::count("serve.requests.started");
+
+    if (util::fault::fire(util::fault::Site::kServeStuckWorker) &&
+        pending->deadline_ms > 0) {
+      // Simulated wedge: ignore the cooperative check until the watchdog
+      // abandons us (bounded by a hard cap so a misconfigured test cannot
+      // hang the suite). The watchdog's response wins the exchange; this
+      // one is discarded.
+      obs::count("serve.faults.stuck_worker");
+      const double cap_ms =
+          static_cast<double>(pending->deadline_ms +
+                              options_.watchdog_grace_ms) +
+          5000.0;
+      while (!pending->abandoned.load(std::memory_order_relaxed) &&
+             !pending->responded.load(std::memory_order_relaxed) &&
+             ms_since(pending->start_time) < cap_ms)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      r.code = cli::kExitDeadlineExceeded;
+      r.status = "deadline-exceeded";
+      r.error = "worker wedged past its deadline";
+      return r;
+    }
+
+    try {
+      const util::Config config =
+          util::Config::parse_string(req.config_text, "request:" + req.id);
+      const core::Problem problem = cli::build_problem(config);
+      cli::RunHooks hooks;
+      hooks.default_seed = seed_from_request_id(req.id);
+      if (pending->deadline_ms > 0) {
+        const auto p = pending;
+        hooks.should_stop = [p] {
+          return p->abandoned.load(std::memory_order_relaxed) ||
+                 ms_since(p->start_time) >
+                     static_cast<double>(p->deadline_ms);
+        };
+      }
+      if (lane != nullptr) {
+        if (config.get_bool("incremental", true))
+          hooks.shared_cache = &lane->cache;
+        if (req.warm_start && lane->last_solution &&
+            lane->last_solution->size() == problem.num_pois()) {
+          hooks.warm_start = &*lane->last_solution;
+          r.warm_started = true;
+          obs::count("serve.cache.warm_hits");
+        }
+        if (lane->uses > 0) obs::count("serve.lane.reuses");
+        ++lane->uses;
+      }
+
+      const runtime::ExecutionContext ctx(1);  // requests are the unit of
+                                               // parallelism, not starts
+      core::OptimizationOutcome outcome =
+          cli::run_optimization(config, problem, ctx, hooks);
+
+      r.has_result = true;
+      r.penalized_cost = outcome.penalized_cost;
+      r.report_cost = outcome.report_cost;
+      r.delta_c = outcome.metrics.delta_c;
+      r.e_bar = outcome.metrics.e_bar;
+      r.iterations = outcome.iterations;
+      r.stop_reason = descent::to_string(outcome.stop_reason);
+      r.recovery_events = outcome.recovery.size();
+      r.chain = outcome.chain_stats;
+      if (outcome.stop_reason == descent::StopReason::kCancelled) {
+        r.code = cli::kExitDeadlineExceeded;
+        r.status = "deadline-exceeded";
+        r.error = "deadline of " + std::to_string(pending->deadline_ms) +
+                  " ms expired; result is the best iterate found in budget";
+      } else if (outcome.stop_reason ==
+                 descent::StopReason::kNumericalFailure) {
+        r.code = cli::kExitNumericalFailure;
+        r.status = "error";
+        r.error = "descent recovery ladder exhausted (" +
+                  outcome.recovery.summary() + ")";
+      } else {
+        r.code = cli::kExitSuccess;
+        r.status = "ok";
+      }
+      if (lane != nullptr && r.has_result)
+        lane->last_solution = std::move(outcome.p);
+    } catch (const util::StatusError& e) {
+      r.status = "error";
+      r.error = e.what();
+      if (util::is_numerical_failure(e.status().code()))
+        r.code = cli::kExitNumericalFailure;
+      else if (e.status().code() == util::StatusCode::kInvalidConfig)
+        r.code = cli::kExitBadConfig;
+      else
+        r.code = cli::kExitRuntimeError;
+    } catch (const std::invalid_argument& e) {
+      r.code = cli::kExitBadConfig;
+      r.status = "error";
+      r.error = e.what();
+    } catch (const std::out_of_range& e) {
+      r.code = cli::kExitBadConfig;
+      r.status = "error";
+      r.error = e.what();
+    } catch (const std::exception& e) {
+      r.code = cli::kExitRuntimeError;
+      r.status = "error";
+      r.error = e.what();
+    }
+    return r;
+  }
+
+  void watchdog_loop() {
+    while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.watchdog_poll_ms));
+      std::vector<std::shared_ptr<Pending>> candidates;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        for (const auto& [seq, p] : inflight_) {
+          if (p->deadline_ms == 0) continue;
+          if (!p->started.load(std::memory_order_acquire)) continue;
+          if (p->responded.load(std::memory_order_relaxed)) continue;
+          if (ms_since(p->start_time) >
+              static_cast<double>(p->deadline_ms +
+                                  options_.watchdog_grace_ms))
+            candidates.push_back(p);
+        }
+      }
+      for (const auto& p : candidates) {
+        if (p->responded.exchange(true)) continue;  // worker beat us to it
+        p->abandoned.store(true, std::memory_order_relaxed);
+        Response r;
+        r.seq = p->seq;
+        r.id = p->request.id;
+        r.code = cli::kExitDeadlineExceeded;
+        r.status = "deadline-exceeded";
+        r.error = "watchdog: worker missed the deadline of " +
+                  std::to_string(p->deadline_ms) + " ms plus " +
+                  std::to_string(options_.watchdog_grace_ms) +
+                  " ms grace; request failed, server continues";
+        obs::MetricsRegistry m;
+        m.counter("serve.watchdog.fired").add(1);
+        erase_inflight(p->seq);
+        deliver(std::move(r), m.snapshot());
+        gate_.release();
+      }
+    }
+  }
+
+  void erase_inflight(std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(seq);
+  }
+
+  /// Reorder buffer: responses complete in any order but are written in
+  /// request-arrival order, which is both the determinism contract and the
+  /// reason a replayed log is comparable byte for byte. Per-request metrics
+  /// merge into the server registry at flush time — also arrival order, so
+  /// snapshots are reproducible too.
+  void deliver(Response response, obs::MetricsSnapshot metrics) {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    buffer_.emplace(response.seq,
+                    Buffered{std::move(response), std::move(metrics)});
+    while (!buffer_.empty() && buffer_.begin()->first == next_emit_) {
+      Buffered& head = buffer_.begin()->second;
+      registry_.merge(head.metrics);
+      tally_locked(head.response);
+      write_response(head.response, out_);
+      out_.flush();
+      buffer_.erase(buffer_.begin());
+      ++next_emit_;
+      if (options_.metrics_every > 0 &&
+          next_emit_ % options_.metrics_every == 0)
+        write_metrics_locked();
+    }
+    emit_cv_.notify_all();
+  }
+
+  void tally_locked(const Response& r) {
+    if (r.code == cli::kExitSuccess) {
+      ++report_.ok;
+      registry_.counter("serve.requests.ok").add(1);
+    } else if (r.code == cli::kExitDeadlineExceeded) {
+      ++report_.deadline_exceeded;
+      registry_.counter("serve.requests.deadline_exceeded").add(1);
+    } else if (r.code == cli::kExitShed) {
+      ++report_.shed;
+      registry_.counter("serve.requests.shed").add(1);
+    } else {
+      ++report_.errors;
+      registry_.counter("serve.requests.error").add(1);
+    }
+  }
+
+  /// Backpressure on the reader: the buffer holds completed-but-unflushed
+  /// responses (a slow early request holds back later ones), and sheds and
+  /// decode errors are produced at read speed — without this bound a
+  /// flooding client could grow the buffer without limit.
+  void wait_for_buffer_space() {
+    const std::size_t bound = 2 * options_.queue_capacity + 64;
+    std::unique_lock<std::mutex> lock(emit_mu_);
+    emit_cv_.wait(lock, [&] { return buffer_.size() < bound; });
+  }
+
+  void write_metrics_locked() {
+    if (options_.metrics_path.empty()) return;
+    std::ofstream file(options_.metrics_path,
+                       std::ios::out | std::ios::trunc);
+    if (!file) return;  // metrics IO must never take the server down
+    registry_.snapshot().write_json(file);
+  }
+
+  struct Buffered {
+    Response response;
+    obs::MetricsSnapshot metrics;
+  };
+
+  const ServeOptions options_;
+  std::ostream& out_;
+  AdmissionGate gate_;
+  runtime::ThreadPool pool_;
+
+  std::mutex lanes_mu_;
+  std::map<std::string, Lane> lanes_;
+
+  std::mutex inflight_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
+
+  std::mutex emit_mu_;
+  std::condition_variable emit_cv_;
+  std::map<std::uint64_t, Buffered> buffer_;
+  std::uint64_t next_emit_ = 0;
+  ServeReport report_;
+  obs::MetricsRegistry registry_;
+
+  std::atomic<bool> watchdog_stop_{false};
+};
+
+}  // namespace
+
+void request_drain() { g_drain.store(true, std::memory_order_relaxed); }
+
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+void reset_drain() { g_drain.store(false, std::memory_order_relaxed); }
+
+ServeReport serve(std::istream& in, std::ostream& out,
+                  const ServeOptions& options) {
+  ServerImpl server(options, out);
+  return server.run(in);
+}
+
+}  // namespace mocos::serve

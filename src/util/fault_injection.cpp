@@ -22,10 +22,25 @@ const char* to_string(Site site) {
       return "line-search";
     case Site::kIncrementalDenominator:
       return "incremental-denominator";
+    case Site::kServeDecodeFault:
+      return "serve-decode";
+    case Site::kServeQueueFull:
+      return "serve-queue-full";
+    case Site::kServeStuckWorker:
+      return "serve-stuck-worker";
     case Site::kSiteCount:
       break;
   }
   return "unknown";
+}
+
+std::optional<Site> site_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Site::kSiteCount);
+       ++i) {
+    const Site site = static_cast<Site>(i);
+    if (name == to_string(site)) return site;
+  }
+  return std::nullopt;
 }
 
 #ifdef MOCOS_FAULT_INJECTION

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 /// Deterministic fault injection for the numerical-failure containment tests.
 ///
@@ -28,10 +30,21 @@ enum class Site : std::size_t {
   kIncrementalDenominator,  // Sherman–Morrison denominator reads as
                             // ill-conditioned (forces the full-solve
                             // fallback in ChainSolveCache)
+  // Request-layer sites (mocos_serve): each must surface as one structured
+  // response — never as process death.
+  kServeDecodeFault,  // NDJSON request decoding fails (malformed-input path)
+  kServeQueueFull,    // admission control reports a full queue (load shed)
+  kServeStuckWorker,  // worker wedges past its deadline, ignoring the
+                      // cooperative cancellation check (watchdog path)
   kSiteCount,      // sentinel
 };
 
 const char* to_string(Site site);
+
+/// Inverse of to_string ("serve-queue-full" -> kServeQueueFull); nullopt for
+/// unknown names. Used by the mocos_serve --fault flag, which arms sites by
+/// their stable identifiers.
+std::optional<Site> site_from_string(std::string_view name);
 
 #ifdef MOCOS_FAULT_INJECTION
 

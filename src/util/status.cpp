@@ -20,6 +20,8 @@ const char* to_string(StatusCode code) {
       return "size-mismatch";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -21,6 +21,10 @@ enum class StatusCode {
   kStepRejected,     // a descent step produced no acceptable iterate
   kSizeMismatch,     // dimension disagreement between operands
   kInternal,         // invariant violation; indicates a library bug
+  kDeadlineExceeded, // a request's deadline expired before the work finished
+                     // (cooperative cancellation / serve watchdog); not a
+                     // numerical failure — retrying with a larger budget is
+                     // the fix, not the recovery ladder
 };
 
 /// Short stable identifier ("singular-matrix", "not-ergodic", ...).

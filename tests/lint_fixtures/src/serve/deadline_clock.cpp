@@ -1,0 +1,28 @@
+// Fixture: the serve scope extension — src/serve/ is inside both the
+// determinism scope (replayed request logs must be byte-identical at any
+// --jobs count, so a clock read there is det-time unless it carries an
+// allow() justification like the real deadline/watchdog sites do) and the
+// raw-solver scope (failure isolation requires the guarded try_* layer).
+// Expected violations: det-time at the unsuppressed steady_clock line and
+// raw-solver at the analyze_chain call.
+#include <chrono>
+
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::serve {
+
+inline long long sanctioned_watchdog_probe() {
+  // mocos-lint: allow(det-time) fixture mirror of the watchdog clock
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline long long unsanctioned_watchdog_probe() {
+  const auto now = std::chrono::steady_clock::now();  // VIOLATION det-time
+  return now.time_since_epoch().count();
+}
+
+inline double unguarded_request_solve(const markov::TransitionMatrix& p) {
+  return markov::analyze_chain(p).pi[0];  // VIOLATION raw-solver
+}
+
+}  // namespace mocos::serve

@@ -65,6 +65,14 @@ class FixtureViolations(unittest.TestCase):
         # carries an allow() justification like the real trace-sink epoch.
         "src/cost/clock_outside_obs.cpp": [("obs-only-clock", 10)],
         "src/obs/clock_in_obs.cpp": [("det-time", 15)],
+        # The serve scope extension: src/serve/ joins both the determinism
+        # scope (clock reads there are det-time, suppressible at the
+        # sanctioned deadline/watchdog sites) and the raw-solver scope
+        # (request execution must stay on the guarded try_* layer so one
+        # numerical fault costs one structured error response, not the
+        # process).
+        "src/serve/deadline_clock.cpp": [("det-time", 20),
+                                         ("raw-solver", 25)],
     }
 
     def test_each_fixture_exact_rule_and_line(self):

@@ -1,0 +1,411 @@
+// Tests for the mocos_serve subsystem: request decoding, admission control,
+// the byte-reproducible replay contract, deadline/watchdog behavior, and
+// fault-injected failure isolation (every request line ends in exactly one
+// structured response; the server never dies).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/queue.hpp"
+#include "src/serve/request.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/fault_injection.hpp"
+
+namespace mocos {
+namespace {
+
+using util::fault::ScopedFault;
+using util::fault::Site;
+
+// --- json ----------------------------------------------------------------
+
+TEST(ServeJson, ParsesFlatObject) {
+  const auto fields = serve::parse_flat_object(
+      R"({"id": "a\nb", "n": -2.5e3, "flag": true, "nothing": null})");
+  ASSERT_TRUE(fields.ok()) << fields.status().to_string();
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ(fields->at("id").kind, serve::JsonValue::Kind::kString);
+  EXPECT_EQ(fields->at("id").str, "a\nb");
+  EXPECT_EQ(fields->at("n").kind, serve::JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(fields->at("n").num, -2500.0);
+  EXPECT_TRUE(fields->at("flag").boolean);
+  EXPECT_EQ(fields->at("nothing").kind, serve::JsonValue::Kind::kNull);
+}
+
+TEST(ServeJson, UnicodeEscapes) {
+  const auto fields =
+      serve::parse_flat_object(R"({"s": "Aé€"})");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->at("s").str, "A\xC3\xA9\xE2\x82\xAC");
+  EXPECT_FALSE(serve::parse_flat_object(R"({"s": "\ud800"})").ok());
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                       // no object
+      "{",                      // unterminated
+      R"({"a": 1} trailing)",   // trailing garbage
+      R"({"a": 1, "a": 2})",    // duplicate key
+      R"({"a": {"b": 1}})",     // nesting
+      R"({"a": [1]})",          // array
+      R"({"a": 1e})",           // malformed number
+      R"({"a": "x)",            // unterminated string
+      R"({"a": "\q"})",         // bad escape
+      "{\"a\": \"\x01\"}",      // raw control char
+  };
+  for (const char* line : bad) {
+    const auto fields = serve::parse_flat_object(line);
+    EXPECT_FALSE(fields.ok()) << "accepted: " << line;
+    EXPECT_EQ(fields.status().code(), util::StatusCode::kInvalidConfig);
+  }
+}
+
+// --- request decoding ----------------------------------------------------
+
+TEST(ServeRequest, ParsesAllFields) {
+  const auto req = serve::parse_request(
+      R"({"id": "r1", "config": "topology = grid:2x2", "deadline_ms": 250,)"
+      R"( "cache_key": "k", "warm_start": true})");
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->id, "r1");
+  EXPECT_EQ(req->config_text, "topology = grid:2x2");
+  EXPECT_EQ(req->deadline_ms, 250u);
+  EXPECT_TRUE(req->has_deadline);
+  EXPECT_EQ(req->cache_key, "k");
+  EXPECT_TRUE(req->warm_start);
+}
+
+TEST(ServeRequest, RejectsBadRequests) {
+  const char* bad[] = {
+      R"({"config": "topology = grid:2x2"})",          // missing id
+      R"({"id": "a"})",                                // missing config
+      R"({"id": "a", "config": "c", "extra": 1})",     // unknown field
+      R"({"id": "a", "config": "c", "deadline_ms": -1})",
+      R"({"id": "a", "config": "c", "deadline_ms": 1.5})",
+      R"({"id": "a", "config": "c", "warm_start": true})",  // no cache_key
+      R"({"id": 7, "config": "c"})",                   // mistyped id
+  };
+  for (const char* line : bad) {
+    const auto req = serve::parse_request(line);
+    EXPECT_FALSE(req.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ServeRequest, DecodeFaultSiteSurfacesAsStatus) {
+  ScopedFault fault(Site::kServeDecodeFault, 0);
+  const auto req =
+      serve::parse_request(R"({"id": "a", "config": "c"})");
+  ASSERT_FALSE(req.ok());
+  EXPECT_NE(req.status().message().find("injected"), std::string::npos);
+}
+
+TEST(ServeRequest, SeedFromIdIsStableAndSpread) {
+  const std::uint64_t s1 = serve::seed_from_request_id("job-1");
+  EXPECT_EQ(s1, serve::seed_from_request_id("job-1"));
+  // Near-identical ids must land on unrelated seeds (SplitMix64 finalizer).
+  EXPECT_NE(s1, serve::seed_from_request_id("job-2"));
+  EXPECT_NE(s1 >> 32, serve::seed_from_request_id("job-2") >> 32);
+}
+
+TEST(ServeResponse, FixedKeyOrderAndEscaping) {
+  serve::Response r;
+  r.seq = 3;
+  r.id = "a\"b";
+  r.code = 6;
+  r.status = "shed";
+  r.error = "queue full";
+  r.retry_after_ms = 75;
+  std::ostringstream out;
+  serve::write_response(r, out);
+  EXPECT_EQ(out.str(),
+            "{\"seq\": 3, \"id\": \"a\\\"b\", \"code\": 6, "
+            "\"status\": \"shed\", \"error\": \"queue full\", "
+            "\"retry_after_ms\": 75}\n");
+}
+
+// --- admission gate ------------------------------------------------------
+
+TEST(AdmissionGate, BoundsDepthAndTracksPeak) {
+  serve::AdmissionGate gate(2);
+  EXPECT_TRUE(gate.try_admit());
+  EXPECT_TRUE(gate.try_admit());
+  EXPECT_FALSE(gate.try_admit());  // full
+  EXPECT_EQ(gate.depth(), 2u);
+  EXPECT_EQ(gate.peak(), 2u);
+  EXPECT_EQ(gate.shed_count(), 1u);
+  gate.release();
+  EXPECT_TRUE(gate.try_admit());
+  EXPECT_EQ(gate.peak(), 2u);  // never exceeded capacity
+  gate.release();
+  gate.release();
+  EXPECT_THROW(gate.release(), std::logic_error);
+}
+
+TEST(AdmissionGate, RetryHintGrowsWithLoad) {
+  serve::AdmissionGate gate(4);
+  const std::uint64_t empty = gate.retry_after_ms_hint();
+  ASSERT_TRUE(gate.try_admit());
+  ASSERT_TRUE(gate.try_admit());
+  EXPECT_GT(gate.retry_after_ms_hint(), empty);
+  gate.release();
+  gate.release();
+}
+
+TEST(AdmissionGate, QueueFullFaultForcesShed) {
+  serve::AdmissionGate gate(8);
+  ScopedFault fault(Site::kServeQueueFull, 0);
+  EXPECT_FALSE(gate.try_admit());  // injected shed despite empty gate
+  EXPECT_EQ(gate.shed_count(), 1u);
+  EXPECT_TRUE(gate.try_admit());
+  gate.release();
+}
+
+// --- obs support added for serve ----------------------------------------
+
+TEST(ServeMetrics, GaugeSetMaxKeepsHighWaterMark) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("peak");
+  g.set_max(3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+// --- end-to-end serve loop -----------------------------------------------
+
+serve::ServeOptions test_options() {
+  serve::ServeOptions options;
+  options.jobs = 2;
+  options.queue_capacity = 64;
+  return options;
+}
+
+std::string tiny_config(int iterations, const char* algo = "adaptive") {
+  return "topology = grid:2x2\\niterations = " + std::to_string(iterations) +
+         "\\nalgorithm = " + std::string(algo);
+}
+
+std::string request_line(const std::string& id, const std::string& config,
+                         const std::string& extra = "") {
+  return "{\"id\": \"" + id + "\", \"config\": \"" + config + "\"" + extra +
+         "}";
+}
+
+serve::ServeReport run_serve(const std::string& input, std::string& output,
+                             const serve::ServeOptions& options) {
+  serve::reset_drain();
+  std::istringstream in(input);
+  std::ostringstream out;
+  const serve::ServeReport report = serve::serve(in, out, options);
+  output = out.str();
+  return report;
+}
+
+/// The ISSUE acceptance gate: a seeded 500-request log — keyed lanes with
+/// warm starts, cold requests, and malformed lines — replays byte-identically
+/// at 1 worker and at 8.
+TEST(ServeReplay, FiveHundredRequestsByteIdenticalAcrossJobs) {
+  std::ostringstream log;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 25 == 24) {
+      log << "this line is not json #" << i << "\n";  // decode-error path
+      continue;
+    }
+    const std::string id = "req-" + std::to_string(i);
+    const std::string config = tiny_config(8 + i % 3);
+    if (i % 5 == 0) {
+      log << request_line(id, config) << "\n";  // cold request
+    } else {
+      const std::string key = "lane-" + std::to_string(i % 4);
+      std::string extra = ", \"cache_key\": \"" + key + "\"";
+      if (i > 20) extra += ", \"warm_start\": true";
+      log << request_line(id, config, extra) << "\n";
+    }
+  }
+
+  serve::ServeOptions options = test_options();
+  options.queue_capacity = 600;  // no sheds: identity covers the happy path
+  std::string out_jobs1;
+  std::string out_jobs8;
+  options.jobs = 1;
+  const serve::ServeReport r1 = run_serve(log.str(), out_jobs1, options);
+  options.jobs = 8;
+  const serve::ServeReport r8 = run_serve(log.str(), out_jobs8, options);
+
+  EXPECT_EQ(r1.requests, 500u);
+  EXPECT_EQ(r8.requests, 500u);
+  EXPECT_EQ(r1.shed, 0u);
+  EXPECT_GT(r1.ok, 400u);
+  EXPECT_EQ(r1.errors, 20u);  // the malformed lines, nothing else
+  EXPECT_EQ(out_jobs1, out_jobs8);
+}
+
+TEST(ServeLoop, WarmLaneReusesCacheAndSolution) {
+  const std::string input =
+      request_line("w1", tiny_config(20), ", \"cache_key\": \"k\"") + "\n" +
+      request_line("w2", tiny_config(20),
+                   ", \"cache_key\": \"k\", \"warm_start\": true") +
+      "\n";
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(input, output, test_options());
+  EXPECT_EQ(report.ok, 2u);
+  const std::size_t second = output.find("\"id\": \"w2\"");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_NE(output.find("\"warm_started\": true", second),
+            std::string::npos);
+  // Warm start = the lane's previous solution = the cached matrix, so the
+  // second request's first evaluation is an exact cache hit.
+  EXPECT_NE(output.find("\"cache_exact_hits\": ", second),
+            std::string::npos);
+}
+
+TEST(ServeLoop, DeadlineCutsRunWithBestSoFar) {
+  serve::ServeOptions options = test_options();
+  options.jobs = 1;
+  const std::string input = request_line(
+      "slow",
+      "topology = grid:3x3\\niterations = 1000000\\nalgorithm = perturbed",
+      ", \"deadline_ms\": 80");
+  std::string output;
+  const serve::ServeReport report = run_serve(input + "\n", output, options);
+  EXPECT_EQ(report.deadline_exceeded, 1u);
+  EXPECT_NE(output.find("\"code\": 5"), std::string::npos);
+  EXPECT_NE(output.find("\"status\": \"deadline-exceeded\""),
+            std::string::npos);
+  // Degradation, not loss: the response still carries the best iterate.
+  EXPECT_NE(output.find("\"stop_reason\": \"cancelled\""),
+            std::string::npos);
+  EXPECT_NE(output.find("\"cost\": "), std::string::npos);
+}
+
+TEST(ServeLoop, InjectedQueueFullShedsWithBackoffHint) {
+  // Fire on admissions 1 and 2 (0-based): requests two and three shed
+  // deterministically, independent of worker timing.
+  ScopedFault fault(Site::kServeQueueFull, 1, 2);
+  std::ostringstream log;
+  for (int i = 0; i < 5; ++i)
+    log << request_line("q" + std::to_string(i), tiny_config(10)) << "\n";
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(log.str(), output, test_options());
+  EXPECT_EQ(report.requests, 5u);
+  EXPECT_EQ(report.shed, 2u);
+  EXPECT_EQ(report.ok, 3u);
+  EXPECT_NE(output.find("\"code\": 6"), std::string::npos);
+  EXPECT_NE(output.find("\"status\": \"shed\""), std::string::npos);
+  EXPECT_NE(output.find("\"retry_after_ms\": "), std::string::npos);
+  EXPECT_LE(report.peak_depth, test_options().queue_capacity);
+}
+
+TEST(ServeLoop, InjectedDecodeFaultIsIsolated) {
+  ScopedFault fault(Site::kServeDecodeFault, 0);  // first decode fails
+  const std::string input = request_line("d1", tiny_config(10)) + "\n" +
+                            request_line("d2", tiny_config(10)) + "\n";
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(input, output, test_options());
+  EXPECT_EQ(report.errors, 1u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_NE(output.find("injected decode fault"), std::string::npos);
+  EXPECT_NE(output.find("\"id\": \"d2\", \"code\": 0"), std::string::npos);
+}
+
+TEST(ServeLoop, WatchdogFailsStuckRequestNotServer) {
+  ScopedFault fault(Site::kServeStuckWorker, 0);  // first request wedges
+  serve::ServeOptions options = test_options();
+  // One worker pins dispatch order: with two, either request could reach
+  // the one-shot fault site first, and the wedge only engages when the
+  // faulted request carries a deadline.
+  options.jobs = 1;
+  options.watchdog_grace_ms = 40;
+  options.watchdog_poll_ms = 5;
+  const std::string input =
+      request_line("stuck", tiny_config(10), ", \"deadline_ms\": 30") +
+      "\n" + request_line("after", tiny_config(10)) + "\n";
+  std::string output;
+  const serve::ServeReport report = run_serve(input, output, options);
+  EXPECT_EQ(report.requests, 2u);
+  EXPECT_EQ(report.deadline_exceeded, 1u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_NE(output.find("watchdog"), std::string::npos);
+  EXPECT_NE(output.find("\"id\": \"after\", \"code\": 0"),
+            std::string::npos);
+}
+
+TEST(ServeLoop, EveryLineGetsExactlyOneResponseUnderChaos) {
+  // Request-layer chaos: probabilistic decode faults and sheds, plus
+  // deadlines. Invariant under test: one response per line, each in a known
+  // terminal state, queue depth bounded — the server never crashes and
+  // never leaks a request.
+  util::fault::arm_probabilistic(Site::kServeDecodeFault, 0.2, 3);
+  util::fault::arm_probabilistic(Site::kServeQueueFull, 0.3, 7);
+  std::ostringstream log;
+  const int kRequests = 40;
+  for (int i = 0; i < kRequests; ++i)
+    log << request_line("c" + std::to_string(i), tiny_config(10 + i % 5),
+                        ", \"deadline_ms\": 2000")
+        << "\n";
+  serve::ServeOptions options = test_options();
+  options.queue_capacity = 4;
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(log.str(), output, options);
+  util::fault::disarm_all();
+
+  EXPECT_EQ(report.requests, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(report.ok + report.errors + report.deadline_exceeded +
+                report.shed,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_LE(report.peak_depth, options.queue_capacity);
+  EXPECT_GT(report.shed + report.errors, 0u);  // the chaos actually fired
+
+  // Exactly one response per seq, emitted in arrival order.
+  std::istringstream lines(output);
+  std::string line;
+  std::uint64_t expect_seq = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "{\"seq\": " + std::to_string(expect_seq);
+    EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+    ++expect_seq;
+  }
+  EXPECT_EQ(expect_seq, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServeLoop, DrainRequestStopsAcceptingAndFlushesMetrics) {
+  const std::string metrics_path = "serve_drain_metrics_test.json";
+  serve::ServeOptions options = test_options();
+  options.metrics_path = metrics_path;
+  std::string output;
+  // Drain already requested: the server must accept nothing, still write a
+  // complete final metrics snapshot, and report the early drain.
+  serve::reset_drain();
+  serve::request_drain();
+  std::istringstream in(request_line("never", tiny_config(10)) + "\n");
+  std::ostringstream out;
+  const serve::ServeReport report = serve::serve(in, out, options);
+  serve::reset_drain();
+  EXPECT_TRUE(report.drained_early);
+  EXPECT_EQ(report.requests, 0u);
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream contents;
+  contents << metrics.rdbuf();
+  EXPECT_NE(contents.str().find("serve.requests.total"), std::string::npos);
+  EXPECT_NE(contents.str().find("serve.queue.peak_depth"),
+            std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace mocos

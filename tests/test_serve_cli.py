@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Process-level tests for the mocos_serve binary (stdlib only).
+
+Drives the built server end to end and asserts the DESIGN.md §11 contract:
+
+  - every response line validates against tools/serve/response_schema.json,
+  - a seeded request log replays byte-identically at --jobs 1 and --jobs 8,
+  - a chaos run (request-layer fault injection + deadlines + a tiny queue)
+    ends with exactly one terminal response per request and a bounded queue,
+    asserted from the metrics snapshot — and zero server crashes,
+  - SIGTERM drains gracefully: the server stops accepting, answers what it
+    admitted, and leaves a complete final metrics snapshot.
+
+Registered as the `ServeCli.*` ctests; runnable directly:
+    python3 tests/test_serve_cli.py --serve build/tools/mocos_serve
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from test_obs_cli import validate  # noqa: E402  (shared mini-validator)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA = os.path.join(REPO_ROOT, "tools", "serve", "response_schema.json")
+
+SERVE = None  # resolved in main()
+
+TERMINAL_STATUSES = {"ok", "error", "deadline-exceeded", "shed"}
+
+
+def tiny_config(iterations):
+    return ("topology = grid:2x2\\niterations = %d\\nalgorithm = adaptive"
+            % iterations)
+
+
+def request_line(rid, iterations, extra=""):
+    return '{"id": "%s", "config": "%s"%s}' % (
+        rid, tiny_config(iterations), extra)
+
+
+def make_log(n):
+    """Seeded mix: keyed lanes with warm starts, cold requests, malformed
+    lines — the same shape as the in-process replay test."""
+    lines = []
+    for i in range(n):
+        if i % 20 == 19:
+            lines.append("not json #%d" % i)
+            continue
+        extra = ""
+        if i % 4 != 0:
+            extra = ', "cache_key": "lane-%d"' % (i % 3)
+            if i > 10:
+                extra += ', "warm_start": true'
+        lines.append(request_line("req-%d" % i, 8 + i % 3, extra))
+    return "\n".join(lines) + "\n"
+
+
+def run_serve(args, request_text):
+    return subprocess.run([SERVE] + args, input=request_text,
+                          capture_output=True, text=True, timeout=600)
+
+
+class ResponseSchema(unittest.TestCase):
+    def test_mixed_run_validates_line_by_line(self):
+        with open(SCHEMA) as f:
+            schema = json.load(f)
+        proc = run_serve(["--jobs", "2"], make_log(30))
+        self.assertEqual(proc.returncode, 4, proc.stderr)  # malformed lines
+        lines = proc.stdout.splitlines()
+        self.assertEqual(len(lines), 30)
+        for line in lines:
+            doc = json.loads(line)
+            self.assertEqual(validate(doc, schema), [], line)
+            self.assertIn(doc["status"], TERMINAL_STATUSES)
+
+
+class ReplayIdentity(unittest.TestCase):
+    def test_jobs_1_and_8_are_byte_identical(self):
+        log = make_log(60)
+        outs = {}
+        for jobs in ("1", "8"):
+            proc = run_serve(["--jobs", jobs, "--queue-depth", "64"], log)
+            self.assertEqual(proc.returncode, 4, proc.stderr)
+            outs[jobs] = proc.stdout
+        self.assertEqual(outs["1"], outs["8"])
+
+
+class ChaosRun(unittest.TestCase):
+    def test_faults_deadlines_and_tiny_queue_never_crash_the_server(self):
+        n = 50
+        lines = [request_line("c%d" % i, 10 + i % 5,
+                              ', "deadline_ms": 2000')
+                 for i in range(n)]
+        with tempfile.TemporaryDirectory() as tmp:
+            metrics = os.path.join(tmp, "m.json")
+            proc = run_serve(
+                ["--jobs", "2", "--queue-depth", "4",
+                 "--metrics", metrics,
+                 "--fault", "serve-decode:0.2:3",
+                 "--fault", "serve-queue-full:0.3:7"],
+                "\n".join(lines) + "\n")
+            # The server must exit through its normal path (0 = all ok is
+            # impossible here; 4 = partial failure), never crash.
+            self.assertEqual(proc.returncode, 4, proc.stderr)
+            responses = [json.loads(l) for l in proc.stdout.splitlines()]
+            self.assertEqual(len(responses), n)
+            # Exactly one response per request, in arrival order, each in a
+            # known terminal state.
+            for seq, doc in enumerate(responses):
+                self.assertEqual(doc["seq"], seq)
+                self.assertIn(doc["status"], TERMINAL_STATUSES)
+            by_status = {}
+            for doc in responses:
+                by_status[doc["status"]] = by_status.get(doc["status"], 0) + 1
+            self.assertGreater(by_status.get("shed", 0), 0)
+            self.assertGreater(by_status.get("error", 0), 0)
+            for doc in responses:
+                if doc["status"] == "shed":
+                    self.assertIn("retry_after_ms", doc)
+            # Queue depth bounded, asserted from the metrics snapshot.
+            with open(metrics) as f:
+                snapshot = json.load(f)
+            self.assertLessEqual(snapshot["gauges"]["serve.queue.peak_depth"],
+                                 4)
+            self.assertEqual(snapshot["counters"]["serve.requests.total"], n)
+
+
+class SigtermDrain(unittest.TestCase):
+    def test_sigterm_drains_and_flushes_metrics(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            metrics = os.path.join(tmp, "m.json")
+            proc = subprocess.Popen(
+                [SERVE, "--jobs", "2", "--metrics", metrics],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True)
+            try:
+                proc.stdin.write(request_line("pre-term-1", 20) + "\n")
+                proc.stdin.write(request_line("pre-term-2", 20) + "\n")
+                proc.stdin.flush()
+                # Wait for the first response so we know requests were
+                # admitted before the signal arrives.
+                first = proc.stdout.readline()
+                self.assertTrue(first.strip(), "no response before signal")
+                proc.send_signal(signal.SIGTERM)
+                out, err = proc.communicate(timeout=120)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+            self.assertIn(proc.returncode, (0, 4), err)
+            self.assertIn("drained on signal", err)
+            # Everything admitted before the signal was answered.
+            answered = [json.loads(l) for l in (first + out).splitlines()]
+            self.assertEqual([d["seq"] for d in answered],
+                             list(range(len(answered))))
+            # The final metrics snapshot is complete and parseable.
+            with open(metrics) as f:
+                snapshot = json.load(f)
+            self.assertIn("serve.requests.total", snapshot["counters"])
+            self.assertIn("serve.queue.peak_depth", snapshot["gauges"])
+
+
+def main():
+    global SERVE
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--serve", required=True,
+                        help="path to the built mocos_serve binary")
+    args, rest = parser.parse_known_args()
+    SERVE = os.path.abspath(args.serve)
+    if not os.path.exists(SERVE):
+        print("mocos_serve binary not found: %s" % SERVE, file=sys.stderr)
+        return 1
+    unittest.main(argv=[sys.argv[0]] + rest, verbosity=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

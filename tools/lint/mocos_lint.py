@@ -83,14 +83,20 @@ SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 # jobs-invariance guarantee end to end. src/obs/ is on the list because its
 # metric values must be jobs-invariant too — its single sanctioned clock
 # site (the trace sink epoch) carries an explicit det-time suppression.
+# src/serve/ is on the list because replayed request logs must be
+# byte-identical at any --jobs count; its deadline/watchdog clock sites
+# carry explicit det-time suppressions (server.cpp documents why timing
+# may steer *scheduling* there but never response bytes).
 DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/",
-                     "src/markov/incremental", "src/obs/")
+                     "src/markov/incremental", "src/obs/", "src/serve/")
 
 # Descent + recovery code must use the guarded Try* solver layer. The
 # incremental cache sits on the descent hot path and owns the fallback from
 # Sherman-Morrison updates to full re-factorization, so its internals are
-# held to the same try_*-only contract.
-RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental")
+# held to the same try_*-only contract. The serve layer's failure-isolation
+# promise (a numerical fault costs one structured error response, never the
+# process) only holds if it, too, never touches an unguarded solver.
+RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental", "src/serve/")
 
 RULES = {
     "det-rng": "ambient randomness breaks the jobs-invariance determinism "

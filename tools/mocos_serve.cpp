@@ -1,0 +1,37 @@
+// Long-running optimization service: NDJSON requests on stdin, NDJSON
+// responses on stdout, in arrival order. See src/serve/serve_cli.hpp for
+// flags and src/serve/request.hpp for the request language.
+//
+// SIGTERM/SIGINT ask for a graceful drain: stop accepting, finish (or
+// deadline-fail) in-flight requests, flush the metrics snapshot, exit.
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/serve/serve_cli.hpp"
+#include "src/serve/server.hpp"
+
+namespace {
+
+extern "C" void handle_drain_signal(int) { mocos::serve::request_drain(); }
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_drain_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: the signal must interrupt the blocking stdin read so the
+  // serve loop notices the drain request without waiting for another line.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  install_signal_handlers();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mocos::serve::run_serve_cli(args, std::cin, std::cout, std::cerr);
+}
