@@ -267,6 +267,8 @@ core::OptimizationOutcome run_optimization(
   // to the config's own start policy rather than failing the request.
   if (hooks.warm_start != nullptr && opts.starts == 1 &&
       hooks.warm_start->size() == problem.num_pois()) {
+    if (hooks.warm_start_applied != nullptr)
+      *hooks.warm_start_applied = true;
     return optimizer.run(*hooks.warm_start);
   }
   return optimizer.run(ctx);

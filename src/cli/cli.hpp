@@ -64,6 +64,10 @@ struct RunHooks {
   /// session); ignored when its size does not match the problem or the
   /// config asks for multi-start / a loaded schedule.
   const markov::TransitionMatrix* warm_start = nullptr;
+  /// Out-field: set to true iff `warm_start` was actually used as the start
+  /// matrix (the decline paths above leave it untouched), so callers can
+  /// report warm-start usage truthfully instead of guessing the conditions.
+  bool* warm_start_applied = nullptr;
   /// Seed override applied when the config does not set `seed` (mocos_serve
   /// derives it from the request id so replays are scheduling-independent).
   std::optional<std::uint64_t> default_seed;

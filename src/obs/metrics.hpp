@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,15 +41,16 @@ class Gauge {
   /// Raises the gauge to `v` if above the current value (or unset). The CAS
   /// loop makes concurrent raises keep the true maximum — the high-water-mark
   /// use (peak queue depth) that plain set() would lose under contention.
+  /// Unset-ness is encoded in the value itself (v_ starts at -infinity, below
+  /// every observable v), so the loop never consults the separate `set_`
+  /// flag: a stale flag read cannot let a smaller value overwrite a larger
+  /// one that another thread just CAS'd in.
   void set_max(double v) {
     double cur = v_.load(std::memory_order_relaxed);
-    while (!has_value() || v > cur) {
-      if (v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-        set_.store(true, std::memory_order_relaxed);
-        return;
-      }
-      if (has_value() && cur >= v) return;
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
+    set_.store(true, std::memory_order_relaxed);
   }
   [[nodiscard]] bool has_value() const {
     return set_.load(std::memory_order_relaxed);
@@ -58,7 +60,9 @@ class Gauge {
   }
 
  private:
-  std::atomic<double> v_{0.0};
+  // -infinity (not 0) so set_max can treat "unset" as below any real value;
+  // snapshots still gate on set_, so the sentinel is never reported.
+  std::atomic<double> v_{-std::numeric_limits<double>::infinity()};
   std::atomic<bool> set_{false};
 };
 

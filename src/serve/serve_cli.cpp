@@ -78,6 +78,8 @@ ServeOptions parse_options(const std::vector<std::string>& args) {
         throw std::invalid_argument("--queue-depth: must be >= 1");
     } else if (arg == "--default-deadline-ms") {
       options.default_deadline_ms = parse_count(arg, value(arg));
+    } else if (arg == "--max-lanes") {
+      options.max_lanes = parse_count(arg, value(arg));
     } else if (arg == "--watchdog-grace-ms") {
       options.watchdog_grace_ms = parse_count(arg, value(arg));
     } else if (arg == "--metrics") {

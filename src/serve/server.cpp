@@ -100,6 +100,13 @@ class ServerImpl {
     watchdog_stop_.store(true, std::memory_order_relaxed);
     watchdog.join();
 
+    std::uint64_t lanes_live = 0;
+    std::uint64_t lanes_evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(lanes_mu_);
+      lanes_live = lanes_.size();
+      lanes_evicted = lanes_evicted_;
+    }
     ServeReport report;
     {
       std::lock_guard<std::mutex> lock(emit_mu_);
@@ -108,6 +115,9 @@ class ServerImpl {
       report.peak_depth = gate_.peak();
       report.drained_early = drained_early;
       registry_.counter("serve.requests.total").add(seq);
+      registry_.counter("serve.lanes.evicted").add(lanes_evicted);
+      registry_.gauge("serve.lanes.live")
+          .set(static_cast<double>(lanes_live));
       registry_.gauge("serve.queue.capacity")
           .set(static_cast<double>(gate_.capacity()));
       registry_.gauge("serve.queue.peak_depth")
@@ -123,13 +133,16 @@ class ServerImpl {
   /// Requests sharing a cache_key form a lane: they run one at a time, in
   /// arrival order, against the lane's long-lived solver cache and previous
   /// solution. Serializing per key is what makes warm-cache state — and with
-  /// it the response log — independent of worker count.
+  /// it the response log — independent of worker count. Lanes are held by
+  /// shared_ptr so an LRU eviction can drop the map entry while a pump is
+  /// still draining the lane's queue; the warm state dies with the last ref.
   struct Lane {
     markov::ChainSolveCache cache;
     std::optional<markov::TransitionMatrix> last_solution;
     std::deque<std::shared_ptr<Pending>> waiting;
     bool running = false;
     std::uint64_t uses = 0;
+    std::uint64_t last_use_tick = 0;  // dispatch order, for LRU eviction
   };
 
   void accept(std::uint64_t seq, const std::string& line) {
@@ -175,23 +188,52 @@ class ServerImpl {
       pool_.submit([this, pending] { process(pending, nullptr); });
       return;
     }
-    std::lock_guard<std::mutex> lock(lanes_mu_);
-    Lane& lane = lanes_[pending->request.cache_key];
-    lane.waiting.push_back(std::move(pending));
-    if (!lane.running) {
-      lane.running = true;
-      const std::string key = lane.waiting.front()->request.cache_key;
-      pool_.submit([this, key] { pump_lane(key); });
+    std::shared_ptr<Lane> lane;
+    bool start_pump = false;
+    {
+      std::lock_guard<std::mutex> lock(lanes_mu_);
+      std::shared_ptr<Lane>& slot = lanes_[pending->request.cache_key];
+      if (!slot) slot = std::make_shared<Lane>();
+      slot->last_use_tick = ++lane_tick_;
+      lane = slot;
+      lane->waiting.push_back(std::move(pending));
+      if (!lane->running) {
+        lane->running = true;
+        start_pump = true;
+      }
+      evict_lru_locked(lane);
+    }
+    if (start_pump)
+      pool_.submit([this, lane] { pump_lane(lane); });
+  }
+
+  /// Bounds lanes_ (DESIGN.md §11.2: degradation never runs into unbounded
+  /// memory): past max_lanes, the least-recently-dispatched lane loses its
+  /// map entry, releasing its warm cache and last solution once any pump
+  /// still draining it finishes. Runs on the reader thread under lanes_mu_,
+  /// keyed only by dispatch ticks — which requests run warm vs cold is
+  /// therefore a function of arrival order alone, for any worker count.
+  void evict_lru_locked(const std::shared_ptr<Lane>& keep) {
+    if (options_.max_lanes == 0) return;
+    while (lanes_.size() > options_.max_lanes) {
+      auto victim = lanes_.end();
+      for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+        if (it->second == keep) continue;
+        if (victim == lanes_.end() ||
+            it->second->last_use_tick < victim->second->last_use_tick)
+          victim = it;
+      }
+      if (victim == lanes_.end()) return;  // only `keep` left
+      lanes_.erase(victim);
+      ++lanes_evicted_;
     }
   }
 
-  void pump_lane(const std::string& key) {
+  void pump_lane(const std::shared_ptr<Lane>& lane) {
     for (;;) {
       std::shared_ptr<Pending> next;
-      Lane* lane = nullptr;
       {
         std::lock_guard<std::mutex> lock(lanes_mu_);
-        lane = &lanes_[key];  // std::map: stable address across inserts
         if (lane->waiting.empty()) {
           lane->running = false;
           return;
@@ -199,7 +241,7 @@ class ServerImpl {
         next = std::move(lane->waiting.front());
         lane->waiting.pop_front();
       }
-      process(next, lane);
+      process(next, lane.get());
     }
   }
 
@@ -266,14 +308,17 @@ class ServerImpl {
                      static_cast<double>(p->deadline_ms);
         };
       }
+      bool warm_applied = false;
       if (lane != nullptr) {
         if (config.get_bool("incremental", true))
           hooks.shared_cache = &lane->cache;
         if (req.warm_start && lane->last_solution &&
             lane->last_solution->size() == problem.num_pois()) {
           hooks.warm_start = &*lane->last_solution;
-          r.warm_started = true;
-          obs::count("serve.cache.warm_hits");
+          // run_optimization still declines the warm start for multi-start
+          // or load_schedule configs, so the response flag comes from its
+          // out-field, not from the offer.
+          hooks.warm_start_applied = &warm_applied;
         }
         if (lane->uses > 0) obs::count("serve.lane.reuses");
         ++lane->uses;
@@ -283,6 +328,8 @@ class ServerImpl {
                                                // parallelism, not starts
       core::OptimizationOutcome outcome =
           cli::run_optimization(config, problem, ctx, hooks);
+      r.warm_started = warm_applied;
+      if (warm_applied) obs::count("serve.cache.warm_hits");
 
       r.has_result = true;
       r.penalized_cost = outcome.penalized_cost;
@@ -444,10 +491,11 @@ class ServerImpl {
   const ServeOptions options_;
   std::ostream& out_;
   AdmissionGate gate_;
-  runtime::ThreadPool pool_;
 
   std::mutex lanes_mu_;
-  std::map<std::string, Lane> lanes_;
+  std::map<std::string, std::shared_ptr<Lane>> lanes_;
+  std::uint64_t lane_tick_ = 0;      // dispatch counter driving lane LRU
+  std::uint64_t lanes_evicted_ = 0;  // folded into registry_ at drain
 
   std::mutex inflight_mu_;
   std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
@@ -460,6 +508,13 @@ class ServerImpl {
   obs::MetricsRegistry registry_;
 
   std::atomic<bool> watchdog_stop_{false};
+
+  /// Last member on purpose: ~ThreadPool joins the workers, and a
+  /// watchdog-abandoned worker can outlive run()'s response drain (run()
+  /// waits for responses, not for tasks). Destroying the pool first means
+  /// every late worker has exited before lanes_/inflight_/emit state — which
+  /// it still touches — is torn down.
+  runtime::ThreadPool pool_;
 };
 
 }  // namespace

@@ -181,6 +181,18 @@ TEST(ServeMetrics, GaugeSetMaxKeepsHighWaterMark) {
   EXPECT_DOUBLE_EQ(g.value(), 7.5);
 }
 
+TEST(ServeMetrics, GaugeSetMaxOnUnsetGaugeKeepsNegativeValues) {
+  // The unset sentinel is -infinity, not 0: a first set_max below zero must
+  // record the observed value, not silently clamp it up.
+  obs::Gauge g;
+  EXPECT_FALSE(g.has_value());
+  g.set_max(-5.0);
+  EXPECT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+  g.set_max(-9.0);
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+}
+
 // --- end-to-end serve loop -----------------------------------------------
 
 serve::ServeOptions test_options() {
@@ -235,6 +247,8 @@ TEST(ServeReplay, FiveHundredRequestsByteIdenticalAcrossJobs) {
 
   serve::ServeOptions options = test_options();
   options.queue_capacity = 600;  // no sheds: identity covers the happy path
+  options.max_lanes = 3;  // 4 keys over 3 slots: steady LRU eviction churn,
+                          // so warm-vs-cold decisions are part of the gate
   std::string out_jobs1;
   std::string out_jobs8;
   options.jobs = 1;
@@ -267,6 +281,62 @@ TEST(ServeLoop, WarmLaneReusesCacheAndSolution) {
   // Warm start = the lane's previous solution = the cached matrix, so the
   // second request's first evaluation is an exact cache hit.
   EXPECT_NE(output.find("\"cache_exact_hits\": ", second),
+            std::string::npos);
+}
+
+TEST(ServeLoop, LruEvictionBoundsLanesAndColdStartsEvictedKeys) {
+  const std::string metrics_path = "serve_eviction_metrics_test.json";
+  // max_lanes = 1: dispatching key "b" evicts key "a", so a's later
+  // warm_start request finds a cold lane and must report warm_started
+  // false — and the lane map never holds more than one warm cache.
+  const std::string input =
+      request_line("a1", tiny_config(15), ", \"cache_key\": \"a\"") + "\n" +
+      request_line("b1", tiny_config(15), ", \"cache_key\": \"b\"") + "\n" +
+      request_line("a2", tiny_config(15),
+                   ", \"cache_key\": \"a\", \"warm_start\": true") +
+      "\n";
+  serve::ServeOptions options = test_options();
+  options.jobs = 1;
+  options.max_lanes = 1;
+  options.metrics_path = metrics_path;
+  std::string output;
+  const serve::ServeReport report = run_serve(input, output, options);
+  EXPECT_EQ(report.ok, 3u);
+  const std::size_t a2 = output.find("\"id\": \"a2\"");
+  ASSERT_NE(a2, std::string::npos);
+  EXPECT_NE(output.find("\"warm_started\": false", a2), std::string::npos);
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream contents;
+  contents << metrics.rdbuf();
+  EXPECT_NE(contents.str().find("\"serve.lanes.evicted\": 2"),
+            std::string::npos)
+      << contents.str();
+  EXPECT_NE(contents.str().find("\"serve.lanes.live\": 1"),
+            std::string::npos)
+      << contents.str();
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ServeLoop, WarmStartedFlagTracksActualApplication) {
+  // starts > 1 makes run_optimization decline the offered warm start; the
+  // response must say so instead of reporting the offer as a hit.
+  const std::string multi_start_config =
+      "topology = grid:2x2\\niterations = 10\\nalgorithm = "
+      "perturbed\\nstarts = 2";
+  const std::string input =
+      request_line("m1", multi_start_config, ", \"cache_key\": \"m\"") +
+      "\n" +
+      request_line("m2", multi_start_config,
+                   ", \"cache_key\": \"m\", \"warm_start\": true") +
+      "\n";
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(input, output, test_options());
+  EXPECT_EQ(report.ok, 2u);
+  const std::size_t second = output.find("\"id\": \"m2\"");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_NE(output.find("\"warm_started\": false", second),
             std::string::npos);
 }
 
@@ -341,6 +411,31 @@ TEST(ServeLoop, WatchdogFailsStuckRequestNotServer) {
   EXPECT_NE(output.find("watchdog"), std::string::npos);
   EXPECT_NE(output.find("\"id\": \"after\", \"code\": 0"),
             std::string::npos);
+}
+
+TEST(ServeLoop, AbandonedWorkerOutlivingDrainIsJoinedBeforeTeardown) {
+  // The last request wedges on a warm lane: the watchdog answers it, the
+  // drain wait is satisfied by that response, and server teardown races the
+  // still-running worker's writes to lane state. The pool must join that
+  // worker before lane/inflight/emit state is destroyed (ASan drill).
+  for (int round = 0; round < 3; ++round) {
+    ScopedFault fault(Site::kServeStuckWorker, 1);  // second request wedges
+    serve::ServeOptions options = test_options();
+    options.jobs = 1;
+    options.watchdog_grace_ms = 20;
+    options.watchdog_poll_ms = 2;
+    const std::string input =
+        request_line("warm", tiny_config(10), ", \"cache_key\": \"k\"") +
+        "\n" +
+        request_line("wedge", tiny_config(10),
+                     ", \"cache_key\": \"k\", \"deadline_ms\": 20") +
+        "\n";
+    std::string output;
+    const serve::ServeReport report = run_serve(input, output, options);
+    EXPECT_EQ(report.requests, 2u);
+    EXPECT_EQ(report.deadline_exceeded, 1u);
+    EXPECT_NE(output.find("watchdog"), std::string::npos);
+  }
 }
 
 TEST(ServeLoop, EveryLineGetsExactlyOneResponseUnderChaos) {
