@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "bench/common.hpp"
 #include "src/markov/fundamental.hpp"
@@ -97,7 +98,10 @@ SizePoint run_size(std::size_t m, std::size_t probes) {
       diff = std::max(diff, matrix_diff(inc.r, full->r));
       pt.max_abs_diff = std::max(pt.max_abs_diff, diff);
     }
-    if (pt.max_abs_diff > 1e-9) {
+    // R entries grow with M (return times ~M), so the absolute drift bound
+    // loosens slightly for the large sizes.
+    const double tol = m <= 128 ? 1e-9 : 5e-9;
+    if (pt.max_abs_diff > tol) {
       std::cerr << "incremental_solver: AGREEMENT VIOLATION at M=" << m
                 << ": max |incremental - full| = " << pt.max_abs_diff << "\n";
       std::exit(1);
@@ -155,6 +159,9 @@ void write_json(const std::vector<SizePoint>& points) {
     out << buf;
   };
   out << "{\n  \"scale\": \"" << (quick_mode() ? "quick" : "full")
+      << "\",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"compiler\": \"" << __VERSION__
       << "\",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SizePoint& pt = points[i];
@@ -175,14 +182,20 @@ void write_json(const std::vector<SizePoint>& points) {
 
 int run() {
   banner("incremental solver cache: update_row vs full re-solve");
-  const std::vector<std::size_t> sizes = {8, 16, 32, 64, 128};
-  const std::size_t probes = scaled(400, 40);
+  const std::vector<std::size_t> sizes = {8, 16, 32, 64, 128, 256, 512};
+  // The reference pass re-runs the O(M³) full pipeline per probe, so the
+  // probe count shrinks at the large sizes to keep the sweep tractable.
+  const auto probes_for = [](std::size_t m) {
+    if (m <= 128) return scaled(400, 40);
+    if (m <= 256) return scaled(120, 12);
+    return scaled(48, 6);
+  };
 
   std::vector<SizePoint> points;
   util::Table t({"M", "probes", "full s", "incremental s", "speedup",
                  "max |diff|"});
   for (std::size_t m : sizes) {
-    points.push_back(run_size(m, probes));
+    points.push_back(run_size(m, probes_for(m)));
     const SizePoint& pt = points.back();
     t.add_row({std::to_string(pt.m), std::to_string(pt.probes),
                util::fmt(pt.full_seconds, 4),

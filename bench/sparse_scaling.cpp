@@ -1,0 +1,186 @@
+// Sparse chain analysis vs. the dense pipeline at city scale: the tentpole
+// number of the CSR resolvent + block-decomposition work. For each map size M
+// the bench builds a jittered-grid city chain (support radius 2·spacing,
+// ~13 neighbours per PoI), runs the full sparse analysis
+// (partition::try_sparse_analyze_chain) and — up to the dense cap — the dense
+// markov::try_analyze_chain reference, and reports the full-solve speedup.
+// Writes BENCH_sparse_scaling.json (to MOCOS_BENCH_CSV_DIR when set, else the
+// working directory).
+//
+// Correctness is part of what is measured: wherever the dense reference runs,
+// π must agree to 1e-8 (absolute) and R to 1e-8 (relative) or the bench fails
+// loudly — the acceptance gate of the sparse subsystem, measured on the same
+// chains the timing claims are made on.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "src/descent/initializers.hpp"
+#include "src/geometry/city_topology.hpp"
+#include "src/markov/fundamental.hpp"
+#include "src/markov/sparse_mode.hpp"
+#include "src/partition/block_solver.hpp"
+
+namespace mocos::bench {
+namespace {
+
+struct SizePoint {
+  std::size_t m = 0;
+  std::size_t nnz = 0;
+  double density = 0.0;
+  std::size_t blocks = 0;
+  std::size_t bandwidth = 0;
+  bool used_banded = false;
+  bool used_bicgstab = false;
+  double sparse_seconds = 0.0;
+  double dense_seconds = 0.0;  // 0 when the dense reference was skipped
+  double speedup = 0.0;        // dense/sparse, 0 when dense skipped
+  double pi_gap = 0.0;         // max |π_sparse − π_dense|, 0 when skipped
+  double r_rel_gap = 0.0;      // max relative R gap, 0 when skipped
+};
+
+markov::TransitionMatrix city_chain(std::size_t m) {
+  geometry::CityConfig cfg;
+  cfg.count = m;
+  cfg.seed = 7;
+  const geometry::Topology topo = geometry::city_topology(cfg);
+  return descent::support_uniform_start(
+      geometry::radius_neighbors(topo, 2.0 * cfg.spacing));
+}
+
+SizePoint run_size(std::size_t m, bool run_dense) {
+  SizePoint pt;
+  pt.m = m;
+  const markov::TransitionMatrix p = city_chain(m);
+  const sparse::SparseMatrix sp = sparse::SparseMatrix::from_dense(p.matrix());
+  pt.nnz = sp.nnz();
+  pt.density = sp.density();
+
+  // Sparse full analysis (π, Z, R, W through the block/resolvent ladder).
+  partition::SparseSolveStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sparse_result =
+      partition::try_sparse_analyze_chain(p, {}, {}, &stats);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!sparse_result.ok()) {
+    std::cerr << "sparse_scaling: sparse analysis failed at M=" << m << ": "
+              << sparse_result.status().message() << "\n";
+    std::exit(1);
+  }
+  pt.sparse_seconds = std::chrono::duration<double>(t1 - t0).count();
+  pt.blocks = stats.blocks;
+  pt.bandwidth = stats.bandwidth;
+  pt.used_banded = stats.used_banded;
+  pt.used_bicgstab = stats.used_bicgstab;
+
+  if (!run_dense) return pt;
+
+  // Dense reference, sparse routing forced off so try_analyze_chain really
+  // runs the O(M³) factorization.
+  markov::force_sparse_mode(markov::SparseMode::kOff);
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto dense_result = markov::try_analyze_chain(p);
+  const auto t3 = std::chrono::steady_clock::now();
+  markov::force_sparse_mode(markov::SparseMode::kAuto);
+  if (!dense_result.ok()) {
+    std::cerr << "sparse_scaling: dense reference failed at M=" << m << "\n";
+    std::exit(1);
+  }
+  pt.dense_seconds = std::chrono::duration<double>(t3 - t2).count();
+  pt.speedup =
+      pt.sparse_seconds > 0.0 ? pt.dense_seconds / pt.sparse_seconds : 0.0;
+
+  for (std::size_t i = 0; i < m; ++i)
+    pt.pi_gap = std::max(
+        pt.pi_gap, std::abs(sparse_result->pi[i] - dense_result->pi[i]));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      const double ref = dense_result->r(i, j);
+      const double gap = std::abs(sparse_result->r(i, j) - ref);
+      pt.r_rel_gap = std::max(pt.r_rel_gap, gap / (1.0 + std::abs(ref)));
+    }
+  if (pt.pi_gap > 1e-8 || pt.r_rel_gap > 1e-8) {
+    std::cerr << "sparse_scaling: AGREEMENT VIOLATION at M=" << m
+              << ": pi_gap=" << pt.pi_gap << " r_rel_gap=" << pt.r_rel_gap
+              << "\n";
+    std::exit(1);
+  }
+  return pt;
+}
+
+void write_json(const std::vector<SizePoint>& points) {
+  const char* dir = std::getenv("MOCOS_BENCH_CSV_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_sparse_scaling.json";
+  std::ofstream out(path);
+  auto num = [&](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", x);
+    out << buf;
+  };
+  out << "{\n  \"scale\": \"" << (quick_mode() ? "quick" : "full")
+      << "\",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"compiler\": \"" << __VERSION__
+      << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& pt = points[i];
+    out << "    {\"m\": " << pt.m << ", \"nnz\": " << pt.nnz
+        << ", \"density\": ";
+    num(pt.density);
+    out << ", \"blocks\": " << pt.blocks
+        << ", \"bandwidth\": " << pt.bandwidth << ", \"used_banded\": "
+        << (pt.used_banded ? "true" : "false") << ", \"used_bicgstab\": "
+        << (pt.used_bicgstab ? "true" : "false") << ", \"sparse_seconds\": ";
+    num(pt.sparse_seconds);
+    out << ", \"dense_seconds\": ";
+    num(pt.dense_seconds);
+    out << ", \"speedup\": ";
+    num(pt.speedup);
+    out << ", \"pi_gap\": ";
+    num(pt.pi_gap);
+    out << ", \"r_rel_gap\": ";
+    num(pt.r_rel_gap);
+    out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+int run() {
+  banner("sparse chain analysis: block/resolvent ladder vs dense pipeline");
+  const std::vector<std::size_t> sizes =
+      quick_mode() ? std::vector<std::size_t>{128, 256}
+                   : std::vector<std::size_t>{256, 512, 1024, 2048};
+  // The dense O(M³) reference stops where it stops being affordable; beyond
+  // the cap only the sparse timing is reported.
+  const std::size_t dense_cap = scaled(1024, 256);
+
+  std::vector<SizePoint> points;
+  util::Table t({"M", "nnz", "blocks", "band", "sparse s", "dense s",
+                 "speedup", "pi gap", "R rel gap"});
+  for (std::size_t m : sizes) {
+    points.push_back(run_size(m, m <= dense_cap));
+    const SizePoint& pt = points.back();
+    t.add_row({std::to_string(pt.m), std::to_string(pt.nnz),
+               std::to_string(pt.blocks), std::to_string(pt.bandwidth),
+               util::fmt(pt.sparse_seconds, 4),
+               pt.dense_seconds > 0.0 ? util::fmt(pt.dense_seconds, 4) : "-",
+               pt.speedup > 0.0 ? util::fmt(pt.speedup, 2) : "-",
+               pt.dense_seconds > 0.0 ? util::fmt(pt.pi_gap, 12) : "-",
+               pt.dense_seconds > 0.0 ? util::fmt(pt.r_rel_gap, 12) : "-"});
+  }
+  t.print(std::cout);
+  write_json(points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mocos::bench
+
+int main() { return mocos::bench::run(); }

@@ -13,9 +13,11 @@
 #include "src/obs/trace.hpp"
 #include "src/core/pareto.hpp"
 #include "src/core/serialization.hpp"
+#include "src/geometry/city_topology.hpp"
 #include "src/geometry/polygon.hpp"
 #include "src/markov/entropy.hpp"
 #include "src/markov/incremental.hpp"
+#include "src/markov/sparse_mode.hpp"
 #include "src/markov/spectral.hpp"
 #include "src/sensing/routed_travel_model.hpp"
 #include "src/sim/replication.hpp"
@@ -56,6 +58,22 @@ geometry::Topology parse_topology(const util::Config& config) {
     return geometry::make_grid("grid:" + dims, rows, cols,
                                parse_targets(rows * cols), cell);
   }
+  if (spec.rfind("city:", 0) == 0) {
+    const auto parts = util::split(spec.substr(5), ':');
+    if (parts.empty() || parts.size() > 2)
+      throw std::invalid_argument("topology: city spec must be city:N[:seed]");
+    geometry::CityConfig city;
+    city.count = static_cast<std::size_t>(util::parse_double(parts[0]));
+    city.spacing = cell;
+    if (parts.size() == 2)
+      city.seed = static_cast<std::uint64_t>(util::parse_double(parts[1]));
+    geometry::Topology t = geometry::city_topology(city);
+    // The city map carries its own seeded random targets; an explicit
+    // `targets` key still wins.
+    if (!config.has("targets")) return t;
+    return geometry::Topology(t.name(), t.positions(),
+                              parse_targets(t.size()));
+  }
   if (spec.rfind("points:", 0) == 0) {
     std::vector<geometry::Vec2> pts;
     for (const auto& pair : util::split(spec.substr(7), ';')) {
@@ -67,7 +85,8 @@ geometry::Topology parse_topology(const util::Config& config) {
     const std::size_t n = pts.size();
     return geometry::Topology("points", std::move(pts), parse_targets(n));
   }
-  throw std::invalid_argument("topology: must start with grid: or points:");
+  throw std::invalid_argument(
+      "topology: must start with grid:, points: or city:");
 }
 
 std::vector<geometry::Polygon> parse_obstacles(const util::Config& config) {
@@ -141,6 +160,7 @@ struct CliArgs {
   std::string trace_path;   // optional NDJSON trace (--trace / MOCOS_TRACE)
   std::size_t jobs = 1;     // 0 = hardware concurrency
   bool no_incremental = false;  // force full chain solves (A/B verification)
+  bool sparse = false;          // force the sparse chain solver (kOn)
 };
 
 CliArgs parse_args(const std::vector<std::string>& args) {
@@ -174,6 +194,8 @@ CliArgs parse_args(const std::vector<std::string>& args) {
       parsed.trace_path = value("--trace");
     } else if (a == "--no-incremental") {
       parsed.no_incremental = true;
+    } else if (a == "--sparse") {
+      parsed.sparse = true;
     } else if (!a.empty() && a[0] == '-') {
       throw std::invalid_argument("unknown flag: " + a);
     } else if (parsed.config_path.empty()) {
@@ -196,6 +218,7 @@ core::Problem build_problem(const util::Config& config) {
   const double speed = config.get_double("speed", 1.0);
   const double pause = config.get_double("pause", 1.0);
   const double radius = config.get_double("radius", 0.25);
+  const double support_radius = config.get_double("support_radius", 0.0);
 
   auto obstacles = parse_obstacles(config);
   if (obstacles.empty()) {
@@ -203,8 +226,13 @@ core::Problem build_problem(const util::Config& config) {
     physics.speed = speed;
     physics.pause = pause;
     physics.sensing_radius = radius;
+    physics.support_radius = support_radius;
     return core::Problem(std::move(topology), physics, weights);
   }
+  if (support_radius > 0.0)
+    throw std::invalid_argument(
+        "support_radius: not supported with obstacles (support restriction "
+        "is only wired through the straight-line motion model)");
   const double clearance = config.get_double("clearance", 1e-3);
   return core::Problem(
       std::make_unique<sensing::RoutedTravelModel>(
@@ -310,10 +338,23 @@ int run_cli_impl(const CliArgs& cli, std::ostream& out, std::ostream& err) {
   // (not only set when true) so consecutive in-process run_cli calls do not
   // leak the escape hatch into each other.
   markov::force_disable_incremental(cli.no_incremental);
+  markov::force_sparse_mode(cli.sparse ? markov::SparseMode::kOn
+                                       : markov::SparseMode::kAuto);
   try {
     if (!cli.batch_spec.empty()) return run_batch_mode(cli, out, err);
 
     const util::Config config = util::Config::parse_file(cli.config_path);
+    // The `sparse` config key mirrors --sparse (which wins when given);
+    // MOCOS_NO_SPARSE overrides both inside the gate itself.
+    if (!cli.sparse) {
+      const std::string sparse = config.get_string("sparse", "auto");
+      if (sparse == "on")
+        markov::force_sparse_mode(markov::SparseMode::kOn);
+      else if (sparse == "off")
+        markov::force_sparse_mode(markov::SparseMode::kOff);
+      else if (sparse != "auto")
+        throw std::invalid_argument("sparse: must be auto, on or off");
+    }
     const core::Problem problem = build_problem(config);
     const runtime::ExecutionContext ctx(cli.jobs);
 
@@ -362,8 +403,16 @@ int run_cli_impl(const CliArgs& cli, std::ostream& out, std::ostream& err) {
       return kExitNumericalFailure;
     }
     out << outcome.summary() << '\n';
-    out << "transition matrix:\n"
-        << outcome.p.matrix().to_string(4) << "\n";
+    // City-scale matrices would dump megabytes of text; keep the full print
+    // for the paper-sized maps and point large runs at save_schedule.
+    if (problem.num_pois() <= 64) {
+      out << "transition matrix:\n"
+          << outcome.p.matrix().to_string(4) << "\n";
+    } else {
+      out << "transition matrix: " << problem.num_pois() << "x"
+          << problem.num_pois()
+          << " (print suppressed; use save_schedule to export)\n";
+    }
 
     const std::string save_path = config.get_string("save_schedule", "");
     if (!save_path.empty()) {
@@ -465,7 +514,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   } catch (const std::invalid_argument& e) {
     err << "mocos: " << e.what() << '\n'
         << "usage: mocos_cli [--jobs N] [--summary FILE] [--no-incremental]\n"
-           "                 [--metrics FILE] [--trace FILE] "
+           "                 [--sparse] [--metrics FILE] [--trace FILE] "
            "(<config-file> | --batch <dir-or-list>)\n"
            "see src/cli/cli.hpp for the config format\n";
     return kExitBadConfig;

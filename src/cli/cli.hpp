@@ -15,10 +15,16 @@ namespace mocos::cli {
 
 /// Builds a Problem from a parsed config. Recognized keys:
 ///
-///   topology  = grid:RxC | points:x,y;x,y;...     (required)
+///   topology  = grid:RxC | points:x,y;x,y;... | city:N[:seed]   (required;
+///               city: = seeded jittered-grid map for city-scale runs, with
+///               its own random targets unless `targets` is set)
 ///   targets   = t1,t2,...                          (default: uniform)
-///   cell      = <double>                           (grid cell size, def. 1)
+///   cell      = <double>                           (grid/city cell size, def. 1)
 ///   speed, pause, radius                           (physics; defaults 1/1/.25)
+///   support_radius = <double>  (when > 0: restrict transitions to PoI pairs
+///               within this travel distance and build the coverage tensors
+///               sparsely over that support — required to go past M ≈ 500,
+///               where the dense O(M³) tensors stop fitting in memory)
 ///   alpha, beta, epsilon                           (objective weights)
 ///   energy_gamma, energy_target, entropy_weight    (§VII extensions)
 ///   obstacle  = rect:minx,miny,maxx,maxy | poly:x,y;x,y;...   (repeatable;
@@ -43,6 +49,10 @@ core::Problem build_problem(const util::Config& config);
 ///                             full O(M³) solves for A/B verification —
 ///                             also reachable via --no-incremental or the
 ///                             MOCOS_NO_INCREMENTAL environment variable)
+///   sparse     = auto | on | off   (chain-solver selection: auto gates on
+///                             size/density, on forces the sparse path, off
+///                             forces dense; the --sparse flag wins over the
+///                             key and MOCOS_NO_SPARSE wins over everything)
 ///
 /// Shared by the single-run CLI and the batch runner.
 core::OptimizationOutcome run_optimization(const util::Config& config,
@@ -82,9 +92,10 @@ core::OptimizationOutcome run_optimization(const util::Config& config,
 
 /// Runs the full CLI. Usage:
 ///
-///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] <config-file>
-///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] --batch
-///             <dir-or-list>
+///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] [--sparse]
+///             <config-file>
+///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] [--sparse]
+///             --batch <dir-or-list>
 ///
 /// Single mode parses the config file, optimizes, and prints the outcome
 /// (plus an optional validation simulation when `simulate = <transitions>`

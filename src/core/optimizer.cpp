@@ -65,6 +65,12 @@ OptimizationOutcome CoverageOptimizer::run(
                   std::move(ms.best.recovery), ms.best.chain_stats);
   }
   util::Rng rng(options_.seed);
+  // A support-restricted problem must start on its support: the sparse
+  // coverage tensors only store entries over the support, so a dense start
+  // would put probability on transitions whose coverage was never computed
+  // (and would defeat the sparse chain solver besides).
+  if (!problem_.support().empty())
+    return run(descent::support_uniform_start(problem_.support()));
   const markov::TransitionMatrix start =
       options_.random_start ? descent::random_start(problem_.num_pois(), rng)
                             : descent::uniform_start(problem_.num_pois());

@@ -10,9 +10,22 @@
 #include "src/cost/entropy_term.hpp"
 #include "src/cost/exposure_term.hpp"
 #include "src/cost/information_term.hpp"
+#include "src/geometry/city_topology.hpp"
 #include "src/markov/fundamental.hpp"
 
 namespace mocos::core {
+
+namespace {
+sensing::CoverageTensors make_tensors(const sensing::MotionModel& model,
+                                      const Physics& physics) {
+  if (physics.support_radius > 0.0)
+    return sensing::CoverageTensors(
+        model,
+        geometry::radius_neighbors(model.topology(), physics.support_radius),
+        physics.sensing_radius);
+  return sensing::CoverageTensors(model);
+}
+}  // namespace
 
 Problem::Problem(geometry::Topology topology, Physics physics, Weights weights)
     : physics_(physics),
@@ -20,7 +33,7 @@ Problem::Problem(geometry::Topology topology, Physics physics, Weights weights)
       model_(std::make_unique<sensing::TravelModel>(
           std::move(topology), physics.speed, physics.pause,
           physics.sensing_radius)),
-      tensors_(*model_) {}
+      tensors_(make_tensors(*model_, physics_)) {}
 
 Problem::Problem(std::unique_ptr<sensing::MotionModel> model, Weights weights)
     : weights_(weights),
@@ -58,6 +71,10 @@ std::vector<double> resolve_weights(double scalar,
 
 cost::CompositeCost Problem::make_cost() const {
   cost::CompositeCost u;
+  if (tensors_.sparse() && !weights_.event_rates.empty())
+    throw std::invalid_argument(
+        "Problem: the information-capture objective needs the dense per-PoI "
+        "coverage matrices and cannot be combined with support_radius > 0");
   const auto alphas = resolve_weights(weights_.alpha, weights_.alpha_per_poi,
                                       num_pois(), "alpha");
   if (!alphas.empty())

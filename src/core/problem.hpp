@@ -36,6 +36,12 @@ struct Physics {
   double speed = 1.0;
   double pause = 1.0;
   double sensing_radius = 0.25;
+  /// When > 0, restrict the chain's support to PoI pairs within this travel
+  /// distance (plus the self loop) and build the coverage tensors sparsely
+  /// over that support — the O(M³) → O(M²·local) memory reduction that makes
+  /// city-scale (M ≥ 1024) problems representable. 0 keeps the original
+  /// dense, fully-connected behavior.
+  double support_radius = 0.0;
 };
 
 /// A complete problem instance: where the PoIs are, what the target coverage
@@ -58,6 +64,12 @@ class Problem {
   }
   const Weights& weights() const { return weights_; }
   const Physics& physics() const { return physics_; }
+
+  /// The support adjacency (sorted, self included) when support_radius > 0;
+  /// empty for dense problems.
+  const std::vector<std::vector<std::size_t>>& support() const {
+    return tensors_.support();
+  }
 
   /// Builds the penalized multi-objective cost U_ε for these weights. The
   /// returned cost owns copies of everything it needs and outlives the

@@ -49,7 +49,15 @@ double BarrierTerm::value(const markov::ChainAnalysis& chain) const {
   double u = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      u += entry_value(chain.p(i, j));
+      const double p = chain.p(i, j);
+      // Exact zeros are the structural zeros of a support-restricted chain:
+      // the descent holds them at zero (support-masked projection +
+      // zero-preserving steps), so they sit outside the barrier's domain
+      // rather than on its boundary. entry_value(0) itself stays +inf — the
+      // right answer for a *probed* zero on a dense chain.
+      // mocos-lint: allow(float-eq)
+      if (p == 0.0) continue;
+      u += entry_value(p);
       if (std::isinf(u)) return u;
     }
   }
@@ -59,9 +67,16 @@ double BarrierTerm::value(const markov::ChainAnalysis& chain) const {
 void BarrierTerm::accumulate_partials(const markov::ChainAnalysis& chain,
                                       Partials& out) const {
   const std::size_t n = chain.p.size();
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      out.du_dp(i, j) += entry_derivative(chain.p(i, j));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p = chain.p(i, j);
+      // Structural zeros carry no barrier gradient (see value() above);
+      // entry_derivative would throw for them by design.
+      // mocos-lint: allow(float-eq)
+      if (p == 0.0) continue;
+      out.du_dp(i, j) += entry_derivative(p);
+    }
+  }
 }
 
 }  // namespace mocos::cost

@@ -21,7 +21,11 @@ linalg::Matrix cost_gradient(const CompositeCost& cost,
 
 linalg::Matrix projected_cost_gradient(const CompositeCost& cost,
                                        const markov::ChainAnalysis& chain) {
-  return project_row_sum_zero(cost_gradient(cost, chain));
+  // The support-masked projection keeps the structural zeros of a
+  // support-restricted chain at zero; for strictly positive chains it is
+  // bit-identical to project_row_sum_zero.
+  return project_row_sum_zero_on_support(cost_gradient(cost, chain),
+                                         chain.p.matrix());
 }
 
 linalg::Matrix cost_gradient(const CompositeCost& cost,
@@ -36,7 +40,8 @@ linalg::Matrix projected_cost_gradient(const CompositeCost& cost,
   if (!cache.has_state())
     throw std::logic_error(
         "projected_cost_gradient: ChainSolveCache has no state");
-  return project_row_sum_zero(cost_gradient(cost, cache.analysis()));
+  return project_row_sum_zero_on_support(cost_gradient(cost, cache.analysis()),
+                                         cache.analysis().p.matrix());
 }
 
 }  // namespace mocos::cost

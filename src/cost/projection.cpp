@@ -16,6 +16,31 @@ linalg::Matrix project_row_sum_zero(const linalg::Matrix& grad) {
   return out;
 }
 
+linalg::Matrix project_row_sum_zero_on_support(const linalg::Matrix& grad,
+                                               const linalg::Matrix& p) {
+  linalg::Matrix out(grad.rows(), grad.cols());
+  for (std::size_t i = 0; i < grad.rows(); ++i) {
+    double mean = 0.0;
+    std::size_t support = 0;
+    for (std::size_t j = 0; j < grad.cols(); ++j) {
+      // Exact on purpose: structural zeros of a support-restricted chain are
+      // exact 0s by construction; near-zeros are live probabilities.
+      // mocos-lint: allow(float-eq)
+      if (p(i, j) == 0.0) continue;
+      mean += grad(i, j);
+      ++support;
+    }
+    if (support == 0) continue;  // all-zero row: leave the projection at 0
+    mean /= static_cast<double>(support);
+    for (std::size_t j = 0; j < grad.cols(); ++j) {
+      // mocos-lint: allow(float-eq)
+      if (p(i, j) == 0.0) continue;
+      out(i, j) = grad(i, j) - mean;
+    }
+  }
+  return out;
+}
+
 double max_abs_row_sum(const linalg::Matrix& m) {
   double best = 0.0;
   for (std::size_t i = 0; i < m.rows(); ++i) {

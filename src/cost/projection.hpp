@@ -14,6 +14,15 @@ namespace mocos::cost {
 /// entrywise bounds (handled by descent/step_bounds).
 linalg::Matrix project_row_sum_zero(const linalg::Matrix& grad);
 
+/// Support-masked variant: per row, the mean is taken over the entries where
+/// p(i,j) != 0 (the support of a support-restricted chain) and off-support
+/// entries of the result are forced to exactly 0, so a step along the
+/// projected direction never re-opens a structurally-zero transition. For a
+/// strictly positive `p` this reduces to project_row_sum_zero bit-for-bit
+/// (same summation order, same divisor).
+linalg::Matrix project_row_sum_zero_on_support(const linalg::Matrix& grad,
+                                               const linalg::Matrix& p);
+
 /// Max-abs row-sum — used by tests to assert the projection's invariant and
 /// by the descent loop to detect drift that would need re-normalization.
 double max_abs_row_sum(const linalg::Matrix& m);

@@ -55,6 +55,7 @@ util::StatusOr<const markov::ChainAnalysis*> CachedCostEvaluator::analyze(
 void record_cache_metrics(const markov::ChainSolveCache::Stats& stats) {
   if (obs::current_metrics() == nullptr) return;
   obs::count("chain_cache.full_solves", stats.full_solves);
+  obs::count("chain_cache.sparse_full_solves", stats.sparse_full_solves);
   obs::count("chain_cache.exact_hits", stats.exact_hits);
   obs::count("chain_cache.row_updates", stats.incremental_row_updates);
   obs::count("chain_cache.denominator_fallbacks",

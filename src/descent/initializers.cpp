@@ -10,6 +10,27 @@ markov::TransitionMatrix uniform_start(std::size_t n) {
   return markov::TransitionMatrix::uniform(n);
 }
 
+markov::TransitionMatrix support_uniform_start(
+    const std::vector<std::vector<std::size_t>>& support) {
+  const std::size_t n = support.size();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool has_self = false;
+    for (std::size_t j : support[i]) {
+      if (j >= n)
+        throw std::invalid_argument(
+            "support_uniform_start: support index out of range");
+      if (j == i) has_self = true;
+    }
+    if (!has_self)
+      throw std::invalid_argument(
+          "support_uniform_start: row support must include the self loop");
+    const double u = 1.0 / static_cast<double>(support[i].size());
+    for (std::size_t j : support[i]) m(i, j) = u;
+  }
+  return markov::TransitionMatrix(std::move(m));
+}
+
 markov::TransitionMatrix random_start(std::size_t n, util::Rng& rng) {
   constexpr int kMaxTries = 64;
   for (int t = 0; t < kMaxTries; ++t) {

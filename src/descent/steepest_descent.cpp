@@ -54,6 +54,11 @@ markov::TransitionMatrix apply_step(const markov::TransitionMatrix& p,
   for (std::size_t i = 0; i < n; ++i) {
     double row_sum = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
+      // Structural zeros of a support-restricted chain stay exactly zero:
+      // the support-masked gradient projection gives them a zero direction,
+      // and clamping them up to `margin` would silently densify the chain.
+      // mocos-lint: allow(float-eq)
+      if (p(i, j) == 0.0 && v(i, j) == 0.0) continue;
       const double x =
           std::clamp(p(i, j) + t * v(i, j), margin, 1.0 - margin);
       m(i, j) = x;

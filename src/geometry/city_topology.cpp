@@ -1,0 +1,90 @@
+#include "src/geometry/city_topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/rng.hpp"
+
+namespace mocos::geometry {
+
+Topology city_topology(const CityConfig& config) {
+  if (config.count < 2)
+    throw std::invalid_argument("city_topology: count < 2");
+  if (config.spacing <= 0.0)
+    throw std::invalid_argument("city_topology: non-positive spacing");
+  const double jitter =
+      std::clamp(config.jitter, 0.0, 0.35) * config.spacing;
+
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.count))));
+  util::Rng rng(config.seed);
+  std::vector<Vec2> pts;
+  pts.reserve(config.count);
+  for (std::size_t k = 0; k < config.count; ++k) {
+    const std::size_t row = k / side;
+    const std::size_t col = k % side;
+    pts.push_back(
+        {(static_cast<double>(col) + 0.5) * config.spacing +
+             rng.uniform(-jitter, jitter),
+         (static_cast<double>(row) + 0.5) * config.spacing +
+             rng.uniform(-jitter, jitter)});
+  }
+
+  std::vector<double> weights;
+  weights.reserve(config.count);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    weights.push_back(0.2 + rng.uniform());
+    sum += weights.back();
+  }
+  for (double& w : weights) w /= sum;
+  return Topology("city" + std::to_string(config.count), std::move(pts),
+                  std::move(weights));
+}
+
+std::vector<std::vector<std::size_t>> radius_neighbors(
+    const Topology& topology, double radius) {
+  if (!(radius > 0.0))
+    throw std::invalid_argument("radius_neighbors: non-positive radius");
+  const std::size_t n = topology.size();
+  const auto& pts = topology.positions();
+
+  // Spatial hash with radius-sized cells: any neighbour within `radius`
+  // lives in the 3×3 cell patch around a PoI's own cell.
+  auto cell_of = [&](const Vec2& p) {
+    return std::pair<std::int64_t, std::int64_t>{
+        static_cast<std::int64_t>(std::floor(p.x / radius)),
+        static_cast<std::int64_t>(std::floor(p.y / radius))};
+  };
+  auto key_of = [](std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(cx) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(pts[i]);
+    grid[key_of(cx, cy)].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> neighbors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(pts[i]);
+    auto& list = neighbors[i];
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = grid.find(key_of(cx + dx, cy + dy));
+        if (it == grid.end()) continue;
+        for (std::size_t j : it->second)
+          if (distance(pts[i], pts[j]) <= radius) list.push_back(j);
+      }
+    }
+    std::sort(list.begin(), list.end());
+  }
+  return neighbors;
+}
+
+}  // namespace mocos::geometry

@@ -4,7 +4,10 @@
 
 #include "src/linalg/lu.hpp"
 #include "src/markov/passage_times.hpp"
+#include "src/markov/sparse_mode.hpp"
 #include "src/markov/stationary.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/partition/block_solver.hpp"
 #include "src/util/guard.hpp"
 
 namespace mocos::markov {
@@ -59,6 +62,29 @@ util::StatusOr<ChainAnalysis> try_analyze_chain(const TransitionMatrix& p,
                                                 StationarySolver solver) {
   util::Status input = util::check_row_stochastic(p.matrix());
   if (!input.is_ok()) return input;
+
+  // Sparsity-aware path (CSR resolvent + block decomposition). Only the
+  // primary solver selection dispatches here — a caller already demoted to
+  // the power-iteration rung is recovering from a failure and should get
+  // the plain dense pipeline. Any sparse failure falls through to dense, so
+  // this dispatch never introduces a new failure mode.
+  if (solver == StationarySolver::kDirect && sparse_path_enabled(p.matrix())) {
+    partition::SparseSolveStats sparse_stats;
+    util::StatusOr<ChainAnalysis> sparse_result =
+        partition::try_sparse_analyze_chain(p, {}, {}, &sparse_stats);
+    if (sparse_result.ok()) {
+      obs::count("markov.sparse.solves");
+      obs::gauge_set("markov.sparse.bandwidth",
+                     static_cast<double>(sparse_stats.bandwidth));
+      obs::gauge_set("markov.sparse.blocks",
+                     static_cast<double>(sparse_stats.blocks));
+      obs::gauge_set("markov.sparse.ad_sweeps",
+                     static_cast<double>(sparse_stats.ad_sweeps));
+      obs::gauge_set("markov.sparse.pi_gap", sparse_stats.pi_gap);
+      return sparse_result;
+    }
+    obs::count("markov.sparse.fallbacks");
+  }
 
   util::StatusOr<linalg::Vector> pi = try_stationary_distribution(p, solver);
   if (!pi.ok()) return pi.status();

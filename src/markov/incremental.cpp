@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "src/markov/passage_times.hpp"
+#include "src/markov/sparse_mode.hpp"
 #include "src/markov/stationary.hpp"
 #include "src/obs/trace.hpp"
+#include "src/partition/block_solver.hpp"
+#include "src/sparse/sparse_matrix.hpp"
 #include "src/util/fault_injection.hpp"
 #include "src/util/guard.hpp"
 
@@ -89,16 +92,38 @@ util::Status ChainSolveCache::reset(const TransitionMatrix& p) {
     return util::Status::ok();
   }
 
-  util::StatusOr<linalg::LuDecomposition> lu =
-      linalg::LuDecomposition::try_factor(resolvent_system(p_mat_));
-  if (!lu.ok()) return lu.status();
-  g_ = lu->inverse();
-  util::Status finite = util::check_finite(g_, "resolvent G");
-  if (!finite.is_ok()) {
-    g_ = linalg::Matrix();
-    return finite;
+  bool sparse_built = false;
+  if (sparse_path_enabled(p_mat_)) {
+    // Sparse rebuild: the resolvent ladder produces the same G the dense
+    // factorization would (agreement bounded by conditioning, well inside
+    // the 1e-10 parity contract); the Sherman–Morrison row updates then
+    // operate on it exactly as on a dense-built G. Failure falls through to
+    // the dense factorization — never a new failure mode.
+    const sparse::SparseMatrix sp = sparse::SparseMatrix::from_dense(p_mat_);
+    const std::size_t n = p_mat_.rows();
+    const linalg::Vector c(n, 1.0 / static_cast<double>(n));
+    util::StatusOr<linalg::Matrix> sparse_g =
+        partition::try_sparse_resolvent(sp, c);
+    if (sparse_g.ok() && util::all_finite(*sparse_g)) {
+      g_ = std::move(*sparse_g);
+      sparse_built = true;
+      ++stats_.sparse_full_solves;
+    } else {
+      note_fallback("sparse-reset");
+    }
   }
-  lu_ = std::move(*lu);
+  if (!sparse_built) {
+    util::StatusOr<linalg::LuDecomposition> lu =
+        linalg::LuDecomposition::try_factor(resolvent_system(p_mat_));
+    if (!lu.ok()) return lu.status();
+    g_ = lu->inverse();
+    util::Status finite = util::check_finite(g_, "resolvent G");
+    if (!finite.is_ok()) {
+      g_ = linalg::Matrix();
+      return finite;
+    }
+    lu_ = std::move(*lu);
+  }
 
   util::Status derived = derive_from_resolvent(p);
   if (!derived.is_ok()) {

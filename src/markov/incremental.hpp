@@ -89,8 +89,10 @@ class ChainSolveCache {
   /// requires has_state().
   [[nodiscard]] const linalg::Matrix& a_sharp() const { return a_sharp_; }
 
-  /// LU factors of the resolvent system from the most recent full
-  /// factorization (empty when the full-solve A/B path is active).
+  /// LU factors of the resolvent system from the most recent full *dense*
+  /// factorization (empty when the full-solve A/B path is active or when the
+  /// last rebuild went through the sparse resolvent ladder, which produces
+  /// G without dense LU factors).
   [[nodiscard]] const std::optional<linalg::LuDecomposition>& lu() const {
     return lu_;
   }
@@ -98,6 +100,8 @@ class ChainSolveCache {
   /// Counters for tests, benches, and the CLI recovery log.
   struct Stats {
     std::size_t full_solves = 0;            // reset() completions
+    std::size_t sparse_full_solves = 0;     // subset of full_solves whose G
+                                            // came from the sparse ladder
     std::size_t exact_hits = 0;             // update() with zero changed rows
                                             // (re-probe of the cached iterate)
     std::size_t incremental_row_updates = 0;
@@ -109,6 +113,7 @@ class ChainSolveCache {
     /// several caches — e.g. the stochastic phase and its quench polish).
     void add(const Stats& other) {
       full_solves += other.full_solves;
+      sparse_full_solves += other.sparse_full_solves;
       exact_hits += other.exact_hits;
       incremental_row_updates += other.incremental_row_updates;
       denominator_fallbacks += other.denominator_fallbacks;
@@ -123,6 +128,7 @@ class ChainSolveCache {
     [[nodiscard]] Stats delta_since(const Stats& baseline) const {
       Stats d;
       d.full_solves = full_solves - baseline.full_solves;
+      d.sparse_full_solves = sparse_full_solves - baseline.sparse_full_solves;
       d.exact_hits = exact_hits - baseline.exact_hits;
       d.incremental_row_updates =
           incremental_row_updates - baseline.incremental_row_updates;

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::markov {
+
+/// Selection policy for the sparse chain-analysis path (CSR resolvent +
+/// block decomposition, src/sparse/ + src/partition/).
+enum class SparseMode {
+  kAuto,  // size/density heuristic decides per chain (the default)
+  kOn,    // force the sparse path wherever it is defined (M >= 8)
+  kOff,   // dense pipeline only
+};
+
+/// Process-wide override set by the CLI (--sparse / `sparse = ...` config
+/// key). kAuto until forced.
+void force_sparse_mode(SparseMode mode);
+[[nodiscard]] SparseMode sparse_mode();
+
+/// True when the MOCOS_NO_SPARSE environment variable is set (to anything
+/// but "0"/"false"/"off"/"") — the A/B escape hatch mirroring
+/// MOCOS_NO_INCREMENTAL: it wins over any forced mode, so a bit-level dense
+/// reference run never needs a rebuild or flag plumbing.
+[[nodiscard]] bool sparse_globally_disabled();
+
+/// The gate every sparsity-aware entry point consults: should chain `p` go
+/// through the sparse analysis?
+///  - MOCOS_NO_SPARSE set → never;
+///  - forced kOff → never; forced kOn → whenever M >= 8;
+///  - kAuto → M >= 192 and density(P) <= 0.25: below that size the dense
+///    O(M³) pipeline is already microseconds and the sparse machinery is
+///    pure overhead (and existing small-map flows stay byte-identical).
+[[nodiscard]] bool sparse_path_enabled(const linalg::Matrix& p);
+
+/// The kAuto thresholds, exposed for tests and the docs.
+inline constexpr std::size_t kSparseAutoMinSize = 192;
+inline constexpr double kSparseAutoMaxDensity = 0.25;
+inline constexpr std::size_t kSparseForcedMinSize = 8;
+
+}  // namespace mocos::markov

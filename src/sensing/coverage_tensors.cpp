@@ -1,20 +1,28 @@
 #include "src/sensing/coverage_tensors.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/geometry/city_topology.hpp"
 
 namespace mocos::sensing {
 
-CoverageTensors::CoverageTensors(const MotionModel& model) {
+void CoverageTensors::build_dense_matrices(const MotionModel& model) {
   const std::size_t n = model.num_pois();
   durations_ = linalg::Matrix(n, n);
   distances_ = linalg::Matrix(n, n);
-  coverage_.reserve(n);
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t k = 0; k < n; ++k) {
       durations_(j, k) = model.transition_duration(j, k);
       distances_(j, k) = model.travel_distance(j, k);
     }
   }
+}
+
+CoverageTensors::CoverageTensors(const MotionModel& model) {
+  const std::size_t n = model.num_pois();
+  build_dense_matrices(model);
+  coverage_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     linalg::Matrix cov(n, n);
     for (std::size_t j = 0; j < n; ++j)
@@ -24,14 +32,82 @@ CoverageTensors::CoverageTensors(const MotionModel& model) {
   }
 }
 
+CoverageTensors::CoverageTensors(
+    const MotionModel& model,
+    const std::vector<std::vector<std::size_t>>& support,
+    double coverage_reach)
+    : sparse_(true), support_(support) {
+  const std::size_t n = model.num_pois();
+  if (support_.size() != n)
+    throw std::invalid_argument("CoverageTensors: support size mismatch");
+  if (!(coverage_reach > 0.0))
+    throw std::invalid_argument(
+        "CoverageTensors: non-positive coverage reach");
+  build_dense_matrices(model);
+  entries_.resize(n);
+
+  // A PoI covered during j -> k sits within `coverage_reach` of some route
+  // point, hence within route_length + reach of j. One neighbour sweep at
+  // the largest such radius gives sound per-source candidate lists, so the
+  // O(M) scan of all PoIs per transition collapses to O(local density).
+  double max_radius = coverage_reach;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k : support_[j])
+      max_radius = std::max(max_radius,
+                            model.travel_distance(j, k) + coverage_reach);
+  const std::vector<std::vector<std::size_t>> candidates =
+      geometry::radius_neighbors(model.topology(), max_radius);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k : support_[j]) {
+      if (k >= n)
+        throw std::invalid_argument(
+            "CoverageTensors: support index out of range");
+      for (std::size_t i : candidates[j]) {
+        const double v = model.coverage_during(j, k, i);
+        // Exact on purpose: absent coverage is an exact 0 by the model
+        // conventions; thresholding would drop real (small) coverage.
+        // mocos-lint: allow(float-eq)
+        if (v != 0.0) entries_[i].push_back({j, k, v});
+      }
+    }
+  }
+  // Ascending (j, k) per PoI: the support lists are sorted but the outer
+  // iteration appends per source PoI, which already yields (j, k) order.
+  for (auto& list : entries_) {
+    std::sort(list.begin(), list.end(),
+              [](const CoverageEntry& a, const CoverageEntry& b) {
+                return a.j != b.j ? a.j < b.j : a.k < b.k;
+              });
+  }
+}
+
 const linalg::Matrix& CoverageTensors::coverage_of(std::size_t i) const {
+  if (sparse_)
+    throw std::logic_error(
+        "CoverageTensors::coverage_of: dense per-PoI matrices are not "
+        "materialized in sparse mode; use coverage_entries()");
   if (i >= coverage_.size())
     throw std::out_of_range("CoverageTensors::coverage_of");
   return coverage_[i];
 }
 
+const std::vector<CoverageEntry>& CoverageTensors::coverage_entries(
+    std::size_t i) const {
+  if (!sparse_)
+    throw std::logic_error(
+        "CoverageTensors::coverage_entries: only available in sparse mode");
+  if (i >= entries_.size())
+    throw std::out_of_range("CoverageTensors::coverage_entries");
+  return entries_[i];
+}
+
 std::vector<linalg::Matrix> CoverageTensors::deviation_kernels(
     const std::vector<double>& targets) const {
+  if (sparse_)
+    throw std::logic_error(
+        "CoverageTensors::deviation_kernels: O(M^3) kernels are not "
+        "available in sparse mode");
   const std::size_t n = num_pois();
   if (targets.size() != n)
     throw std::invalid_argument("deviation_kernels: target size mismatch");

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
@@ -7,24 +8,66 @@
 
 namespace mocos::sensing {
 
+/// One stored coverage value T_jk,i of a sparse coverage tensor: PoI i is
+/// covered for `value` time units during the transition j -> k.
+struct CoverageEntry {
+  std::size_t j = 0;
+  std::size_t k = 0;
+  double value = 0.0;
+};
+
 /// Precomputed physical-time tensors of §III-A, built once per problem:
 ///
 ///   durations(j,k)   = T_jk    (travel j->k + pause at k; T_jj = P_j)
 ///   coverage[i](j,k) = T_jk,i  (time PoI i is covered during j->k)
 ///
-/// The cost function and its gradient touch these in O(M^2) inner loops, so
-/// they are materialized as dense matrices rather than recomputed from
-/// geometry on every optimizer iteration.
+/// Two storage modes:
+///  - dense (the original): one n×n coverage matrix per PoI — O(M³) memory,
+///    exact for every transition. The cost function and its gradient touch
+///    these in O(M²) inner loops, so they are materialized rather than
+///    recomputed from geometry on every optimizer iteration.
+///  - sparse (city-scale): coverage restricted to a support adjacency (the
+///    transitions a support-restricted chain can actually take), stored as
+///    per-PoI entry lists — O(support · coverage) memory, which is what
+///    makes M = 1024+ problems buildable at all. Durations and distances
+///    stay dense (O(M²)).
 class CoverageTensors {
  public:
   explicit CoverageTensors(const MotionModel& model);
 
+  /// Sparse mode. `support[j]` lists the destinations k reachable from j
+  /// (self included); coverage entries are computed only for those
+  /// transitions. `coverage_reach` must upper-bound the distance from any
+  /// point of a route at which a PoI can still be collecting coverage (the
+  /// sensing radius for disc sensing) — it prunes the candidate PoIs per
+  /// transition without dropping any true entry.
+  CoverageTensors(const MotionModel& model,
+                  const std::vector<std::vector<std::size_t>>& support,
+                  double coverage_reach);
+
   std::size_t num_pois() const { return durations_.rows(); }
   const linalg::Matrix& durations() const { return durations_; }
+
+  /// True when coverage is stored as sparse entry lists.
+  bool sparse() const { return sparse_; }
+
+  /// Dense per-PoI coverage matrix; requires !sparse() (throws
+  /// std::logic_error otherwise — city-scale problems must use the entry
+  /// lists, materializing O(M³) matrices is exactly what sparse mode avoids).
   const linalg::Matrix& coverage_of(std::size_t i) const;
 
+  /// Sparse coverage entries of PoI i, sorted by (j, k); requires sparse().
+  const std::vector<CoverageEntry>& coverage_entries(std::size_t i) const;
+
+  /// The support adjacency the sparse tensors were built over (empty in
+  /// dense mode).
+  const std::vector<std::vector<std::size_t>>& support() const {
+    return support_;
+  }
+
   /// B^i_jk = T_jk,i - Φ_i T_jk — the coverage-deviation kernel of Eq. 4/12,
-  /// precomputed per PoI for the given target allocation.
+  /// precomputed per PoI for the given target allocation. Dense mode only
+  /// (sparse consumers combine coverage_entries with durations() instead).
   std::vector<linalg::Matrix> deviation_kernels(
       const std::vector<double>& targets) const;
 
@@ -32,9 +75,14 @@ class CoverageTensors {
   const linalg::Matrix& distances() const { return distances_; }
 
  private:
+  void build_dense_matrices(const MotionModel& model);
+
   linalg::Matrix durations_;
-  std::vector<linalg::Matrix> coverage_;
+  std::vector<linalg::Matrix> coverage_;  // dense mode
   linalg::Matrix distances_;
+  bool sparse_ = false;
+  std::vector<std::vector<CoverageEntry>> entries_;      // sparse mode
+  std::vector<std::vector<std::size_t>> support_;        // sparse mode
 };
 
 }  // namespace mocos::sensing

@@ -1,0 +1,153 @@
+#include "src/sparse/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mocos::sparse {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> entries) {
+  for (const Triplet& t : entries) {
+    if (t.row >= rows || t.col >= cols)
+      throw std::invalid_argument(
+          "SparseMatrix::from_triplets: index (" + std::to_string(t.row) +
+          ", " + std::to_string(t.col) + ") out of range");
+    if (!std::isfinite(t.value))
+      throw std::invalid_argument(
+          "SparseMatrix::from_triplets: non-finite value");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(rows + 1, 0);
+  m.col_indices_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r] = m.values_.size();
+    while (i < entries.size() && entries[i].row == r) {
+      const std::size_t c = entries[i].col;
+      double v = 0.0;
+      while (i < entries.size() && entries[i].row == r &&
+             entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      // Exact on purpose: dropping only literal zeros keeps the dense
+      // round-trip exact; near-zeros are genuine structure.
+      // mocos-lint: allow(float-eq)
+      if (v != 0.0) {
+        m.col_indices_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+  }
+  m.row_offsets_[rows] = m.values_.size();
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const linalg::Matrix& d,
+                                      double drop_tol) {
+  SparseMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  m.row_offsets_.assign(m.rows_ + 1, 0);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    m.row_offsets_[i] = m.values_.size();
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      const double v = d(i, j);
+      if (!std::isfinite(v))
+        throw std::invalid_argument("SparseMatrix::from_dense: non-finite");
+      if (std::abs(v) > drop_tol) {
+        m.col_indices_.push_back(j);
+        m.values_.push_back(v);
+      }
+    }
+  }
+  m.row_offsets_[m.rows_] = m.values_.size();
+  return m;
+}
+
+linalg::Matrix SparseMatrix::to_dense() const {
+  linalg::Matrix d(rows_, cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e)
+      d(i, col_indices_[e]) = values_[e];
+  return d;
+}
+
+double SparseMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("SparseMatrix::at");
+  const auto begin = col_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+void SparseMatrix::matvec(const linalg::Vector& x, linalg::Vector& y) const {
+  if (x.size() != cols_)
+    throw std::invalid_argument("SparseMatrix::matvec: size mismatch");
+  y.assign(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e)
+      acc += values_[e] * x[col_indices_[e]];
+    y[i] = acc;
+  }
+}
+
+linalg::Vector SparseMatrix::matvec(const linalg::Vector& x) const {
+  linalg::Vector y;
+  matvec(x, y);
+  return y;
+}
+
+void SparseMatrix::transpose_matvec(const linalg::Vector& x,
+                                    linalg::Vector& y) const {
+  if (x.size() != rows_)
+    throw std::invalid_argument(
+        "SparseMatrix::transpose_matvec: size mismatch");
+  y.assign(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    // mocos-lint: allow(float-eq)
+    if (xi == 0.0) continue;  // exact: skipping a zero scatter is lossless
+    for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e)
+      y[col_indices_[e]] += values_[e] * xi;
+  }
+}
+
+linalg::Vector SparseMatrix::transpose_matvec(const linalg::Vector& x) const {
+  linalg::Vector y;
+  transpose_matvec(x, y);
+  return y;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  std::vector<Triplet> entries;
+  entries.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e)
+      entries.push_back(Triplet{col_indices_[e], i, values_[e]});
+  return from_triplets(cols_, rows_, std::move(entries));
+}
+
+}  // namespace mocos::sparse

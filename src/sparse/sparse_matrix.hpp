@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace mocos::sparse {
+
+/// One (row, col, value) coordinate entry used to assemble a SparseMatrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix for city-scale transition structure.
+///
+/// Invariants (established by every factory and relied on by the kernels):
+///  - row_offsets() has rows()+1 entries, is non-decreasing, and
+///    row_offsets()[rows()] == nnz();
+///  - within each row, column indices are strictly increasing (sorted, no
+///    duplicates — from_triplets sums duplicates during assembly);
+///  - stored values are finite; exact zeros are dropped.
+///
+/// The dense `linalg::Matrix` stays the interchange format of the rest of
+/// the library (TransitionMatrix is dense storage); this type exists for the
+/// solver-side kernels where O(nnz) beats O(M²)/O(M³): matvec,
+/// transpose-matvec, structure analysis (bandwidth orderings, block
+/// partitions) and the sparse resolvent solvers.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from coordinate entries. Duplicate (row, col) pairs are summed;
+  /// pairs whose sum is exactly zero are dropped (matching from_dense, so
+  /// both factories establish the same invariant). Throws
+  /// std::invalid_argument on out-of-range indices or non-finite values.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> entries);
+
+  /// Compresses a dense matrix, dropping entries with |value| <= drop_tol
+  /// (default: only exact zeros are dropped, so the round-trip through
+  /// to_dense() is exact).
+  static SparseMatrix from_dense(const linalg::Matrix& m,
+                                 double drop_tol = 0.0);
+
+  /// Dense round-trip; exact (every stored value is placed verbatim).
+  [[nodiscard]] linalg::Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return rows_ == 0; }
+  /// nnz / (rows*cols); 0 for an empty matrix.
+  [[nodiscard]] double density() const;
+
+  /// CSR storage access for tight loops.
+  [[nodiscard]] const std::vector<std::size_t>& row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_indices() const {
+    return col_indices_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Entry lookup by binary search within the row; 0.0 when not stored.
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// y = A x (sizes must match; y is overwritten).
+  void matvec(const linalg::Vector& x, linalg::Vector& y) const;
+  [[nodiscard]] linalg::Vector matvec(const linalg::Vector& x) const;
+
+  /// y = Aᵀ x. Runs over the CSR rows scattering into y, so it is
+  /// deterministic and needs no transposed copy.
+  void transpose_matvec(const linalg::Vector& x, linalg::Vector& y) const;
+  [[nodiscard]] linalg::Vector transpose_matvec(const linalg::Vector& x) const;
+
+  /// Explicit transpose (CSR of Aᵀ), for kernels that iterate columns.
+  [[nodiscard]] SparseMatrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // rows_+1
+  std::vector<std::size_t> col_indices_;  // nnz
+  std::vector<double> values_;            // nnz
+};
+
+}  // namespace mocos::sparse

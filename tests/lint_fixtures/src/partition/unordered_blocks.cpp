@@ -1,0 +1,27 @@
+// Fixture: the partition scope extension — src/partition/ is inside the
+// determinism scope (block membership and A/D sweep order must be
+// bit-identical at any --jobs count, so folds over unordered containers
+// are banned) and the raw-solver scope (the block solver's dense-fallback
+// contract requires the guarded try_* layer).
+// Expected violations: det-unordered at the range-for over the
+// unordered_map and raw-solver at the analyze_chain call.
+#include <cstddef>
+#include <unordered_map>
+
+#include "src/markov/fundamental.hpp"
+
+namespace mocos::partition {
+
+inline double sum_block_masses() {
+  std::unordered_map<std::size_t, double> mass;
+  mass[0] = 1.0;
+  double total = 0.0;
+  for (const auto& kv : mass) total += kv.second;  // VIOLATION det-unordered
+  return total;
+}
+
+inline double unguarded_block_solve(const markov::TransitionMatrix& p) {
+  return markov::analyze_chain(p).pi[0];  // VIOLATION raw-solver
+}
+
+}  // namespace mocos::partition

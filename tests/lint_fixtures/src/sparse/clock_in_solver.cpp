@@ -1,0 +1,24 @@
+// Fixture: the sparse scope extension — src/sparse/ is inside the
+// determinism scope (the resolvent ladder fans per-column solves out over
+// runtime::parallel_for under the bit-identical-for-any---jobs contract,
+// so ambient clocks and entropy are banned) and the raw-solver scope (the
+// banded → BiCGSTAB → dense fallback ladder only works when every rung
+// reports through Status instead of throwing).
+// Expected violations: det-time at the steady_clock read and raw-solver at
+// the stationary_distribution call.
+#include <chrono>
+
+#include "src/markov/stationary.hpp"
+
+namespace mocos::sparse {
+
+inline long long iteration_deadline_probe() {
+  const auto now = std::chrono::steady_clock::now();  // VIOLATION det-time
+  return now.time_since_epoch().count();
+}
+
+inline double unguarded_crosscheck(const markov::TransitionMatrix& p) {
+  return markov::stationary_distribution(p)[0];  // VIOLATION raw-solver
+}
+
+}  // namespace mocos::sparse

@@ -13,6 +13,7 @@
 //     scales by s², the coverage shares C̄_i are invariant (ratios of
 //     times), and the transition-counted exposure Ē is invariant.
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -20,8 +21,11 @@
 #include "src/core/problem.hpp"
 #include "src/cost/composite_cost.hpp"
 #include "src/cost/metrics.hpp"
+#include "src/descent/initializers.hpp"
+#include "src/geometry/city_topology.hpp"
 #include "src/geometry/topology.hpp"
 #include "src/markov/fundamental.hpp"
+#include "src/markov/sparse_mode.hpp"
 #include "src/util/rng.hpp"
 #include "tests/helpers.hpp"
 
@@ -118,6 +122,85 @@ TEST(Metamorphic, ChainAnalysisRespectsPermutationSimilarity) {
       }
     }
   }
+}
+
+TEST(Metamorphic, PoiRelabelingInvariantAcrossSparseBlockBoundaries) {
+  // Sparse-path variant of the relabeling relation: a support-restricted
+  // city problem analyzed through the block solver (sparse mode forced on)
+  // must report the same U / ΔC / Ē for any PoI relabeling — in particular
+  // one that scatters spatially-adjacent PoIs into different blocks, which
+  // catches any index confusion at the A/D stitching boundaries.
+  markov::force_sparse_mode(markov::SparseMode::kOn);
+
+  geometry::CityConfig cfg;
+  cfg.count = 36;
+  cfg.seed = 12;
+  const geometry::Topology base_topo = geometry::city_topology(cfg);
+  const std::size_t n = base_topo.size();
+
+  // A stride permutation: spatial neighbours (adjacent row-major indices)
+  // land far apart in the new labeling.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = (i * 13) % n;
+
+  core::Physics physics;
+  physics.sensing_radius = 0.1;  // city min separation is >= 0.3
+  physics.support_radius = 2.0;
+  core::Weights w;
+  w.alpha = 1.0;
+  w.beta = 0.5;
+
+  auto permuted_problem = [&](const std::vector<std::size_t>& sigma) {
+    std::vector<geometry::Vec2> pos(n);
+    std::vector<double> tgt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = base_topo.position(sigma[i]);
+      tgt[i] = base_topo.target(sigma[i]);
+    }
+    return core::Problem(
+        geometry::Topology("relabel", std::move(pos), std::move(tgt)),
+        physics, w);
+  };
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+  const core::Problem base = permuted_problem(identity);
+  const core::Problem relabeled = permuted_problem(perm);
+
+  // A support-respecting schedule whose entries depend only on the PoI
+  // coordinates, so it conjugates exactly with the labels.
+  auto support_chain = [&](const core::Problem& problem) {
+    linalg::Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j : problem.support()[i]) {
+        const auto a = problem.topology().position(i);
+        const auto b = problem.topology().position(j);
+        m(i, j) = 1.0 + 0.5 * std::abs(std::sin(a.x * 3.1 + b.y * 2.7));
+        sum += m(i, j);
+      }
+      for (std::size_t j = 0; j < n; ++j) m(i, j) /= sum;
+    }
+    return markov::TransitionMatrix(std::move(m));
+  };
+  const markov::TransitionMatrix p = support_chain(base);
+  const markov::TransitionMatrix q = support_chain(relabeled);
+  // Sanity: q really is the conjugated schedule.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_NEAR(q(i, j), p(perm[i], perm[j]), 1e-15);
+
+  const cost::Metrics m_base = base.metrics_of(p);
+  const cost::Metrics m_rel = relabeled.metrics_of(q);
+  EXPECT_NEAR(m_rel.delta_c, m_base.delta_c,
+              1e-12 + 1e-8 * m_base.delta_c);
+  EXPECT_NEAR(m_rel.e_bar, m_base.e_bar, 1e-8);
+  const double u_base = base.make_cost().value(markov::analyze_chain(p));
+  const double u_rel = relabeled.make_cost().value(markov::analyze_chain(q));
+  EXPECT_NEAR(u_rel, u_base, 1e-8 * (1.0 + std::abs(u_base)));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(m_rel.c_share[i], m_base.c_share[perm[i]], 1e-9);
+
+  markov::force_sparse_mode(markov::SparseMode::kAuto);
 }
 
 TEST(Metamorphic, TimeRescalingScalesDurationsAndMetricsExactly) {

@@ -73,6 +73,15 @@ class FixtureViolations(unittest.TestCase):
         # process).
         "src/serve/deadline_clock.cpp": [("det-time", 20),
                                          ("raw-solver", 25)],
+        # The sparse/partition scope extension: both directories join the
+        # determinism scope (the resolvent ladder and block solver fan work
+        # out over runtime::parallel_for under the bit-identical contract)
+        # and the raw-solver scope (their fallback ladders branch on Status,
+        # which an unguarded throwing solver would bypass).
+        "src/sparse/clock_in_solver.cpp": [("det-time", 16),
+                                           ("raw-solver", 21)],
+        "src/partition/unordered_blocks.cpp": [("det-unordered", 19),
+                                               ("raw-solver", 24)],
     }
 
     def test_each_fixture_exact_rule_and_line(self):

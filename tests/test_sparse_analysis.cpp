@@ -1,0 +1,267 @@
+#include "src/partition/block_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/core/optimizer.hpp"
+#include "src/descent/initializers.hpp"
+#include "src/geometry/city_topology.hpp"
+#include "src/linalg/norms.hpp"
+#include "src/markov/incremental.hpp"
+#include "src/markov/sparse_mode.hpp"
+#include "src/markov/stationary.hpp"
+#include "src/util/rng.hpp"
+#include "tests/helpers.hpp"
+
+namespace mocos {
+namespace {
+
+/// Restores kAuto on scope exit so a failing test cannot leak a forced mode
+/// into the rest of the suite.
+struct ScopedSparseMode {
+  explicit ScopedSparseMode(markov::SparseMode mode) {
+    markov::force_sparse_mode(mode);
+  }
+  ~ScopedSparseMode() { markov::force_sparse_mode(markov::SparseMode::kAuto); }
+};
+
+/// Weakly-coupled city fixture: uniform transitions over the radius-2
+/// neighbourhoods of a jittered grid (4-connected at minimum, so ergodic).
+markov::TransitionMatrix city_chain(std::size_t n, std::uint64_t seed) {
+  geometry::CityConfig cfg;
+  cfg.count = n;
+  cfg.seed = seed;
+  const auto topo = geometry::city_topology(cfg);
+  return descent::support_uniform_start(geometry::radius_neighbors(topo, 2.0));
+}
+
+double max_abs_gap(const linalg::Vector& a, const linalg::Vector& b) {
+  double gap = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    gap = std::max(gap, std::abs(a[i] - b[i]));
+  return gap;
+}
+
+double max_rel_gap(const linalg::Matrix& a, const linalg::Matrix& b) {
+  double gap = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      gap = std::max(gap, std::abs(a(i, j) - b(i, j)) /
+                              std::max(1.0, std::abs(b(i, j))));
+  return gap;
+}
+
+TEST(CityTopology, DeterministicSeparatedAndSeeded) {
+  geometry::CityConfig cfg;
+  cfg.count = 100;
+  cfg.seed = 42;
+  const auto a = geometry::city_topology(cfg);
+  const auto b = geometry::city_topology(cfg);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_EQ(a.position(i).y, b.position(i).y);
+    EXPECT_EQ(a.target(i), b.target(i));
+  }
+  // The jitter cap guarantees >= 0.3 * spacing pairwise separation.
+  EXPECT_GE(a.min_separation(), 0.3);
+
+  cfg.seed = 43;
+  const auto c = geometry::city_topology(cfg);
+  EXPECT_NE(a.position(0).x, c.position(0).x);
+}
+
+TEST(CityTopology, RadiusNeighborsMatchBruteForce) {
+  geometry::CityConfig cfg;
+  cfg.count = 60;
+  cfg.seed = 7;
+  const auto topo = geometry::city_topology(cfg);
+  for (const double radius : {0.8, 1.7, 3.2}) {
+    const auto fast = geometry::radius_neighbors(topo, radius);
+    ASSERT_EQ(fast.size(), topo.size());
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      std::vector<std::size_t> brute;
+      for (std::size_t j = 0; j < topo.size(); ++j)
+        if (topo.distance(i, j) <= radius) brute.push_back(j);
+      EXPECT_EQ(fast[i], brute) << "PoI " << i << " radius " << radius;
+    }
+  }
+}
+
+TEST(BlockStationary, MatchesDenseOnCityChain) {
+  const auto p = city_chain(196, 1);
+  const auto sp = sparse::SparseMatrix::from_dense(p.matrix());
+  const auto blocks = partition::structural_blocks(sp, {});
+  partition::SparseSolveStats stats;
+  const auto pi = partition::try_block_stationary(sp, blocks, {}, {}, &stats);
+  ASSERT_TRUE(pi.ok()) << pi.status().message();
+  const linalg::Vector ref = markov::stationary_distribution(p);
+  EXPECT_LE(max_abs_gap(*pi, ref), 1e-10);
+  EXPECT_GE(stats.blocks, 2u);
+  EXPECT_GT(stats.ad_sweeps, 0u);
+  EXPECT_LE(stats.ad_residual, 1e-12);
+}
+
+TEST(SparseAnalysis, PiAndPassageTimesMatchDense) {
+  const auto p = city_chain(196, 2);
+  partition::SparseSolveStats stats;
+  const auto sparse_chain =
+      partition::try_sparse_analyze_chain(p, {}, {}, &stats);
+  ASSERT_TRUE(sparse_chain.ok()) << sparse_chain.status().message();
+  const markov::ChainAnalysis dense = markov::analyze_chain(p);
+
+  // The acceptance contract: pi and R agree with the dense pipeline to 1e-8
+  // on weakly-coupled fixtures.
+  EXPECT_LE(max_abs_gap(sparse_chain->pi, dense.pi), 1e-8);
+  EXPECT_LE(max_rel_gap(sparse_chain->r, dense.r), 1e-8);
+  EXPECT_LE(max_rel_gap(sparse_chain->z, dense.z), 1e-8);
+  EXPECT_LE(stats.pi_gap, 1e-8);
+  EXPECT_TRUE(stats.used_banded || stats.used_bicgstab);
+}
+
+TEST(SparseAnalysis, BitIdenticalForAnyJobCount) {
+  const auto p = city_chain(144, 3);
+  const runtime::ExecutionContext serial(1);
+  const runtime::ExecutionContext parallel(4);
+  const auto a = partition::try_sparse_analyze_chain(p, {}, serial);
+  const auto b = partition::try_sparse_analyze_chain(p, {}, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < a->pi.size(); ++i)
+    EXPECT_EQ(a->pi[i], b->pi[i]);
+  for (std::size_t i = 0; i < 144; ++i)
+    for (std::size_t j = 0; j < 144; ++j) {
+      EXPECT_EQ(a->z(i, j), b->z(i, j));
+      EXPECT_EQ(a->r(i, j), b->r(i, j));
+    }
+}
+
+TEST(SparseAnalysis, FullyCoupledChainStillMatchesDense) {
+  // A dense random chain has no weak coupling to cut: the block solver falls
+  // back internally (power-iteration cross-check) or the dispatcher falls
+  // through to dense — either way the answer must match the dense pipeline.
+  ScopedSparseMode forced(markov::SparseMode::kOn);
+  util::Rng rng(31);
+  const auto p = test::random_positive_chain(24, rng);
+  const auto chain = markov::try_analyze_chain(p);
+  ASSERT_TRUE(chain.ok()) << chain.status().message();
+  markov::force_sparse_mode(markov::SparseMode::kOff);
+  const auto dense = markov::try_analyze_chain(p);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_LE(max_abs_gap(chain->pi, dense->pi), 1e-8);
+  EXPECT_LE(max_rel_gap(chain->r, dense->r), 1e-8);
+}
+
+TEST(SparseMode, AutoGateRespectsSizeAndDensity) {
+  // Small chains never take the sparse path under kAuto.
+  EXPECT_FALSE(markov::sparse_path_enabled(test::chain3().matrix()));
+  // A large sparse chain does...
+  const auto big = city_chain(256, 4);
+  EXPECT_TRUE(markov::sparse_path_enabled(big.matrix()));
+  // ...but a large dense chain does not (density above the cutoff).
+  util::Rng rng(5);
+  const auto dense = test::random_positive_chain(200, rng);
+  EXPECT_FALSE(markov::sparse_path_enabled(dense.matrix()));
+
+  {
+    ScopedSparseMode off(markov::SparseMode::kOff);
+    EXPECT_FALSE(markov::sparse_path_enabled(big.matrix()));
+  }
+  {
+    ScopedSparseMode on(markov::SparseMode::kOn);
+    EXPECT_TRUE(markov::sparse_path_enabled(big.matrix()));
+    // Forced mode still refuses tiny chains (below the M >= 8 floor).
+    EXPECT_FALSE(markov::sparse_path_enabled(test::chain2(0.3, 0.4).matrix()));
+    // The environment escape hatch wins over the forced mode.
+    ::setenv("MOCOS_NO_SPARSE", "1", 1);
+    EXPECT_TRUE(markov::sparse_globally_disabled());
+    EXPECT_FALSE(markov::sparse_path_enabled(big.matrix()));
+    ::unsetenv("MOCOS_NO_SPARSE");
+    EXPECT_FALSE(markov::sparse_globally_disabled());
+  }
+}
+
+TEST(SparseIncremental, CacheParityHoldsAtBlockLevel) {
+  // The incremental cache's parity contract, at block level: a sparse full
+  // rebuild followed by Sherman-Morrison row updates must agree with dense
+  // from-scratch analyses to 1e-10.
+  ScopedSparseMode forced(markov::SparseMode::kOn);
+  const auto start = city_chain(64, 6);
+
+  markov::ChainSolveCache cache;
+  ASSERT_TRUE(cache.reset(start).is_ok());
+  EXPECT_EQ(cache.stats().sparse_full_solves, 1u);
+  EXPECT_FALSE(cache.lu().has_value());  // G came from the sparse ladder
+
+  // Walk a few support-preserving row perturbations.
+  linalg::Matrix m = start.matrix();
+  util::Rng rng(77);
+  for (int step = 0; step < 5; ++step) {
+    const std::size_t row = static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(m.rows()) - 0.001));
+    linalg::Vector new_row(m.cols(), 0.0);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      // mocos-lint: allow(float-eq) — structural zeros stay zero
+      if (m(row, j) == 0.0) continue;
+      new_row[j] = m(row, j) * (0.5 + rng.uniform());
+      sum += new_row[j];
+    }
+    for (std::size_t j = 0; j < m.cols(); ++j) new_row[j] /= sum;
+    ASSERT_TRUE(cache.update_row(row, new_row).is_ok());
+    for (std::size_t j = 0; j < m.cols(); ++j) m(row, j) = new_row[j];
+
+    markov::force_sparse_mode(markov::SparseMode::kOff);
+    const markov::ChainAnalysis ref =
+        markov::analyze_chain(markov::TransitionMatrix(m));
+    markov::force_sparse_mode(markov::SparseMode::kOn);
+
+    const markov::ChainAnalysis& got = cache.analysis();
+    EXPECT_LE(max_abs_gap(got.pi, ref.pi), 1e-10) << "step " << step;
+    EXPECT_LE(max_rel_gap(got.z, ref.z), 1e-10) << "step " << step;
+    EXPECT_LE(max_rel_gap(got.r, ref.r), 1e-10) << "step " << step;
+  }
+  EXPECT_GE(cache.stats().incremental_row_updates, 1u);
+}
+
+TEST(SparseDescent, SupportRestrictedProblemKeepsZerosEndToEnd) {
+  geometry::CityConfig cfg;
+  cfg.count = 49;
+  cfg.seed = 9;
+  core::Physics physics;
+  physics.sensing_radius = 0.1;  // city min separation is 0.3
+  physics.support_radius = 2.0;
+  core::Weights w;
+  const core::Problem problem(geometry::city_topology(cfg), physics, w);
+  ASSERT_TRUE(problem.tensors().sparse());
+  ASSERT_EQ(problem.support().size(), 49u);
+
+  core::OptimizerOptions opts;
+  opts.algorithm = core::Algorithm::kAdaptive;
+  opts.max_iterations = 3;
+  const core::CoverageOptimizer optimizer(problem, opts);
+  const core::OptimizationOutcome outcome = optimizer.run();
+
+  // The descent stayed on the support: structural zeros survived every
+  // projection, step, clamp and renormalization exactly.
+  const auto& support = problem.support();
+  for (std::size_t i = 0; i < 49; ++i) {
+    std::size_t s = 0;
+    for (std::size_t j = 0; j < 49; ++j) {
+      const bool on_support = s < support[i].size() && support[i][s] == j;
+      if (on_support) {
+        EXPECT_GT(outcome.p(i, j), 0.0);
+        ++s;
+      } else {
+        EXPECT_EQ(outcome.p(i, j), 0.0);
+      }
+    }
+  }
+  EXPECT_TRUE(std::isfinite(outcome.penalized_cost));
+  EXPECT_TRUE(std::isfinite(outcome.report_cost));
+  EXPECT_TRUE(std::isfinite(outcome.metrics.delta_c));
+}
+
+}  // namespace
+}  // namespace mocos

@@ -87,16 +87,25 @@ SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
 # byte-identical at any --jobs count; its deadline/watchdog clock sites
 # carry explicit det-time suppressions (server.cpp documents why timing
 # may steer *scheduling* there but never response bytes).
+# src/sparse/ and src/partition/ are on the list because the resolvent
+# ladder fans per-column solves and per-block refreshes out over
+# runtime::parallel_for under the same bit-identical-for-any---jobs
+# contract as the dense pipeline.
 DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/",
-                     "src/markov/incremental", "src/obs/", "src/serve/")
+                     "src/markov/incremental", "src/obs/", "src/serve/",
+                     "src/sparse/", "src/partition/")
 
 # Descent + recovery code must use the guarded Try* solver layer. The
 # incremental cache sits on the descent hot path and owns the fallback from
 # Sherman-Morrison updates to full re-factorization, so its internals are
 # held to the same try_*-only contract. The serve layer's failure-isolation
 # promise (a numerical fault costs one structured error response, never the
-# process) only holds if it, too, never touches an unguarded solver.
-RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental", "src/serve/")
+# process) only holds if it, too, never touches an unguarded solver. The
+# sparse/partition ladder exists to *fall back* on numerical failure
+# (banded → BiCGSTAB → dense, A/D → power → dense), which is only possible
+# when every rung reports through Status instead of throwing.
+RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental", "src/serve/",
+                    "src/sparse/", "src/partition/")
 
 RULES = {
     "det-rng": "ambient randomness breaks the jobs-invariance determinism "
