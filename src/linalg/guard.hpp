@@ -1,0 +1,37 @@
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+#include "src/util/guard.hpp"
+#include "src/util/status.hpp"
+
+// Vector/Matrix overloads of the util guard validators. They stay in
+// namespace mocos::util so call sites spell util::check_finite(...)
+// uniformly for scalars and containers, but they live in the linalg layer:
+// util sits below linalg in the module DAG and must not include its headers
+// (mocos_lint's layer-violation rule enforces this).
+
+namespace mocos::util {
+
+[[nodiscard]] bool all_finite(const linalg::Vector& v);
+[[nodiscard]] bool all_finite(const linalg::Matrix& m);
+
+/// kNonFiniteValue naming `what` and the first bad index.
+[[nodiscard]] Status check_finite(const linalg::Vector& v, const char* what);
+[[nodiscard]] Status check_finite(const linalg::Matrix& m, const char* what);
+
+/// Row-stochasticity to within `tol`: finite entries in [-tol, 1+tol] with
+/// every row summing to 1 ± tol. Returns kNonFiniteValue or kNotErgodic.
+[[nodiscard]] Status check_row_stochastic(const linalg::Matrix& m,
+                                          double tol = 1e-8);
+
+/// Probability vector: finite, entries >= -tol, sums to 1 ± tol.
+[[nodiscard]] Status check_probability_vector(const linalg::Vector& v,
+                                              double tol = 1e-8);
+
+/// Strictly positive entries (mean return times, stationary masses ahead of a
+/// division). Returns kNotErgodic naming the first non-positive index.
+[[nodiscard]] Status check_strictly_positive(const linalg::Vector& v,
+                                             const char* what,
+                                             double floor = 0.0);
+
+}  // namespace mocos::util

@@ -8,7 +8,7 @@
 #include "src/markov/stationary.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/partition/block_solver.hpp"
-#include "src/util/guard.hpp"
+#include "src/linalg/guard.hpp"
 
 namespace mocos::markov {
 

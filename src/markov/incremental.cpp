@@ -13,7 +13,7 @@
 #include "src/partition/block_solver.hpp"
 #include "src/sparse/sparse_matrix.hpp"
 #include "src/util/fault_injection.hpp"
-#include "src/util/guard.hpp"
+#include "src/linalg/guard.hpp"
 
 namespace mocos::markov {
 

@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "src/linalg/lu.hpp"
-#include "src/util/guard.hpp"
+#include "src/linalg/guard.hpp"
 
 namespace mocos::markov {
 

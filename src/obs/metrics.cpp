@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/mutex.hpp"
+
 namespace mocos::obs {
 
 namespace {
@@ -59,7 +61,7 @@ void Histogram::observe(double x) {
   const std::size_t b = static_cast<std::size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = x;
     max_ = x;
@@ -79,22 +81,22 @@ std::vector<std::uint64_t> Histogram::counts() const {
 }
 
 std::uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return max_;
 }
 
@@ -106,7 +108,7 @@ void Histogram::fold(const std::vector<std::uint64_t>& other_counts,
   for (std::size_t b = 0; b < buckets_.size(); ++b)
     buckets_[b].fetch_add(other_counts[b], std::memory_order_relaxed);
   if (other_count == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = other_min;
     max_ = other_max;
@@ -165,7 +167,7 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -174,7 +176,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -183,7 +185,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -194,7 +196,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)

@@ -7,10 +7,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace mocos::obs {
 
@@ -76,29 +78,29 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double x);
+  void observe(double x) MOCOS_EXCLUDES(mu_);
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] std::vector<std::uint64_t> counts() const;
-  [[nodiscard]] std::uint64_t count() const;
-  [[nodiscard]] double sum() const;
-  [[nodiscard]] double min() const;
-  [[nodiscard]] double max() const;
+  [[nodiscard]] std::uint64_t count() const MOCOS_EXCLUDES(mu_);
+  [[nodiscard]] double sum() const MOCOS_EXCLUDES(mu_);
+  [[nodiscard]] double min() const MOCOS_EXCLUDES(mu_);
+  [[nodiscard]] double max() const MOCOS_EXCLUDES(mu_);
 
   /// Merges another histogram's state in (bucket counts add, min/max widen).
   /// `counts` must match bounds().size() + 1.
   void fold(const std::vector<std::uint64_t>& other_counts,
             std::uint64_t other_count, double other_sum, double other_min,
-            double other_max);
+            double other_max) MOCOS_EXCLUDES(mu_);
 
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
-  mutable std::mutex mu_;                            // guards sum/min/max
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable util::Mutex mu_;
+  std::uint64_t count_ MOCOS_GUARDED_BY(mu_) = 0;
+  double sum_ MOCOS_GUARDED_BY(mu_) = 0.0;
+  double min_ MOCOS_GUARDED_BY(mu_) = 0.0;
+  double max_ MOCOS_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Plain-data copy of a registry's state: sorted by name, mergeable, and
@@ -156,25 +158,32 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  /// The returned references stay valid for the registry's lifetime: the
+  /// maps are node-based and entries are never erased, so handing the metric
+  /// out after the registry lock drops is safe.
+  Counter& counter(std::string_view name) MOCOS_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) MOCOS_EXCLUDES(mu_);
   /// `bounds` fixes the bucket edges on first creation; later lookups of the
   /// same name ignore the argument (the registry keeps one set of edges per
   /// name so merges are well-defined).
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      MOCOS_EXCLUDES(mu_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const MOCOS_EXCLUDES(mu_);
 
   /// Folds a snapshot in: counters/histogram buckets add, gauges overwrite,
   /// histogram min/max widen. Callers merge shards in task-index order; the
   /// merge itself is sequential, so the result is reproducible.
-  void merge(const MetricsSnapshot& other);
+  void merge(const MetricsSnapshot& other) MOCOS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MOCOS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MOCOS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MOCOS_GUARDED_BY(mu_);
 };
 
 /// The registry instrumented code reports into: a thread-local pointer, null

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/util/mutex.hpp"
+
 namespace mocos::obs {
 
 namespace {
@@ -79,7 +81,7 @@ void TraceSink::instant(std::string_view name, std::string_view cat,
 }
 
 void TraceSink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out_.flush();
 }
 
@@ -87,7 +89,7 @@ void TraceSink::emit(char phase, std::string_view name, std::string_view cat,
                      const TraceArgs& args) {
   const std::uint64_t ts = now_us();
   const int tid = thread_id();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out_ << "{\"ph\":\"" << phase << "\",\"name\":\"";
   json_escape(name, out_);
   out_ << "\",\"cat\":\"";

@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace mocos::obs {
 
@@ -62,22 +64,24 @@ class TraceSink {
   explicit TraceSink(std::ostream& out);
 
   void begin(std::string_view name, std::string_view cat,
-             const TraceArgs& args = {});
-  void end(std::string_view name, std::string_view cat);
+             const TraceArgs& args = {}) MOCOS_EXCLUDES(mu_);
+  void end(std::string_view name, std::string_view cat) MOCOS_EXCLUDES(mu_);
   void instant(std::string_view name, std::string_view cat,
-               const TraceArgs& args = {});
+               const TraceArgs& args = {}) MOCOS_EXCLUDES(mu_);
 
   /// Flushes the underlying stream.
-  void flush();
+  void flush() MOCOS_EXCLUDES(mu_);
 
  private:
   void emit(char phase, std::string_view name, std::string_view cat,
-            const TraceArgs& args);
+            const TraceArgs& args) MOCOS_EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t now_us() const;
   [[nodiscard]] int thread_id();
 
-  std::ostream& out_;
-  std::mutex mu_;
+  util::Mutex mu_;
+  /// The sink serializes all writes: the stream is touched only under mu_
+  /// (the reference itself is bound in the constructor and never reseated).
+  std::ostream& out_ MOCOS_GUARDED_BY(mu_);
   std::int64_t epoch_ns_ = 0;
   std::atomic<int> next_tid_{0};
 };

@@ -11,7 +11,7 @@
 #include "src/markov/passage_times.hpp"
 #include "src/sparse/banded_lu.hpp"
 #include "src/sparse/resolvent_solver.hpp"
-#include "src/util/guard.hpp"
+#include "src/linalg/guard.hpp"
 
 namespace mocos::partition {
 

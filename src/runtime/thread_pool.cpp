@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stopping_)
       throw std::runtime_error("ThreadPool::submit: pool is shutting down");
     queue_.push_back(std::move(task));
@@ -42,8 +42,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -56,14 +56,14 @@ TaskGroup::~TaskGroup() {
   // A group destroyed without wait() must still not leave tasks running with
   // dangling captures; block here. Exceptions captured but never observed
   // are dropped (destructors must not throw) — call wait() in normal flow.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return finished_ == submitted_; });
+  util::MutexLock lock(mu_);
+  while (finished_ != submitted_) done_cv_.wait(mu_);
 }
 
 void TaskGroup::run(std::function<void()> task) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (waited_)
       throw std::runtime_error("TaskGroup::run: group already waited on");
     index = submitted_++;
@@ -86,7 +86,7 @@ void TaskGroup::run(std::function<void()> task) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (error) errors_.emplace_back(index, error);
       ++finished_;
     }
@@ -95,19 +95,22 @@ void TaskGroup::run(std::function<void()> task) {
 }
 
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return finished_ == submitted_; });
-  waited_ = true;
-  if (errors_.empty()) return;
-  // Deterministic propagation: the lowest submission index wins, regardless
-  // of the order in which workers hit their exceptions.
-  auto first = std::min_element(
-      errors_.begin(), errors_.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::exception_ptr error = first->second;
-  errors_.clear();
-  lock.unlock();
-  std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(mu_);
+    while (finished_ != submitted_) done_cv_.wait(mu_);
+    waited_ = true;
+    if (!errors_.empty()) {
+      // Deterministic propagation: the lowest submission index wins,
+      // regardless of the order in which workers hit their exceptions.
+      auto first = std::min_element(
+          errors_.begin(), errors_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      error = first->second;
+      errors_.clear();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace mocos::runtime

@@ -1,13 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace mocos::runtime {
 
@@ -34,24 +36,24 @@ class ThreadPool {
 
   /// Enqueues a task. The task must not throw out of the pool — wrap work in
   /// a TaskGroup (which captures exceptions per task) or catch internally.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) MOCOS_EXCLUDES(mu_);
 
   /// Tasks queued but not yet picked up by a worker. Advisory only — the
   /// value is stale the moment the lock drops; admission control in
   /// mocos_serve keeps its own authoritative in-flight count.
-  [[nodiscard]] std::size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t pending() const MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return queue_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() MOCOS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable util::Mutex mu_;
+  std::deque<std::function<void()>> queue_ MOCOS_GUARDED_BY(mu_);
+  util::CondVar cv_;
+  bool stopping_ MOCOS_GUARDED_BY(mu_) = false;
 };
 
 /// Tracks a batch of tasks submitted to a pool and waits for all of them.
@@ -71,20 +73,21 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Submits `task` as the next indexed member of the group.
-  void run(std::function<void()> task);
+  void run(std::function<void()> task) MOCOS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task finished; rethrows the
   /// lowest-submission-index captured exception, if any.
-  void wait();
+  void wait() MOCOS_EXCLUDES(mu_);
 
  private:
   ThreadPool& pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::size_t submitted_ = 0;
-  std::size_t finished_ = 0;
-  bool waited_ = false;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  util::Mutex mu_;
+  util::CondVar done_cv_;
+  std::size_t submitted_ MOCOS_GUARDED_BY(mu_) = 0;
+  std::size_t finished_ MOCOS_GUARDED_BY(mu_) = 0;
+  bool waited_ MOCOS_GUARDED_BY(mu_) = false;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_
+      MOCOS_GUARDED_BY(mu_);
 };
 
 }  // namespace mocos::runtime

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/util/fault_injection.hpp"
+#include "src/util/mutex.hpp"
 
 namespace mocos::serve {
 
@@ -13,7 +14,7 @@ AdmissionGate::AdmissionGate(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool AdmissionGate::try_admit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (depth_ >= capacity_ ||
       util::fault::fire(util::fault::Site::kServeQueueFull)) {
     ++shed_;
@@ -25,29 +26,29 @@ bool AdmissionGate::try_admit() {
 }
 
 void AdmissionGate::release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (depth_ == 0)
     throw std::logic_error("AdmissionGate: release() without admit");
   --depth_;
 }
 
 std::size_t AdmissionGate::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return depth_;
 }
 
 std::size_t AdmissionGate::peak() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return peak_;
 }
 
 std::uint64_t AdmissionGate::shed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return shed_;
 }
 
 std::uint64_t AdmissionGate::retry_after_ms_hint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // 25 ms per held slot: an empty gate says "come right back", a gate shed
   // at capacity C says "wait ~25·C ms" — enough signal for a client-side
   // exponential backoff to anchor on without the server keeping any clock.

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace mocos::serve {
 
@@ -21,30 +23,30 @@ class AdmissionGate {
 
   /// Claims a slot; false = shed (queue full, or the kServeQueueFull
   /// injection site fired). Never blocks.
-  [[nodiscard]] bool try_admit();
+  [[nodiscard]] bool try_admit() MOCOS_EXCLUDES(mu_);
 
   /// Returns the slot claimed by a successful try_admit(). Exactly once per
   /// admitted request, when its response is handed to the writer.
-  void release();
+  void release() MOCOS_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const MOCOS_EXCLUDES(mu_);
   /// High-water mark of depth() over the gate's lifetime — the bounded-queue
   /// assertion in tests reads this (peak <= capacity always holds).
-  [[nodiscard]] std::size_t peak() const;
-  [[nodiscard]] std::uint64_t shed_count() const;
+  [[nodiscard]] std::size_t peak() const MOCOS_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t shed_count() const MOCOS_EXCLUDES(mu_);
 
   /// Backoff hint for a shed response: proportional to how loaded the gate
   /// is, and a pure function of gate state — no clock — so shed responses
   /// stay byte-reproducible.
-  [[nodiscard]] std::uint64_t retry_after_ms_hint() const;
+  [[nodiscard]] std::uint64_t retry_after_ms_hint() const MOCOS_EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::size_t depth_ = 0;
-  std::size_t peak_ = 0;
-  std::uint64_t shed_ = 0;
+  mutable util::Mutex mu_;
+  std::size_t depth_ MOCOS_GUARDED_BY(mu_) = 0;
+  std::size_t peak_ MOCOS_GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ MOCOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mocos::serve

@@ -2,14 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <fstream>
 #include <istream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -27,7 +25,9 @@
 #include "src/serve/request.hpp"
 #include "src/util/config.hpp"
 #include "src/util/fault_injection.hpp"
+#include "src/util/mutex.hpp"
 #include "src/util/status.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace mocos::serve {
 
@@ -94,8 +94,8 @@ class ServerImpl {
     // cooperative check or, failing that, the watchdog — so this wait
     // terminates for every deadline-carrying request.
     {
-      std::unique_lock<std::mutex> lock(emit_mu_);
-      emit_cv_.wait(lock, [&] { return next_emit_ == seq; });
+      util::MutexLock lock(emit_mu_);
+      while (next_emit_ != seq) emit_cv_.wait(emit_mu_);
     }
     watchdog_stop_.store(true, std::memory_order_relaxed);
     watchdog.join();
@@ -103,13 +103,13 @@ class ServerImpl {
     std::uint64_t lanes_live = 0;
     std::uint64_t lanes_evicted = 0;
     {
-      std::lock_guard<std::mutex> lock(lanes_mu_);
+      util::MutexLock lock(lanes_mu_);
       lanes_live = lanes_.size();
       lanes_evicted = lanes_evicted_;
     }
     ServeReport report;
     {
-      std::lock_guard<std::mutex> lock(emit_mu_);
+      util::MutexLock lock(emit_mu_);
       report = report_;
       report.requests = seq;
       report.peak_depth = gate_.peak();
@@ -136,6 +136,12 @@ class ServerImpl {
   /// it the response log — independent of worker count. Lanes are held by
   /// shared_ptr so an LRU eviction can drop the map entry while a pump is
   /// still draining the lane's queue; the warm state dies with the last ref.
+  // Locking discipline (TSA cannot express it: a nested struct's fields
+  // cannot name the outer class's lanes_mu_ in MOCOS_GUARDED_BY):
+  //   - waiting / running / uses / last_use_tick are guarded by lanes_mu_.
+  //   - cache / last_solution are NOT lock-protected: `running` guarantees
+  //     at most one pump services a lane at a time, so only that pump's
+  //     worker touches them (single-pump exclusivity).
   struct Lane {
     markov::ChainSolveCache cache;
     std::optional<markov::TransitionMatrix> last_solution;
@@ -175,7 +181,7 @@ class ServerImpl {
                                ? pending->request.deadline_ms
                                : options_.default_deadline_ms;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      util::MutexLock lock(inflight_mu_);
       inflight_.emplace(seq, pending);
     }
     dispatch(std::move(pending));
@@ -191,7 +197,7 @@ class ServerImpl {
     std::shared_ptr<Lane> lane;
     bool start_pump = false;
     {
-      std::lock_guard<std::mutex> lock(lanes_mu_);
+      util::MutexLock lock(lanes_mu_);
       std::shared_ptr<Lane>& slot = lanes_[pending->request.cache_key];
       if (!slot) slot = std::make_shared<Lane>();
       slot->last_use_tick = ++lane_tick_;
@@ -213,7 +219,8 @@ class ServerImpl {
   /// still draining it finishes. Runs on the reader thread under lanes_mu_,
   /// keyed only by dispatch ticks — which requests run warm vs cold is
   /// therefore a function of arrival order alone, for any worker count.
-  void evict_lru_locked(const std::shared_ptr<Lane>& keep) {
+  void evict_lru_locked(const std::shared_ptr<Lane>& keep)
+      MOCOS_REQUIRES(lanes_mu_) {
     if (options_.max_lanes == 0) return;
     while (lanes_.size() > options_.max_lanes) {
       auto victim = lanes_.end();
@@ -233,7 +240,7 @@ class ServerImpl {
     for (;;) {
       std::shared_ptr<Pending> next;
       {
-        std::lock_guard<std::mutex> lock(lanes_mu_);
+        util::MutexLock lock(lanes_mu_);
         if (lane->waiting.empty()) {
           lane->running = false;
           return;
@@ -388,7 +395,7 @@ class ServerImpl {
           std::chrono::milliseconds(options_.watchdog_poll_ms));
       std::vector<std::shared_ptr<Pending>> candidates;
       {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        util::MutexLock lock(inflight_mu_);
         for (const auto& [seq, p] : inflight_) {
           if (p->deadline_ms == 0) continue;
           if (!p->started.load(std::memory_order_acquire)) continue;
@@ -420,8 +427,8 @@ class ServerImpl {
     }
   }
 
-  void erase_inflight(std::uint64_t seq) {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+  void erase_inflight(std::uint64_t seq) MOCOS_EXCLUDES(inflight_mu_) {
+    util::MutexLock lock(inflight_mu_);
     inflight_.erase(seq);
   }
 
@@ -430,8 +437,9 @@ class ServerImpl {
   /// reason a replayed log is comparable byte for byte. Per-request metrics
   /// merge into the server registry at flush time — also arrival order, so
   /// snapshots are reproducible too.
-  void deliver(Response response, obs::MetricsSnapshot metrics) {
-    std::lock_guard<std::mutex> lock(emit_mu_);
+  void deliver(Response response, obs::MetricsSnapshot metrics)
+      MOCOS_EXCLUDES(emit_mu_) {
+    util::MutexLock lock(emit_mu_);
     buffer_.emplace(response.seq,
                     Buffered{std::move(response), std::move(metrics)});
     while (!buffer_.empty() && buffer_.begin()->first == next_emit_) {
@@ -449,7 +457,7 @@ class ServerImpl {
     emit_cv_.notify_all();
   }
 
-  void tally_locked(const Response& r) {
+  void tally_locked(const Response& r) MOCOS_REQUIRES(emit_mu_) {
     if (r.code == cli::kExitSuccess) {
       ++report_.ok;
       registry_.counter("serve.requests.ok").add(1);
@@ -469,13 +477,13 @@ class ServerImpl {
   /// responses (a slow early request holds back later ones), and sheds and
   /// decode errors are produced at read speed — without this bound a
   /// flooding client could grow the buffer without limit.
-  void wait_for_buffer_space() {
+  void wait_for_buffer_space() MOCOS_EXCLUDES(emit_mu_) {
     const std::size_t bound = 2 * options_.queue_capacity + 64;
-    std::unique_lock<std::mutex> lock(emit_mu_);
-    emit_cv_.wait(lock, [&] { return buffer_.size() < bound; });
+    util::MutexLock lock(emit_mu_);
+    while (buffer_.size() >= bound) emit_cv_.wait(emit_mu_);
   }
 
-  void write_metrics_locked() {
+  void write_metrics_locked() MOCOS_REQUIRES(emit_mu_) {
     if (options_.metrics_path.empty()) return;
     std::ofstream file(options_.metrics_path,
                        std::ios::out | std::ios::trunc);
@@ -492,20 +500,26 @@ class ServerImpl {
   std::ostream& out_;
   AdmissionGate gate_;
 
-  std::mutex lanes_mu_;
-  std::map<std::string, std::shared_ptr<Lane>> lanes_;
-  std::uint64_t lane_tick_ = 0;      // dispatch counter driving lane LRU
-  std::uint64_t lanes_evicted_ = 0;  // folded into registry_ at drain
+  util::Mutex lanes_mu_;
+  std::map<std::string, std::shared_ptr<Lane>> lanes_
+      MOCOS_GUARDED_BY(lanes_mu_);
+  // Dispatch counter driving lane LRU.
+  std::uint64_t lane_tick_ MOCOS_GUARDED_BY(lanes_mu_) = 0;
+  // Folded into registry_ at drain.
+  std::uint64_t lanes_evicted_ MOCOS_GUARDED_BY(lanes_mu_) = 0;
 
-  std::mutex inflight_mu_;
-  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
+  util::Mutex inflight_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_
+      MOCOS_GUARDED_BY(inflight_mu_);
 
-  std::mutex emit_mu_;
-  std::condition_variable emit_cv_;
-  std::map<std::uint64_t, Buffered> buffer_;
-  std::uint64_t next_emit_ = 0;
-  ServeReport report_;
-  obs::MetricsRegistry registry_;
+  util::Mutex emit_mu_;
+  util::CondVar emit_cv_;
+  std::map<std::uint64_t, Buffered> buffer_ MOCOS_GUARDED_BY(emit_mu_);
+  std::uint64_t next_emit_ MOCOS_GUARDED_BY(emit_mu_) = 0;
+  ServeReport report_ MOCOS_GUARDED_BY(emit_mu_);
+  // The registry is internally thread-safe, but merge *order* is the
+  // replay-determinism contract, so all access stays under emit_mu_.
+  obs::MetricsRegistry registry_ MOCOS_GUARDED_BY(emit_mu_);
 
   std::atomic<bool> watchdog_stop_{false};
 

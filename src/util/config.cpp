@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -114,7 +115,12 @@ std::size_t Config::get_size(const std::string& key,
                              std::size_t fallback) const {
   if (!has(key)) return fallback;
   const double v = parse_double(get_string(key, ""));
-  if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+  // Validate before converting: casting a NaN or out-of-range double to
+  // size_t is undefined behavior (found by tools/fuzz/fuzz_config with
+  // inputs like "1e300" and "nan"). !(v >= 0) also rejects NaN; 2^53 is
+  // the largest double whose integer round-trip is exact.
+  constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+  if (!(v >= 0.0) || v > kMaxExactInteger || v != std::floor(v))
     throw std::invalid_argument("Config: '" + key +
                                 "' must be a non-negative integer");
   return static_cast<std::size_t>(v);

@@ -1,6 +1,5 @@
 #pragma once
 
-#include "src/linalg/matrix.hpp"
 #include "src/util/status.hpp"
 
 namespace mocos::util {
@@ -9,29 +8,15 @@ namespace mocos::util {
 /// layers. Each is a single O(size) scan; the `check_*` forms return a
 /// structured Status naming the offending entry so recovery code and logs can
 /// report *where* a computation went bad, not just that it did.
+///
+/// Only the scalar overloads live here — util is the bottom layer and must
+/// not see linalg types. The Vector/Matrix overloads (same names, same
+/// namespace) are in src/linalg/guard.hpp, which linalg-aware layers include
+/// instead.
 
 [[nodiscard]] bool all_finite(double v);
-[[nodiscard]] bool all_finite(const linalg::Vector& v);
-[[nodiscard]] bool all_finite(const linalg::Matrix& m);
 
-/// kNonFiniteValue naming `what` and the first bad index.
+/// kNonFiniteValue naming `what`.
 [[nodiscard]] Status check_finite(double v, const char* what);
-[[nodiscard]] Status check_finite(const linalg::Vector& v, const char* what);
-[[nodiscard]] Status check_finite(const linalg::Matrix& m, const char* what);
-
-/// Row-stochasticity to within `tol`: finite entries in [-tol, 1+tol] with
-/// every row summing to 1 ± tol. Returns kNonFiniteValue or kNotErgodic.
-[[nodiscard]] Status check_row_stochastic(const linalg::Matrix& m,
-                                          double tol = 1e-8);
-
-/// Probability vector: finite, entries >= -tol, sums to 1 ± tol.
-[[nodiscard]] Status check_probability_vector(const linalg::Vector& v,
-                                              double tol = 1e-8);
-
-/// Strictly positive entries (mean return times, stationary masses ahead of a
-/// division). Returns kNotErgodic naming the first non-positive index.
-[[nodiscard]] Status check_strictly_positive(const linalg::Vector& v,
-                                             const char* what,
-                                             double floor = 0.0);
 
 }  // namespace mocos::util

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.hpp"
+
+namespace mocos::util {
+
+/// The project's annotated mutex (DESIGN.md §13). A thin wrapper over
+/// std::mutex that Clang's thread safety analysis can see: libstdc++'s
+/// std::mutex carries no capability attributes, so locking through it is
+/// invisible to -Wthread-safety. Every mutex member in src/ must be a
+/// util::Mutex — mocos_lint's lock-raw-mutex rule makes a bare std::mutex
+/// outside this header a lint failure, and the annotations here make an
+/// unlocked access to a MOCOS_GUARDED_BY member a build failure.
+class MOCOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Prefer MutexLock; these exist for the rare hand-over-hand pattern and
+  /// for MutexLock itself. mocos_lint's lock-raw-call rule keeps bare
+  /// lock()/unlock() pairs out of the rest of the tree.
+  void lock() MOCOS_ACQUIRE() { mu_.lock(); }
+  void unlock() MOCOS_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a util::Mutex — the only way the tree takes a lock.
+/// Scoped by design: there is deliberately no release() member, so a lock's
+/// extent is always a brace scope the analysis (and a reader) can see.
+class MOCOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MOCOS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MOCOS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. wait() deliberately takes no
+/// predicate: writing the loop at the call site —
+///
+///   util::MutexLock lock(mu_);
+///   while (!condition_over_guarded_state()) cv_.wait(mu_);
+///
+/// — keeps the guarded reads in a context where the analysis can prove the
+/// lock is held (a predicate lambda would be analyzed as lock-free code).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires. Spurious
+  /// wakeups happen; always wait in a while loop over the condition.
+  void wait(Mutex& mu) MOCOS_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait protocol, then
+    // release the adoption so the MutexLock at the call site stays the
+    // owner. The capability is held on entry and on exit, which is exactly
+    // what MOCOS_REQUIRES states; the temporary release inside wait() is
+    // internal to the condition-variable protocol.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mocos::util

@@ -1,0 +1,68 @@
+#pragma once
+
+/// Clang Thread Safety Analysis attribute shim (DESIGN.md §13).
+///
+/// The macros expand to Clang's `capability`/`guarded_by`/... attributes
+/// when the compiler understands them and to nothing everywhere else, so
+/// the annotations are a portable part of every declaration: GCC builds
+/// them as plain code, the `-Wthread-safety -Werror` CI job (CMake option
+/// MOCOS_THREAD_SAFETY) turns them into compile-time lock-discipline
+/// proofs.
+///
+/// Conventions (see src/util/mutex.hpp for the annotated primitives):
+///
+///  - every mutex-protected member is declared `T x_ MOCOS_GUARDED_BY(mu_);`
+///  - private helpers called with a lock already held are named `*_locked`
+///    and annotated `MOCOS_REQUIRES(mu_)`;
+///  - public entry points that take the lock themselves are annotated
+///    `MOCOS_EXCLUDES(mu_)` so self-deadlock is a build failure;
+///  - `MOCOS_NO_THREAD_SAFETY_ANALYSIS` is a last resort and must carry a
+///    comment explaining why the analysis cannot see the invariant.
+
+#if defined(__clang__) && !defined(SWIG)
+#define MOCOS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MOCOS_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define MOCOS_CAPABILITY(x) MOCOS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MOCOS_SCOPED_CAPABILITY MOCOS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding `x`.
+#define MOCOS_GUARDED_BY(x) MOCOS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be touched while holding `x`.
+#define MOCOS_PT_GUARDED_BY(x) MOCOS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the named capabilities and holds them on return.
+#define MOCOS_ACQUIRE(...) \
+  MOCOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the named capabilities (held on entry).
+#define MOCOS_RELEASE(...) \
+  MOCOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Caller must hold the named capabilities across the call.
+#define MOCOS_REQUIRES(...) \
+  MOCOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities (self-deadlock guard).
+#define MOCOS_EXCLUDES(...) MOCOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `ret`.
+#define MOCOS_TRY_ACQUIRE(ret, ...) \
+  MOCOS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares a runtime assertion that the capability is held.
+#define MOCOS_ASSERT_CAPABILITY(x) \
+  MOCOS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define MOCOS_RETURN_CAPABILITY(x) MOCOS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis; must carry a justification comment.
+#define MOCOS_NO_THREAD_SAFETY_ANALYSIS \
+  MOCOS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,22 @@
+// lock-raw-call: a manual lock/unlock pair escapes RAII — early returns
+// and exceptions skip the release, and the thread-safety analysis cannot
+// pair the acquisition with its exit paths. Use util::MutexLock.
+
+#include "src/util/mutex.hpp"
+
+namespace mocos::cost {
+
+class Meter {
+ public:
+  void add(int n) {
+    mu_.lock();
+    total_ += n;
+    mu_.unlock();
+  }
+
+ private:
+  util::Mutex mu_;
+  int total_ = 0;
+};
+
+}  // namespace mocos::cost

@@ -1,0 +1,10 @@
+// layer-violation: geometry sits below markov in the module DAG
+// (MODULE_DEPS allows geometry -> {util} only), so this include is a
+// forbidden upward edge. The target file need not exist under the
+// fixture root: the rule judges the edge, not the file.
+
+#include "src/markov/transition_matrix.hpp"
+
+namespace mocos::geometry {
+void uses_upper_layer() {}
+}  // namespace mocos::geometry

@@ -1,0 +1,6 @@
+// layer-cycle: this header and cycle_b.hpp include each other. Module-
+// level mutual visibility (markov <-> sparse <-> partition) never
+// licenses a file-level cycle; the SCC pass flags the edge in each file.
+#pragma once
+
+#include "src/markov/cycle_b.hpp"

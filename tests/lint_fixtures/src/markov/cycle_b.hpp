@@ -1,0 +1,4 @@
+// layer-cycle: the other half of the cycle_a.hpp pair.
+#pragma once
+
+#include "src/markov/cycle_a.hpp"

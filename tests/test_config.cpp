@@ -79,6 +79,26 @@ TEST(Config, SizeRejectsNegativeAndFractional) {
   EXPECT_EQ(cfg.get_size("ok", 0), 42u);
 }
 
+TEST(Config, SizeRejectsNonFiniteAndHugeValues) {
+  // Fuzz regression (tools/fuzz/fuzz_config): these values parse as
+  // doubles, and get_size used to cast them straight to size_t — undefined
+  // behavior for anything outside the representable range, NaN included.
+  // They must be rejected through the documented error taxonomy instead.
+  const auto cfg = Config::parse_string(
+      "huge = 1e300\n"
+      "not_a_number = nan\n"
+      "pos_inf = inf\n"
+      "neg_inf = -inf\n"
+      "above_exact = 9007199254740994\n"  // 2^53 + 2, past the exact bound
+      "max_exact = 9007199254740992\n");  // 2^53, the last exact integer
+  EXPECT_THROW(cfg.get_size("huge", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_size("not_a_number", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_size("pos_inf", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_size("neg_inf", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_size("above_exact", 0), std::invalid_argument);
+  EXPECT_EQ(cfg.get_size("max_exact", 0), 9007199254740992u);
+}
+
 TEST(Config, MalformedLinesThrowWithLineNumber) {
   try {
     Config::parse_string("good = 1\nbad line without equals\n");

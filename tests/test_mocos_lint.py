@@ -24,9 +24,10 @@ LINT = os.path.join(REPO_ROOT, "tools", "lint", "mocos_lint.py")
 FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
 
 
-def run_lint(paths, root):
+def run_lint(paths, root, extra=None):
     proc = subprocess.run(
-        [sys.executable, LINT, "--root", root, "--json"] + paths,
+        [sys.executable, LINT, "--root", root, "--json"] + (extra or [])
+        + paths,
         capture_output=True, text=True, cwd=REPO_ROOT)
     try:
         violations = json.loads(proc.stdout) if proc.stdout.strip() else []
@@ -82,6 +83,24 @@ class FixtureViolations(unittest.TestCase):
                                            ("raw-solver", 21)],
         "src/partition/unordered_blocks.cpp": [("det-unordered", 19),
                                                ("raw-solver", 24)],
+        # Layering contract (PR 8): the include-graph pass judges every
+        # `#include "src/..."` edge against the module DAG (the target need
+        # not exist), and flags file-level include cycles via SCC — the
+        # cycle is caught even when only one of its files is scanned,
+        # reported at that file's offending include line.
+        "src/geometry/forbidden_edge.cpp": [("layer-violation", 6)],
+        "src/markov/cycle_a.hpp": [("layer-cycle", 6)],
+        "src/markov/cycle_b.hpp": [("layer-cycle", 4)],
+        # Locking contract (PR 8): raw std primitives and manual
+        # lock()/unlock() are invisible to Clang -Wthread-safety; locks
+        # held across parallel_for self-deadlock under inline execution.
+        # Each fixture also contains the compliant form as a near-miss.
+        "src/cost/raw_mutex.cpp": [("lock-raw-mutex", 14),
+                                   ("lock-raw-mutex", 19)],
+        "src/cost/raw_lock_call.cpp": [("lock-raw-call", 12),
+                                       ("lock-raw-call", 14)],
+        "src/partition/lock_across_parallel.cpp":
+            [("lock-across-parallel", 17)],
     }
 
     def test_each_fixture_exact_rule_and_line(self):
@@ -149,6 +168,70 @@ class SuppressionForms(unittest.TestCase):
         rules = [v["rule"] for v in violations]
         self.assertIn("bad-suppression", rules)
         self.assertIn("float-eq", rules)  # the typo suppressed nothing
+
+
+class BaselineRatchet(unittest.TestCase):
+    """--baseline suppresses exactly the recorded findings: known findings
+    pass, new findings still fail, and stale entries fail as
+    baseline-expiry so the file can only ratchet down."""
+
+    FIXTURE = "src/cost/raw_lock_call.cpp"  # fires lock-raw-call twice
+
+    def run_with_baseline(self, baseline_path):
+        return run_lint([fixture(self.FIXTURE)], FIXTURE_ROOT,
+                        extra=["--baseline", baseline_path])
+
+    def write_baseline(self, entries):
+        import tempfile
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump(entries, handle)
+        handle.close()
+        self.addCleanup(os.unlink, handle.name)
+        return handle.name
+
+    def test_write_baseline_round_trips_clean(self):
+        import tempfile
+        path = os.path.join(tempfile.mkdtemp(), "baseline.json")
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", FIXTURE_ROOT,
+             "--write-baseline", path, fixture(self.FIXTURE)],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(path) as f:
+            recorded = json.load(f)
+        self.assertEqual(recorded, {self.FIXTURE + ":lock-raw-call": 2})
+        code, violations = self.run_with_baseline(path)
+        self.assertEqual(violations, [])
+        self.assertEqual(code, 0)
+
+    def test_new_finding_is_not_masked(self):
+        # Baseline covers only one of the two findings: the second is new.
+        path = self.write_baseline({self.FIXTURE + ":lock-raw-call": 1})
+        code, violations = self.run_with_baseline(path)
+        self.assertEqual(code, 1)
+        self.assertEqual([(v["rule"], v["line"]) for v in violations],
+                         [("lock-raw-call", 14)])
+
+    def test_stale_entry_fails_as_baseline_expiry(self):
+        # The checked-in stale baseline over-counts: its obs-only-clock
+        # entry no longer fires at all. Silence there must not be free —
+        # it would mask the next regression at that (path, rule).
+        code, violations = self.run_with_baseline(
+            os.path.join(FIXTURE_ROOT, "stale_baseline.json"))
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            [(v["path"], v["rule"], v["line"]) for v in violations],
+            [(self.FIXTURE, "baseline-expiry", 0)])
+
+    def test_baseline_conflicts_with_write_baseline(self):
+        path = self.write_baseline({})
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", FIXTURE_ROOT,
+             "--baseline", path, "--write-baseline", path,
+             fixture(self.FIXTURE)],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        self.assertEqual(proc.returncode, 2)
 
 
 class RealTreeIsClean(unittest.TestCase):

@@ -1,0 +1,48 @@
+// POSITIVE fixture for the thread-safety CI gate: correct annotated
+// locking that must compile clean under -Wthread-safety
+// -Werror=thread-safety. Run before the negative unlocked_access.cpp
+// check so a failure there is attributable to the analysis detecting the
+// planted bug, not to a broken include path or toolchain. Exercises the
+// conventions DESIGN.md §13 documents: guarded members, a *_locked helper
+// with MOCOS_REQUIRES, public entry points with MOCOS_EXCLUDES, and a
+// CondVar wait loop inside the locked region. Not part of any CMake
+// target.
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace mocos {
+
+class Account {
+ public:
+  void deposit(int amount) MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    balance_ += amount;
+    changed_.notify_all();
+  }
+
+  [[nodiscard]] int balance() const MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void wait_for_at_least(int amount) MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (balance_ < amount) changed_.wait(mu_);
+  }
+
+  void audit() MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    audit_locked();
+  }
+
+ private:
+  void audit_locked() MOCOS_REQUIRES(mu_) { audits_ += balance_ >= 0 ? 1 : 0; }
+
+  mutable util::Mutex mu_;
+  util::CondVar changed_;
+  int balance_ MOCOS_GUARDED_BY(mu_) = 0;
+  int audits_ MOCOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mocos

@@ -1,0 +1,34 @@
+// NEGATIVE fixture for the thread-safety CI gate: this file contains a
+// deliberate locking bug and MUST FAIL to compile under
+//
+//   clang++ -std=c++20 -I. -fsyntax-only -Wthread-safety \
+//           -Werror=thread-safety tests/thread_safety_fixtures/unlocked_access.cpp
+//
+// The CI job inverts the compiler's exit status; if this file ever
+// compiles clean the gate itself is broken (e.g. the MOCOS_* annotation
+// macros silently became no-ops under Clang) and the job fails. The
+// companion locked_access.cpp is the same class with correct locking and
+// must compile clean. Not part of any CMake target.
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace mocos {
+
+class Account {
+ public:
+  void deposit(int amount) MOCOS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BUG (deliberate): reads a guarded field without holding mu_. Clang
+  // diagnoses "reading variable 'balance_' requires holding mutex 'mu_'".
+  [[nodiscard]] int balance() const { return balance_; }
+
+ private:
+  mutable util::Mutex mu_;
+  int balance_ MOCOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mocos

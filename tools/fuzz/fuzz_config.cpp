@@ -1,0 +1,45 @@
+// Fuzz harness for the key=value config parser (src/util/config.cpp) and
+// its typed accessors. The error taxonomy says malformed text surfaces as
+// std::invalid_argument (parse/typed-accessor failures) or std::out_of_range
+// (absent require_string) — anything else escaping, or any sanitizer trip,
+// is a finding. The corpus carries the reproducers for the get_size
+// double-to-size_t conversion UB this harness found ("1e300", "nan"; now a
+// regression test in tests/test_config.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto cfg = mocos::util::Config::parse_string(text);
+    for (const std::string& key : cfg.keys()) {
+      (void)cfg.has(key);
+      (void)cfg.get_string(key, "");
+      (void)cfg.require_string(key);
+      (void)cfg.get_all(key);
+      try {
+        (void)cfg.get_double(key, 0.0);
+      } catch (const std::invalid_argument&) {
+      }
+      try {
+        (void)cfg.get_size(key, 0);
+      } catch (const std::invalid_argument&) {
+      }
+      try {
+        (void)cfg.get_bool(key, false);
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    (void)cfg.get_string("absent", "fallback");
+    (void)cfg.get_size("absent", 7);
+  } catch (const std::invalid_argument&) {
+    // Malformed line: the documented parse failure.
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz harness for the serve flat-NDJSON decoder (src/serve/json.cpp) —
+// the byte surface an untrusted client controls. The decode-fault contract
+// says malformed input is a kInvalidConfig Status, never an exception and
+// never UB; an accepted object must also survive re-encoding through the
+// writer helpers (the response path runs them on echoed fields).
+//
+// Built two ways (tools/fuzz/CMakeLists.txt): linked against libFuzzer
+// under -DMOCOS_FUZZERS=ON (Clang), and against replay_main.cpp everywhere
+// else, which replays the checked-in corpus as an ordinary ctest.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+#include "src/serve/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  const auto parsed = mocos::serve::parse_flat_object(line);
+  if (parsed.ok()) {
+    std::ostringstream out;
+    for (const auto& [key, value] : parsed.value()) {
+      mocos::serve::write_json_string(key, out);
+      switch (value.kind) {
+        case mocos::serve::JsonValue::Kind::kString:
+          mocos::serve::write_json_string(value.str, out);
+          break;
+        case mocos::serve::JsonValue::Kind::kNumber:
+          mocos::serve::write_json_number(value.num, out);
+          break;
+        case mocos::serve::JsonValue::Kind::kBool:
+        case mocos::serve::JsonValue::Kind::kNull:
+          break;
+      }
+    }
+  }
+  return 0;
+}

@@ -50,6 +50,40 @@ or metric values):
                  clock reads are still det-time violations so each site
                  carries an explicit allow() justification.
 
+Layering contract (PR 8): modules under src/ form a DAG (DESIGN.md §13
+holds the normative table; MODULE_DEPS below mirrors it). Two documented
+mutually-visible groups are the only sanctioned back-edges: the {util, obs}
+foundation (locks need annotations, fault injection needs metrics) and the
+{markov, sparse, partition} solver ladder (the rungs fall back into each
+other). File-level cycles are banned everywhere, including inside those
+groups:
+
+  layer-violation  a `#include "src/..."` edge the module DAG does not
+                   permit. Fires at the include line, whether or not the
+                   target file exists.
+  layer-cycle      file-level strongly-connected include component. Every
+                   include edge inside the cycle is reported.
+
+Locking contract (PR 8): all synchronization goes through the annotated
+util::Mutex wrappers so Clang -Wthread-safety sees every acquisition:
+
+  lock-raw-mutex       std::mutex / condition_variable / lock_guard /
+                       unique_lock / ... outside src/util/mutex.hpp. The
+                       libstdc++ types carry no capability attributes, so
+                       the analysis is blind to them.
+  lock-raw-call        manual .lock()/.unlock()/.try_lock() call — scope
+                       exits and exceptions skip the unlock; use RAII
+                       util::MutexLock.
+  lock-across-parallel a lock guard held at a parallel_for call site. The
+                       pool may run tasks inline on the calling thread;
+                       a task that takes the same lock self-deadlocks.
+
+Baselines (ratchet mechanism): --baseline FILE suppresses up to the
+recorded count of findings per (path, rule), so CI fails only on NEW
+findings; entries that over-count what still fires are reported as
+baseline-expiry so the file ratchets down and cannot mask regressions.
+Regenerate with --write-baseline FILE.
+
 Suppressions (the allowlist mechanism):
 
   x == 0.0;  // mocos-lint: allow(float-eq) exact sentinel from line_search
@@ -62,7 +96,8 @@ names in a suppression are themselves reported (bad-suppression) so typos
 cannot silently disable a gate.
 
 Usage:
-  mocos_lint.py [--root DIR] [--json] [--list-rules] [paths ...]
+  mocos_lint.py [--root DIR] [--json] [--list-rules]
+                [--baseline FILE | --write-baseline FILE] [paths ...]
 
 Paths default to `<root>/src`. Exit status: 0 clean, 1 violations found,
 2 usage error.
@@ -107,6 +142,41 @@ DETERMINISM_SCOPE = ("src/runtime/", "src/sim/", "src/descent/", "src/multi/",
 RAW_SOLVER_SCOPE = ("src/descent/", "src/markov/incremental", "src/serve/",
                     "src/sparse/", "src/partition/")
 
+# Normative module layer DAG (mirrored in DESIGN.md §13): module -> the set
+# of modules its files may `#include "src/<module>/..."` from. Self-edges
+# are always allowed and not listed. Two mutually-visible groups are
+# deliberate: {util, obs} (util's lock wrappers are what obs locks with;
+# util's fault injection reports through obs metrics) and
+# {markov, sparse, partition} (the solver ladder's rungs fall back into each
+# other). Mutual *module* visibility never licenses a file-level include
+# cycle — layer-cycle checks those separately.
+MODULE_DEPS = {
+    "util": {"obs"},
+    "obs": {"util"},
+    "linalg": {"util"},
+    "geometry": {"util"},
+    "runtime": {"obs", "util"},
+    "sensing": {"geometry", "linalg", "util"},
+    "sparse": {"linalg", "markov", "partition", "util"},
+    "markov": {"linalg", "obs", "partition", "sparse", "util"},
+    "partition": {"geometry", "linalg", "markov", "runtime", "sparse",
+                  "util"},
+    "cost": {"linalg", "markov", "sensing", "util"},
+    "descent": {"cost", "linalg", "markov", "obs", "runtime", "util"},
+    "sim": {"markov", "runtime", "sensing", "util"},
+    "core": {"cost", "descent", "geometry", "markov", "runtime", "sensing",
+             "util"},
+    "multi": {"core", "cost", "markov", "runtime", "sensing", "util"},
+    "baselines": {"markov", "sensing", "util"},
+    "cli": {"core", "geometry", "markov", "obs", "runtime", "sensing", "sim",
+            "util"},
+    "serve": {"cli", "core", "markov", "obs", "runtime", "util"},
+}
+
+# The one file allowed to spell raw std synchronization primitives: the
+# annotated wrappers themselves.
+LOCK_WRAPPER_FILE = "src/util/mutex.hpp"
+
 RULES = {
     "det-rng": "ambient randomness breaks the jobs-invariance determinism "
                "contract; use util::Rng::stream(index)",
@@ -127,6 +197,21 @@ RULES = {
     "obs-only-clock": "wall-clock read outside src/obs/; the trace sink is "
                       "the only sanctioned clock site — record timing as a "
                       "span/instant through src/obs/trace.hpp",
+    "layer-violation": "include edge not permitted by the module layer DAG "
+                       "(MODULE_DEPS / DESIGN.md §13); depend downward or "
+                       "move the shared piece to a lower layer",
+    "layer-cycle": "file-level include cycle; break it with a forward "
+                   "declaration or by extracting the shared interface",
+    "lock-raw-mutex": "raw std synchronization primitive; use util::Mutex / "
+                      "util::MutexLock / util::CondVar so Clang "
+                      "-Wthread-safety sees the acquisition",
+    "lock-raw-call": "manual lock()/unlock() call escapes RAII and the "
+                     "thread-safety analysis; use util::MutexLock",
+    "lock-across-parallel": "lock guard held across parallel_for; inline "
+                            "task execution on the calling thread "
+                            "self-deadlocks if a task takes the same lock",
+    "baseline-expiry": "baseline entry over-counts what still fires; "
+                       "regenerate the baseline with --write-baseline",
     "bad-suppression": "suppression names an unknown rule id",
 }
 
@@ -152,6 +237,18 @@ RE_DISCARDED = re.compile(
 RE_SUBMIT_CALL = re.compile(r"\bsubmit\s*\(")
 RE_THROW = re.compile(r"\bthrow\b")
 RE_SUPPRESSION = re.compile(r"mocos-lint:\s*allow\(([^)]*)\)")
+RE_PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s*"(src/[^"]+)"')
+RE_MODULE = re.compile(r"^src/([^/]+)/")
+RE_LOCK_TYPE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|timed_|recursive_timed_|shared_|"
+    r"shared_timed_)?mutex\b"
+    r"|\bstd\s*::\s*condition_variable(?:_any)?\b"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+RE_LOCK_CALL = re.compile(r"(?:\.|->)\s*(?:try_)?(?:lock|unlock)\s*\(")
+RE_GUARD_DECL = re.compile(
+    r"\b(?:util\s*::\s*)?MutexLock\s+\w+\s*[({]"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+RE_PARALLEL_FOR = re.compile(r"\bparallel_for\s*(?:<[^>]*>\s*)?\(")
 RE_LINE_COMMENT = re.compile(r"//.*$")
 RE_STRING = re.compile(r'"(?:\\.|[^"\\])*"')
 RE_CHAR = re.compile(r"'(?:\\.|[^'\\])'")
@@ -254,7 +351,53 @@ class SubmitTracker:
             pos += 1
 
 
-def lint_file(abs_path, rel_path, violations):
+class GuardTracker:
+    """Brace-depth tracker for live RAII lock guards: a parallel_for call
+    while any guard's scope is still open is a lock-across-parallel
+    violation. Lexical per file — guards in one function cannot leak into
+    the next because their enclosing braces close first."""
+
+    def __init__(self):
+        self.depth = 0
+        self.guard_depths = []  # brace depth each live guard was declared at
+
+    def feed(self, code, report):
+        events = [(m.start(), m.end(), "guard")
+                  for m in RE_GUARD_DECL.finditer(code)]
+        events += [(m.start(), m.end(), "par")
+                   for m in RE_PARALLEL_FOR.finditer(code)]
+        events.sort()
+        pos = 0
+        for start, end, kind in events:
+            if start < pos:
+                continue
+            self._braces(code[pos:start])
+            if kind == "par":
+                if self.guard_depths:
+                    report()
+            else:
+                self.guard_depths.append(self.depth)
+            self._braces(code[start:end])
+            pos = end
+        self._braces(code[pos:])
+
+    def _braces(self, chunk):
+        for ch in chunk:
+            if ch == "{":
+                self.depth += 1
+            elif ch == "}":
+                self.depth -= 1
+                while self.guard_depths and \
+                        self.guard_depths[-1] > self.depth:
+                    self.guard_depths.pop()
+
+
+def module_of(rel_path):
+    m = RE_MODULE.match(rel_path)
+    return m.group(1) if m else None
+
+
+def lint_file(abs_path, rel_path, violations, include_edges=None):
     try:
         with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
             raw_lines = f.read().splitlines()
@@ -269,12 +412,16 @@ def lint_file(abs_path, rel_path, violations):
     # already covers clocks) and outside src/obs/ (the sanctioned sink).
     obs_clock = (rel_path.startswith("src/") and not determinism
                  and not rel_path.startswith("src/obs/"))
+    # Lock hygiene applies tree-wide under src/ except the wrapper itself.
+    lock_rules = (rel_path.startswith("src/")
+                  and rel_path != LOCK_WRAPPER_FILE)
 
     in_block = False
     unordered_vars = set()
     pending_suppression = set()
     prev_code_tail = ""
     tracker = SubmitTracker()
+    guards = GuardTracker()
 
     for lineno, raw in enumerate(raw_lines, start=1):
         code, in_block = strip_code(raw, in_block)
@@ -336,10 +483,139 @@ def lint_file(abs_path, rel_path, violations):
                 not CONTINUATION_TAIL.search(prev_code_tail):
             report("discarded-status", "result of '%s'" % m.group(1))
 
+        # Match against the raw line: strip_code blanks string literals,
+        # and the include target is one. `^\s*#` keeps commented-out
+        # includes from matching.
+        m = RE_PROJECT_INCLUDE.match(raw)
+        if m and include_edges is not None:
+            include_edges.append((lineno, m.group(1), frozenset(suppressed)))
+
+        if lock_rules:
+            if RE_LOCK_TYPE.search(code):
+                report("lock-raw-mutex")
+            if RE_LOCK_CALL.search(code):
+                report("lock-raw-call")
+            guards.feed(code, lambda: report("lock-across-parallel"))
+
         tracker.feed(code, lambda pos: report("task-throw"))
 
         if stripped:
             prev_code_tail = stripped
+
+
+def read_include_edges(abs_path):
+    """Include edges of a file pulled into the graph only transitively (it
+    was not among the scanned paths, so it gets no per-line rule checks)."""
+    edges = []
+    try:
+        with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError:
+        return edges
+    for lineno, raw in enumerate(raw_lines, start=1):
+        m = RE_PROJECT_INCLUDE.match(raw)
+        if m:
+            edges.append((lineno, m.group(1), frozenset()))
+    return edges
+
+
+def tarjan_sccs(graph):
+    """Iterative Tarjan over {node: [successor, ...]}. Returns the list of
+    strongly-connected components (each a set of nodes), only those that
+    actually contain a cycle (size > 1, or a self-loop)."""
+    index_of = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for start in sorted(graph):
+        if start in index_of:
+            continue
+        work = [(start, iter(sorted(graph.get(start, ()))))]
+        index_of[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in graph:
+                    continue
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                scc = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                if len(scc) > 1 or node in graph.get(node, ()):
+                    sccs.append(scc)
+    return sccs
+
+
+def project_pass(scanned_edges, root, violations):
+    """Whole-graph checks over the scanned files' `#include "src/..."`
+    edges: module-DAG conformance and file-level cycles. The cycle check
+    loads transitively-included files so a cycle is caught even when only
+    one of its files was scanned."""
+    # layer-violation: every scanned edge must be permitted by MODULE_DEPS.
+    for rel in sorted(scanned_edges):
+        src_mod = module_of(rel)
+        if src_mod is None:
+            continue
+        for lineno, target, suppressed in scanned_edges[rel]:
+            dst_mod = module_of(target)
+            if dst_mod is None or dst_mod == src_mod:
+                continue
+            allowed = MODULE_DEPS.get(src_mod)
+            if allowed is not None and dst_mod not in allowed and \
+                    "layer-violation" not in suppressed:
+                violations.append(Violation(
+                    rel, lineno, "layer-violation",
+                    "%s -> %s (includes %s)" % (src_mod, dst_mod, target)))
+
+    # layer-cycle: SCCs over the file graph (scanned plus transitive).
+    graph = {rel: [t for _, t, _ in edges]
+             for rel, edges in scanned_edges.items()}
+    queue = sorted({t for succs in graph.values() for t in succs})
+    while queue:
+        target = queue.pop()
+        if target in graph:
+            continue
+        edges = read_include_edges(os.path.join(root, target))
+        graph[target] = [t for _, t, _ in edges]
+        queue.extend(t for t in graph[target] if t not in graph)
+
+    for scc in tarjan_sccs(graph):
+        for rel in sorted(scc & set(scanned_edges)):
+            for lineno, target, suppressed in scanned_edges[rel]:
+                if target in scc and \
+                        (target != rel or len(scc) == 1) and \
+                        "layer-cycle" not in suppressed:
+                    violations.append(Violation(
+                        rel, lineno, "layer-cycle",
+                        "'%s' and '%s' include each other (cycle of %d "
+                        "files)" % (rel, target, len(scc))))
 
 
 def collect_files(paths, root):
@@ -373,10 +649,22 @@ def main(argv):
                         help="emit violations as a JSON array")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule ids and rationale, then exit")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON baseline: suppress up to the recorded "
+                             "count of findings per (path, rule); stale "
+                             "entries are reported as baseline-expiry")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="record current findings as the baseline "
+                             "and exit 0")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint "
                              "(default: <root>/src)")
     args = parser.parse_args(argv)
+
+    if args.baseline and args.write_baseline:
+        print("mocos_lint: --baseline and --write-baseline are exclusive",
+              file=sys.stderr)
+        return 2
 
     if args.list_rules:
         for rule in sorted(RULES):
@@ -388,11 +676,62 @@ def main(argv):
     paths = args.paths or [os.path.join(root, "src")]
 
     violations = []
+    scanned_edges = {}
     for abs_path in collect_files(paths, root):
         rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
-        lint_file(abs_path, rel, violations)
+        edges = []
+        lint_file(abs_path, rel, violations, edges)
+        scanned_edges[rel] = edges
+    project_pass(scanned_edges, root, violations)
 
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
+
+    if args.write_baseline:
+        counts = {}
+        for v in violations:
+            key = "%s:%s" % (v.path, v.rule)
+            counts[key] = counts.get(key, 0) + 1
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(counts, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("mocos_lint: wrote %d baseline entr%s (%d finding%s) to %s" %
+              (len(counts), "y" if len(counts) == 1 else "ies",
+               len(violations), "" if len(violations) == 1 else "s",
+               args.write_baseline))
+        return 0
+
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as err:
+            print("mocos_lint: cannot read baseline %s: %s" %
+                  (args.baseline, err), file=sys.stderr)
+            return 2
+        if not isinstance(baseline, dict) or \
+                not all(isinstance(n, int) and n > 0
+                        for n in baseline.values()):
+            print("mocos_lint: baseline must map 'path:rule' to positive "
+                  "counts", file=sys.stderr)
+            return 2
+        remaining = dict(baseline)
+        kept = []
+        for v in violations:
+            key = "%s:%s" % (v.path, v.rule)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(v)
+        violations = kept
+        # A baseline entry that over-counts what still fires would mask the
+        # next regression at that site; force the ratchet down instead.
+        for key in sorted(k for k, n in remaining.items() if n > 0):
+            path, _, rule = key.rpartition(":")
+            violations.append(Violation(
+                path, 0, "baseline-expiry",
+                "%d stale finding%s of '%s'" %
+                (remaining[key], "" if remaining[key] == 1 else "s", rule)))
+        violations.sort(key=lambda v: (v.path, v.line, v.rule))
 
     if args.json:
         print(json.dumps(
