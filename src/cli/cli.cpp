@@ -1,5 +1,7 @@
 #include "src/cli/cli.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -139,6 +141,13 @@ core::Weights parse_weights(const util::Config& config) {
   w.entropy_weight = config.get_double("entropy_weight", 0.0);
   w.event_rates = parse_double_list(config, "event_rates");
   w.information_gamma = config.get_double("information_gamma", 1.0);
+  w.capture_weight = config.get_non_negative_double("capture_weight", 0.0);
+  w.capture_duration = config.get_positive_double("capture_duration", 1.0);
+  w.lambda_skew = config.get_double("lambda_skew", 0.0);
+  if (!std::isfinite(w.lambda_skew))
+    throw std::invalid_argument("lambda_skew: must be finite");
+  w.minimax_weight = config.get_non_negative_double("minimax_weight", 0.0);
+  w.smoothmax_beta = config.get_positive_double("smoothmax_beta", 8.0);
   return w;
 }
 
@@ -289,17 +298,56 @@ core::OptimizationOutcome run_optimization(
   opts.use_incremental = config.get_bool("incremental", true);
   opts.should_stop = hooks.should_stop;
   opts.shared_cache = hooks.shared_cache;
+  // Stage-wise smooth-max β annealing: with smoothmax_anneal_stages = S >= 2
+  // the run splits into S warm-started legs (iterations / S each) whose
+  // temperature climbs geometrically from smoothmax_beta to
+  // smoothmax_beta_final — soft, well-conditioned maxima early, near-hard
+  // worst case late.
+  const std::size_t anneal_stages =
+      config.get_size("smoothmax_anneal_stages", 1);
+  const double beta_final =
+      config.get_non_negative_double("smoothmax_beta_final", 0.0);
+  if (anneal_stages == 0)
+    throw std::invalid_argument("smoothmax_anneal_stages: must be >= 1");
+  if (anneal_stages > 1) {
+    if (problem.weights().minimax_weight <= 0.0)
+      throw std::invalid_argument(
+          "smoothmax_anneal_stages: requires minimax_weight > 0");
+    if (!(beta_final >= problem.weights().smoothmax_beta))
+      throw std::invalid_argument(
+          "smoothmax_anneal_stages: requires smoothmax_beta_final >= "
+          "smoothmax_beta");
+    if (opts.starts > 1)
+      throw std::invalid_argument(
+          "smoothmax_anneal_stages: not supported with starts > 1");
+    opts.max_iterations =
+        std::max<std::size_t>(1, opts.max_iterations / anneal_stages);
+  }
   const core::CoverageOptimizer optimizer(problem, opts);
   // A warm start only applies to single-start runs of the right size; a
   // mismatch (topology changed under a reused cache_key) silently falls back
   // to the config's own start policy rather than failing the request.
-  if (hooks.warm_start != nullptr && opts.starts == 1 &&
-      hooks.warm_start->size() == problem.num_pois()) {
-    if (hooks.warm_start_applied != nullptr)
-      *hooks.warm_start_applied = true;
-    return optimizer.run(*hooks.warm_start);
+  core::OptimizationOutcome outcome = [&] {
+    if (hooks.warm_start != nullptr && opts.starts == 1 &&
+        hooks.warm_start->size() == problem.num_pois()) {
+      if (hooks.warm_start_applied != nullptr)
+        *hooks.warm_start_applied = true;
+      return optimizer.run(*hooks.warm_start);
+    }
+    return optimizer.run(ctx);
+  }();
+  for (std::size_t s = 1; s < anneal_stages; ++s) {
+    const double beta0 = problem.weights().smoothmax_beta;
+    const double t =
+        static_cast<double>(s) / static_cast<double>(anneal_stages - 1);
+    opts.smoothmax_beta_override = beta0 * std::pow(beta_final / beta0, t);
+    // Decorrelate each stage's perturbation stream from the previous one
+    // while keeping the whole schedule a pure function of the config seed.
+    opts.seed += 1;
+    const core::CoverageOptimizer stage(problem, opts);
+    outcome = stage.run(outcome.p);
   }
-  return optimizer.run(ctx);
+  return outcome;
 }
 
 namespace {

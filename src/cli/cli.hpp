@@ -27,6 +27,21 @@ namespace mocos::cli {
 ///               where the dense O(M³) tensors stop fitting in memory)
 ///   alpha, beta, epsilon                           (objective weights)
 ///   energy_gamma, energy_target, entropy_weight    (§VII extensions)
+///   event_rates = l1,l2,...   (per-PoI Poisson event rates λ_i; enables the
+///               information-capture term when information_gamma > 0 and
+///               feeds the event-capture term when capture_weight > 0)
+///   information_gamma = <double>   (information-capture weight, default 1;
+///               <= 0 disables that term even with event_rates set)
+///   capture_weight, capture_duration   (event-capture objective: weight > 0
+///               adds 1 − expected captured-event fraction for events that
+///               persist `capture_duration` transitions; defaults 0 / 1.
+///               Needs only (π, Z), so it composes with support_radius > 0)
+///   lambda_skew = <double>    (rate profile λ_i ∝ (i+1)^-skew, normalized,
+///               used by the capture term when event_rates is empty;
+///               0 = uniform)
+///   minimax_weight, smoothmax_beta   (smooth worst-PoI exposure objective:
+///               weight > 0 adds the log-sum-exp smooth max of the per-PoI
+///               mean exposures at temperature smoothmax_beta, default 8)
 ///   obstacle  = rect:minx,miny,maxx,maxy | poly:x,y;x,y;...   (repeatable;
 ///               switches to the obstacle-aware routed motion model)
 ///   clearance = <double>                           (route corner margin)
@@ -53,6 +68,13 @@ core::Problem build_problem(const util::Config& config);
 ///                             size/density, on forces the sparse path, off
 ///                             forces dense; the --sparse flag wins over the
 ///                             key and MOCOS_NO_SPARSE wins over everything)
+///   smoothmax_beta_final = <double>, smoothmax_anneal_stages = <n>
+///                            (β annealing: with stages >= 2 the run splits
+///                             into that many warm-started legs — iterations
+///                             divided evenly — whose smooth-max temperature
+///                             climbs geometrically from smoothmax_beta to
+///                             smoothmax_beta_final; requires
+///                             minimax_weight > 0 and starts = 1)
 ///
 /// Shared by the single-run CLI and the batch runner.
 core::OptimizationOutcome run_optimization(const util::Config& config,

@@ -41,7 +41,8 @@ OptimizationOutcome CoverageOptimizer::run(
     if (options_.algorithm != Algorithm::kPerturbed)
       throw std::invalid_argument(
           "CoverageOptimizer: starts > 1 requires the perturbed algorithm");
-    const cost::CompositeCost cost = problem_.make_cost();
+    const cost::CompositeCost cost =
+        problem_.make_cost(options_.smoothmax_beta_override);
     descent::MultiStartConfig cfg;
     cfg.starts = options_.starts;
     cfg.random_start = options_.random_start;
@@ -79,7 +80,8 @@ OptimizationOutcome CoverageOptimizer::run(
 
 OptimizationOutcome CoverageOptimizer::run(
     const markov::TransitionMatrix& start) const {
-  const cost::CompositeCost cost = problem_.make_cost();
+  const cost::CompositeCost cost =
+      problem_.make_cost(options_.smoothmax_beta_override);
 
   if (options_.algorithm == Algorithm::kPerturbed) {
     descent::PerturbedConfig cfg;

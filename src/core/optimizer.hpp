@@ -39,6 +39,11 @@ struct OptimizerOptions {
   /// true ends the run with StopReason::kCancelled and the best iterate so
   /// far (mocos_serve request deadlines). Null: never stops early.
   std::function<bool()> should_stop;
+  /// Per-run override of the minimax term's smooth-max temperature β
+  /// (nullopt keeps the Weights value). The β-annealing driver raises this
+  /// across warm-started stages so early stages see a soft, well-conditioned
+  /// max and late stages approach the hard worst case.
+  std::optional<double> smoothmax_beta_override;
   /// Externally owned solver cache for all probe evaluations — mocos_serve's
   /// warm-reuse path. Only honored for single-start runs (parallel starts
   /// sharing one cache would race); the caller guarantees exclusive access

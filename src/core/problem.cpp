@@ -1,5 +1,6 @@
 #include "src/core/problem.hpp"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -8,8 +9,10 @@
 #include "src/cost/coverage_term.hpp"
 #include "src/cost/energy_term.hpp"
 #include "src/cost/entropy_term.hpp"
+#include "src/cost/event_capture_term.hpp"
 #include "src/cost/exposure_term.hpp"
 #include "src/cost/information_term.hpp"
+#include "src/cost/minimax_exposure_term.hpp"
 #include "src/geometry/city_topology.hpp"
 #include "src/markov/fundamental.hpp"
 
@@ -69,9 +72,28 @@ std::vector<double> resolve_weights(double scalar,
 }
 }  // namespace
 
-cost::CompositeCost Problem::make_cost() const {
+std::vector<double> Problem::resolved_event_rates() const {
+  if (!weights_.event_rates.empty()) return weights_.event_rates;
+  const std::size_t n = num_pois();
+  std::vector<double> rates(n, 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = std::pow(static_cast<double>(i + 1), -weights_.lambda_skew);
+    sum += rates[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) rates[i] /= sum;
+  return rates;
+}
+
+cost::CompositeCost Problem::make_cost(
+    std::optional<double> smoothmax_beta_override) const {
   cost::CompositeCost u;
-  if (tensors_.sparse() && !weights_.event_rates.empty())
+  // Information capture stays gated on the dense coverage matrices; event
+  // capture needs only (π, Z) and composes with sparse problems, so rates
+  // alone no longer force the dense path.
+  const bool info_enabled =
+      !weights_.event_rates.empty() && weights_.information_gamma > 0.0;
+  if (tensors_.sparse() && info_enabled)
     throw std::invalid_argument(
         "Problem: the information-capture objective needs the dense per-PoI "
         "coverage matrices and cannot be combined with support_radius > 0");
@@ -94,9 +116,17 @@ cost::CompositeCost Problem::make_cost() const {
   // mocos-lint: allow(float-eq)
   if (weights_.entropy_weight != 0.0)
     u.add(std::make_unique<cost::EntropyTerm>(weights_.entropy_weight));
-  if (!weights_.event_rates.empty())
+  if (info_enabled)
     u.add(std::make_unique<cost::InformationCaptureTerm>(
         tensors_, weights_.event_rates, weights_.information_gamma));
+  if (weights_.capture_weight > 0.0)
+    u.add(std::make_unique<cost::EventCaptureTerm>(
+        resolved_event_rates(), weights_.capture_duration,
+        weights_.capture_weight));
+  if (weights_.minimax_weight > 0.0)
+    u.add(std::make_unique<cost::MinimaxExposureTerm>(
+        weights_.minimax_weight,
+        smoothmax_beta_override.value_or(weights_.smoothmax_beta)));
   return u;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "src/cost/composite_cost.hpp"
 #include "src/cost/metrics.hpp"
@@ -25,9 +26,24 @@ struct Weights {
   double energy_target = 0.0;  // prescribed movement per transition
   double entropy_weight = 0.0; // §VII entropy objective; 0 disables
   /// §III information-capture objective: event rates λ_i (empty disables)
-  /// and its weight γ.
+  /// and its weight γ. A non-positive γ disables the information term even
+  /// with rates set, so the rates can feed the event-capture term alone.
   std::vector<double> event_rates;
   double information_gamma = 1.0;
+  /// Event-capture objective (EventCaptureTerm): expected captured fraction
+  /// of Poisson events with window `capture_duration` (in transitions).
+  /// capture_weight > 0 enables; the λ_i come from `event_rates` when set,
+  /// otherwise from the power-law profile λ_i ∝ (i+1)^{-lambda_skew}
+  /// normalized to sum 1 (skew 0 = uniform; larger skews concentrate events
+  /// on low-index PoIs).
+  double capture_weight = 0.0;
+  double capture_duration = 1.0;
+  double lambda_skew = 0.0;
+  /// Minimax (smooth worst-PoI) exposure objective (MinimaxExposureTerm):
+  /// weight > 0 enables; smoothmax_beta is the log-sum-exp temperature
+  /// (annealable per run via OptimizerOptions::smoothmax_beta_override).
+  double minimax_weight = 0.0;
+  double smoothmax_beta = 8.0;
 };
 
 /// Physical motion parameters; the defaults match the reconstructed Fig.-1
@@ -73,8 +89,17 @@ class Problem {
 
   /// Builds the penalized multi-objective cost U_ε for these weights. The
   /// returned cost owns copies of everything it needs and outlives the
-  /// Problem safely.
-  cost::CompositeCost make_cost() const;
+  /// Problem safely. `smoothmax_beta_override` replaces the weights'
+  /// smooth-max temperature for this one cost (the β-annealing hook);
+  /// nullopt keeps the configured value.
+  cost::CompositeCost make_cost(
+      std::optional<double> smoothmax_beta_override = std::nullopt) const;
+
+  /// The event rates the capture objective runs on: `weights().event_rates`
+  /// verbatim when non-empty, otherwise the normalized lambda_skew profile
+  /// (see Weights). Always size num_pois(), summing to 1 in the derived
+  /// case.
+  std::vector<double> resolved_event_rates() const;
 
   /// Paper metrics (Eqs. 2, 3, 12, 13) at a candidate schedule.
   cost::Metrics metrics_of(const markov::TransitionMatrix& p) const;

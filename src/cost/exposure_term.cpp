@@ -58,18 +58,23 @@ double ExposureTerm::value(const markov::ChainAnalysis& chain) const {
   return u;
 }
 
-void ExposureTerm::accumulate_partials(const markov::ChainAnalysis& chain,
-                                       Partials& out) const {
+void ExposureTerm::accumulate_weighted_exposure_partials(
+    const markov::ChainAnalysis& chain, const linalg::Vector& dcost_dexposure,
+    Partials& out) {
   const std::size_t n = chain.p.size();
-  const linalg::Vector e = mean_exposures(chain);
-  // dU = Σ_i β_i Ē_i dĒ_i with, writing s_i = 1 - p_ii:
+  if (dcost_dexposure.size() != n)
+    throw std::invalid_argument(
+        "accumulate_weighted_exposure_partials: weight size mismatch");
+  const linalg::Vector e = compute_mean_exposures(chain);
+  // dU = Σ_i g_i dĒ_i with g_i = dcost_dexposure[i] and, writing
+  // s_i = 1 - p_ii:
   //   ∂Ē_i/∂π_i       = -Ē_i / π_i
   //   ∂Ē_i/∂p_ii      =  Ē_i / s_i
   //   ∂Ē_i/∂p_ij      = (z_ii - z_ji)/(π_i s_i)          (j ≠ i)
   //   ∂Ē_i/∂z_ii      = Σ_{j≠i} p_ij /(π_i s_i) = 1/π_i
   //   ∂Ē_i/∂z_ji      = -p_ij /(π_i s_i)                 (j ≠ i)
   for (std::size_t i = 0; i < n; ++i) {
-    const double w = betas_[i] * e[i];
+    const double w = dcost_dexposure[i];
     // Exact on purpose: every partial below is scaled by w, so skipping an
     // exact zero is lossless; skipping near-zeros would bias the gradient.
     // mocos-lint: allow(float-eq)
@@ -85,6 +90,16 @@ void ExposureTerm::accumulate_partials(const markov::ChainAnalysis& chain,
       out.du_dz(j, i) += w * (-chain.p(i, j) * inv_pis);
     }
   }
+}
+
+void ExposureTerm::accumulate_partials(const markov::ChainAnalysis& chain,
+                                       Partials& out) const {
+  // The quadratic objective U = Σ_i ½ β_i Ē_i² has outer derivative
+  // ∂U/∂Ē_i = β_i Ē_i; everything else is the shared Ē_i chain rule.
+  const linalg::Vector e = mean_exposures(chain);
+  linalg::Vector g(e.size(), 0.0);
+  for (std::size_t i = 0; i < e.size(); ++i) g[i] = betas_[i] * e[i];
+  accumulate_weighted_exposure_partials(chain, g, out);
 }
 
 }  // namespace mocos::cost

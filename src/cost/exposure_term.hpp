@@ -35,6 +35,15 @@ class ExposureTerm final : public CostTerm {
   static linalg::Vector compute_mean_exposures(
       const markov::ChainAnalysis& chain);
 
+  /// Accumulates Σ_i g_i dĒ_i into `out`, where `dcost_dexposure[i]` = g_i is
+  /// the outer derivative ∂U/∂Ē_i of whatever scalar U the caller built from
+  /// the mean exposures. This factors the Ē_i partial formulas out of the
+  /// quadratic exposure objective so other exposure-derived terms (e.g. the
+  /// smooth-max MinimaxExposureTerm) reuse them instead of re-deriving.
+  static void accumulate_weighted_exposure_partials(
+      const markov::ChainAnalysis& chain,
+      const linalg::Vector& dcost_dexposure, Partials& out);
+
  private:
   std::vector<double> betas_;
 };

@@ -111,6 +111,25 @@ double Config::get_double(const std::string& key, double fallback) const {
   return parse_double(get_string(key, ""));
 }
 
+double Config::get_positive_double(const std::string& key,
+                                   double fallback) const {
+  const double v = get_double(key, fallback);
+  // !(v > 0) also rejects NaN; the isfinite gate rejects "inf" tokens.
+  if (!std::isfinite(v) || !(v > 0.0))
+    throw std::invalid_argument("Config: '" + key +
+                                "' must be a finite value > 0");
+  return v;
+}
+
+double Config::get_non_negative_double(const std::string& key,
+                                       double fallback) const {
+  const double v = get_double(key, fallback);
+  if (!std::isfinite(v) || !(v >= 0.0))
+    throw std::invalid_argument("Config: '" + key +
+                                "' must be a finite value >= 0");
+  return v;
+}
+
 std::size_t Config::get_size(const std::string& key,
                              std::size_t fallback) const {
   if (!has(key)) return fallback;

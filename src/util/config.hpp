@@ -39,6 +39,13 @@ class Config {
   std::string require_string(const std::string& key) const;
 
   double get_double(const std::string& key, double fallback) const;
+  /// get_double with a range gate on the result (fallback included): the
+  /// value must be finite and > 0 (positive) / >= 0 (non-negative); NaN
+  /// fails both. Throws std::invalid_argument naming the key — the
+  /// validation path for weight-like optimizer keys.
+  double get_positive_double(const std::string& key, double fallback) const;
+  double get_non_negative_double(const std::string& key,
+                                 double fallback) const;
   std::size_t get_size(const std::string& key, std::size_t fallback) const;
   /// Accepts true/false/1/0/yes/no (case-insensitive).
   bool get_bool(const std::string& key, bool fallback) const;

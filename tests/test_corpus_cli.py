@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Corpus regression harness (see tools/corpus/).
+
+Slice mode (the tier-1 gate, default):
+  1. generates the seeded corpus twice and requires byte-identical trees
+     (manifest + every sampled config),
+  2. runs the stratified slice through the batch CLI at --jobs 1 and
+     --jobs 8 and requires byte-identical summary documents with zero
+     scenario failures,
+  3. normalizes the summary (floats rounded to 6 significant digits,
+     canonical JSON) and compares its sha256 against the checked-in golden
+     digest. Regenerate goldens with MOCOS_GOLDEN_UPDATE=1.
+
+Full mode (--full, the nightly-labeled ctest): runs every corpus scenario
+through the batch CLI at --jobs 8 and requires zero failures. The golden
+digest only covers the slice, so the nightly stays robust to corpus growth
+while still sweeping all ~1200 scenarios for crashes, non-determinism
+escapes, and numerical failures.
+
+Usage:
+  test_corpus_cli.py --cli PATH --corpus-bin PATH --golden-dir DIR [--full]
+"""
+
+import argparse
+import filecmp
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+GOLDEN_DIGEST = "corpus_slice.sha256"
+GOLDEN_SUMMARY = "corpus_slice_summary.json"
+
+
+def fail(msg):
+    print("FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def run(cmd, cwd=None):
+    proc = subprocess.run(cmd, cwd=cwd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def round_floats(node):
+    if isinstance(node, float):
+        return float("%.6g" % node)
+    if isinstance(node, list):
+        return [round_floats(x) for x in node]
+    if isinstance(node, dict):
+        return {k: round_floats(v) for k, v in node.items()}
+    return node
+
+
+def normalize_summary(text):
+    doc = round_floats(json.loads(text))
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def generate(corpus_bin, out_dir):
+    code, out, err = run([corpus_bin, "--out", out_dir])
+    if code != 0:
+        fail("mocos_corpus exited %d: %s%s" % (code, out, err))
+
+
+def check_generation_determinism(corpus_bin, root):
+    a = os.path.join(root, "corpus_a")
+    b = os.path.join(root, "corpus_b")
+    generate(corpus_bin, a)
+    generate(corpus_bin, b)
+    if not filecmp.cmp(os.path.join(a, "manifest.tsv"),
+                       os.path.join(b, "manifest.tsv"), shallow=False):
+        fail("same-seed regeneration changed manifest.tsv")
+    scenarios = sorted(os.listdir(os.path.join(a, "scenarios")))
+    if len(scenarios) < 1000:
+        fail("corpus has %d scenarios; expected >= 1000" % len(scenarios))
+    # Full per-file comparison is cheap relative to the batch runs below.
+    for name in scenarios:
+        if not filecmp.cmp(os.path.join(a, "scenarios", name),
+                           os.path.join(b, "scenarios", name), shallow=False):
+            fail("same-seed regeneration changed scenarios/%s" % name)
+    print("ok: deterministic generation (%d scenarios)" % len(scenarios))
+    return a
+
+
+def check_manifest_digests(corpus_dir):
+    """Every manifest row's FNV-1a 64 digest must match the file on disk."""
+    def fnv1a64(data):
+        h = 0xCBF29CE484222325
+        for byte in data:
+            h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h
+
+    rows = 0
+    with open(os.path.join(corpus_dir, "manifest.tsv")) as manifest:
+        for line in manifest:
+            if line.startswith("#"):
+                continue
+            fields = line.rstrip("\n").split("\t")
+            path, digest = fields[9], fields[10]
+            with open(os.path.join(corpus_dir, path), "rb") as conf:
+                actual = "%016x" % fnv1a64(conf.read())
+            if actual != digest:
+                fail("manifest digest mismatch for %s: %s != %s"
+                     % (path, actual, digest))
+            rows += 1
+    print("ok: %d manifest digests verified" % rows)
+
+
+def run_batch(cli, corpus_dir, list_name, jobs, summary_path):
+    code, out, err = run(
+        [cli, "--batch", list_name, "--jobs", str(jobs),
+         "--summary", summary_path],
+        cwd=corpus_dir)
+    if code != 0:
+        fail("batch %s --jobs %d exited %d\nstderr:\n%s"
+             % (list_name, jobs, code, err))
+    with open(summary_path) as f:
+        text = f.read()
+    doc = json.loads(text)
+    if doc["failed"] != 0:
+        fail("batch %s: %d scenario failures" % (list_name, doc["failed"]))
+    return text, doc
+
+
+def check_slice(cli, corpus_dir, golden_dir, root):
+    s1 = os.path.join(root, "summary_jobs1.json")
+    s8 = os.path.join(root, "summary_jobs8.json")
+    text1, doc1 = run_batch(cli, corpus_dir, "slice.list", 1, s1)
+    text8, _ = run_batch(cli, corpus_dir, "slice.list", 8, s8)
+    if text1 != text8:
+        fail("slice summaries differ between --jobs 1 and --jobs 8")
+    print("ok: slice summaries byte-identical across --jobs (%d scenarios)"
+          % doc1["scenarios"])
+
+    normalized = normalize_summary(text1)
+    digest = hashlib.sha256(normalized.encode()).hexdigest()
+    digest_path = os.path.join(golden_dir, GOLDEN_DIGEST)
+    summary_path = os.path.join(golden_dir, GOLDEN_SUMMARY)
+    if os.environ.get("MOCOS_GOLDEN_UPDATE") == "1":
+        with open(digest_path, "w") as f:
+            f.write(digest + "\n")
+        with open(summary_path, "w") as f:
+            f.write(normalized)
+        print("ok: goldens updated (%s)" % digest)
+        return
+    if not os.path.exists(digest_path):
+        fail("missing golden %s; run with MOCOS_GOLDEN_UPDATE=1" % digest_path)
+    with open(digest_path) as f:
+        expected = f.read().strip()
+    if digest != expected:
+        # The checked-in normalized summary makes the regression reviewable:
+        # show which scenarios moved instead of just two hashes.
+        diff = ""
+        if os.path.exists(summary_path):
+            with open(summary_path) as f:
+                golden_doc = json.loads(f.read())
+            got_doc = json.loads(normalized)
+            golden_by = {r["config"]: r for r in golden_doc["results"]}
+            got_by = {r["config"]: r for r in got_doc["results"]}
+            for key in sorted(set(golden_by) | set(got_by)):
+                if golden_by.get(key) != got_by.get(key):
+                    diff += "  %s\n    golden: %s\n    got:    %s\n" % (
+                        key, golden_by.get(key), got_by.get(key))
+        fail("slice summary digest %s != golden %s\nchanged scenarios:\n%s"
+             "(intentional? rerun with MOCOS_GOLDEN_UPDATE=1)"
+             % (digest, expected, diff or "  (unavailable)\n"))
+    print("ok: slice summary matches golden digest %s" % digest[:12])
+
+
+def check_full(cli, corpus_dir, root):
+    summary = os.path.join(root, "summary_full.json")
+    _, doc = run_batch(cli, corpus_dir, "full.list", 8, summary)
+    print("ok: full corpus clean (%d scenarios)" % doc["scenarios"])
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True)
+    parser.add_argument("--corpus-bin", required=True)
+    parser.add_argument("--golden-dir", required=True)
+    parser.add_argument("--full", action="store_true",
+                        help="run every scenario (the nightly gate)")
+    args = parser.parse_args()
+    # Batch runs chdir into the corpus directory, so binary/golden paths
+    # must survive the cwd change.
+    args.cli = os.path.abspath(args.cli)
+    args.corpus_bin = os.path.abspath(args.corpus_bin)
+    args.golden_dir = os.path.abspath(args.golden_dir)
+
+    root = tempfile.mkdtemp(prefix="mocos_corpus_")
+    try:
+        corpus_dir = check_generation_determinism(args.corpus_bin, root)
+        check_manifest_digests(corpus_dir)
+        if args.full:
+            check_full(args.cli, corpus_dir, root)
+        else:
+            check_slice(args.cli, corpus_dir, args.golden_dir, root)
+        print("PASS")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,9 @@
 #include "gtest/gtest.h"
 #include "src/core/problem.hpp"
 #include "src/cost/composite_cost.hpp"
+#include "src/cost/event_capture_term.hpp"
 #include "src/cost/metrics.hpp"
+#include "src/cost/minimax_exposure_term.hpp"
 #include "src/descent/initializers.hpp"
 #include "src/geometry/city_topology.hpp"
 #include "src/geometry/topology.hpp"
@@ -201,6 +203,74 @@ TEST(Metamorphic, PoiRelabelingInvariantAcrossSparseBlockBoundaries) {
     EXPECT_NEAR(m_rel.c_share[i], m_base.c_share[perm[i]], 1e-9);
 
   markov::force_sparse_mode(markov::SparseMode::kAuto);
+}
+
+TEST(Metamorphic, PoiRelabelingInvariantForCaptureAndMinimaxTerms) {
+  // Relabeling relation for the event-capture and minimax-exposure
+  // objectives: permuting PoIs together with their event rates and
+  // conjugating the schedule must permute the per-PoI capture
+  // probabilities and softmax weights, and leave the captured fraction,
+  // the smooth max, and the full composite cost invariant.
+  const std::vector<double> kRates = {0.30, 0.05, 0.20, 0.15, 0.10, 0.20};
+  const std::vector<std::size_t> perm = {5, 0, 3, 1, 4, 2};
+  const double duration = 2.0;
+  const double smoothmax_beta = 5.0;
+
+  auto capture_problem = [&](const std::vector<std::size_t>& sigma) {
+    std::vector<geometry::Vec2> pos(sigma.size());
+    std::vector<double> tgt(sigma.size());
+    std::vector<double> rates(sigma.size());
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      pos[i] = kPositions[sigma[i]];
+      tgt[i] = kTargets[sigma[i]];
+      rates[i] = kRates[sigma[i]];
+    }
+    core::Weights w;
+    w.alpha = 1.0;
+    w.beta = 0.5;
+    w.information_gamma = 0.0;  // isolate the new terms from the info term
+    w.event_rates = std::move(rates);
+    w.capture_weight = 1.2;
+    w.capture_duration = duration;
+    w.minimax_weight = 0.8;
+    w.smoothmax_beta = smoothmax_beta;
+    return core::Problem(
+        geometry::Topology("metamorphic", std::move(pos), std::move(tgt)),
+        core::Physics{}, w);
+  };
+  const core::Problem base = capture_problem(identity_perm());
+  const core::Problem relabeled = capture_problem(perm);
+
+  std::vector<double> perm_rates(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    perm_rates[i] = kRates[perm[i]];
+  const cost::EventCaptureTerm cap(kRates, duration, 1.0);
+  const cost::EventCaptureTerm cap_perm(perm_rates, duration, 1.0);
+  const cost::MinimaxExposureTerm mm(1.0, smoothmax_beta);
+
+  util::Rng rng(31);
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const markov::TransitionMatrix p = test::random_positive_chain(6, rng);
+    const markov::TransitionMatrix q = conjugate(p, perm);
+    const markov::ChainAnalysis a = markov::analyze_chain(p);
+    const markov::ChainAnalysis b = markov::analyze_chain(q);
+
+    const linalg::Vector f = cap.per_poi_capture(a);
+    const linalg::Vector ff = cap_perm.per_poi_capture(b);
+    const linalg::Vector sigma = mm.softmax_weights(a);
+    const linalg::Vector sigma_perm = mm.softmax_weights(b);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      EXPECT_NEAR(ff[i], f[perm[i]], 1e-10);
+      EXPECT_NEAR(sigma_perm[i], sigma[perm[i]], 1e-9);
+    }
+    EXPECT_NEAR(cap_perm.capture_fraction(b), cap.capture_fraction(a), 1e-10);
+    EXPECT_NEAR(mm.smooth_max(b), mm.smooth_max(a), 1e-9);
+
+    const double u = base.make_cost().value(a);
+    const double uu = relabeled.make_cost().value(b);
+    EXPECT_NEAR(uu, u, 1e-9 * (1.0 + std::abs(u)));
+  }
 }
 
 TEST(Metamorphic, TimeRescalingScalesDurationsAndMetricsExactly) {

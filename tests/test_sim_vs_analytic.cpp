@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/sensing/travel_model.hpp"
+#include "src/cost/event_capture_term.hpp"
 #include "src/cost/exposure_term.hpp"
 #include "src/cost/metrics.hpp"
 #include "src/geometry/paper_topologies.hpp"
+#include "src/sim/event_capture.hpp"
 #include "src/sim/simulator.hpp"
 #include "tests/helpers.hpp"
 
@@ -114,6 +117,92 @@ TEST(SimVsAnalytic, Equation14CostMatches) {
   EXPECT_NEAR(res.cost(1.0, 0.0, targets), m.cost(1.0, 0.0),
               0.05 * m.cost(1.0, 0.0) + 1e-6);
 }
+
+/// Distance from PoI `k` to the straight segment between PoIs `a` and `b`.
+double poi_to_segment(const geometry::Topology& topo, std::size_t a,
+                      std::size_t b, std::size_t k) {
+  const geometry::Vec2 pa = topo.position(a);
+  const geometry::Vec2 d = topo.position(b) - pa;
+  const geometry::Vec2 q = topo.position(k) - pa;
+  const double len2 = d.x * d.x + d.y * d.y;
+  const double t =
+      std::clamp(len2 > 0.0 ? (q.x * d.x + q.y * d.y) / len2 : 0.0, 0.0, 1.0);
+  const geometry::Vec2 gap = q - d * t;
+  return std::sqrt(gap.x * gap.x + gap.y * gap.y);
+}
+
+/// Random ergodic chain supported only on transitions whose straight-line
+/// path stays clear of every third PoI. On the line and grid topologies a
+/// fully dense chain overflies intermediate PoIs in transit, capturing
+/// events the stationary-hitting model cannot see; nearest-neighbour moves
+/// (which this restriction keeps) leave all four paper topologies strongly
+/// connected.
+markov::TransitionMatrix clear_path_chain(const geometry::Topology& topo,
+                                          util::Rng& rng, double margin) {
+  const std::size_t n = topo.size();
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 0.1 + rng.uniform();
+    double sum = m(i, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      bool clear = true;
+      for (std::size_t k = 0; k < n && clear; ++k)
+        if (k != i && k != j) clear = poi_to_segment(topo, i, j, k) > margin;
+      if (!clear) continue;
+      m(i, j) = 0.05 + rng.uniform();
+      sum += m(i, j);
+    }
+    for (std::size_t j = 0; j < n; ++j) m(i, j) /= sum;
+  }
+  return markov::TransitionMatrix(m);
+}
+
+class CaptureVsAnalyticTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaptureVsAnalyticTest, EventCaptureTermMatchesMonteCarlo) {
+  // Matched regime for the analytic capture model: near-instant travel
+  // (speed 200) makes one transition ~ one pause = one time unit, a small
+  // sensing radius makes "covered" ~ "paused at the PoI", and the chain
+  // support keeps transit paths clear of third PoIs, so the simulator's
+  // wall-clock event window lines up with the term's window in transitions.
+  // What remains is the term's documented exponentialization of the
+  // residual hitting time — the tolerances below budget that modeling
+  // error plus Monte Carlo noise (see DESIGN.md §14).
+  const int topo = GetParam();
+  sensing::TravelModel model(geometry::paper_topology(topo), 200.0, 1.0,
+                             0.05);
+  const std::size_t n = model.num_pois();
+  util::Rng rng(600 + topo);
+  const auto p = clear_path_chain(model.topology(), rng, 0.2);
+  const auto chain = markov::analyze_chain(p);
+
+  const double duration = 2.0;
+  const std::vector<double> rates(n, 1.5);
+  const cost::EventCaptureTerm term(rates, duration, 1.0);
+  const auto analytic = term.per_poi_capture(chain);
+
+  EventCaptureConfig cfg;
+  cfg.num_transitions = 60000;
+  cfg.event_duration = duration;
+  const auto res = EventCaptureSimulator(cfg).run(model, p, rates, rng);
+
+  double weighted_sim = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(res.events[i], 500u) << "PoI " << i;
+    EXPECT_NEAR(res.capture_fraction[i], analytic[i], 0.08)
+        << "PoI " << i << " topology " << topo;
+    weighted_sim += res.capture_fraction[i];
+  }
+  // Per-PoI errors are signed modeling residuals that partially cancel in
+  // the aggregate the term actually optimizes.
+  EXPECT_NEAR(weighted_sim / static_cast<double>(n),
+              term.capture_fraction(chain), 0.05)
+      << "topology " << topo;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, CaptureVsAnalyticTest,
+                         ::testing::Values(1, 2, 3, 4));
 
 TEST(SimVsAnalytic, WallClockExposureDiffersFromUnitConvention) {
   // The paper's §VI-D caveat: the analytic Ē uses unit transitions, so the

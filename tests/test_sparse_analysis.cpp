@@ -182,6 +182,41 @@ TEST(SparseMode, AutoGateRespectsSizeAndDensity) {
   }
 }
 
+TEST(SparseMode, AutoGatePinnedExactlyAtItsBoundaries) {
+  // Regression pin on the documented kAuto contract — M >= 192 AND
+  // density <= 0.25, both comparisons inclusive. A drift in either constant
+  // or a <-vs-<= slip silently reroutes city-scale maps between pipelines;
+  // this test fails loudly instead.
+  ASSERT_EQ(markov::kSparseAutoMinSize, 192u);
+  ASSERT_EQ(markov::kSparseAutoMaxDensity, 0.25);
+
+  // Identical ring structure (self + both neighbours, density 3/M << 0.25)
+  // on either side of the size cutoff: 191 stays dense, 192 goes sparse.
+  const auto ring = [](std::size_t n) {
+    linalg::Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m(i, i) = 0.5;
+      m(i, (i + 1) % n) = 0.25;
+      m(i, (i + n - 1) % n) = 0.25;
+    }
+    return m;
+  };
+  EXPECT_FALSE(markov::sparse_path_enabled(ring(191)));
+  EXPECT_TRUE(markov::sparse_path_enabled(ring(192)));
+
+  // Density boundary at M = 192: exactly 25% nonzeros still qualifies; one
+  // extra nonzero tips the chain back to the dense pipeline.
+  const std::size_t n = markov::kSparseAutoMinSize;
+  const std::size_t row_quota = n / 4;  // 48 nonzeros/row == exactly 25%
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < row_quota; ++k)
+      m(i, (i + k) % n) = 1.0 / static_cast<double>(row_quota);
+  EXPECT_TRUE(markov::sparse_path_enabled(m));
+  m(0, row_quota) = 1e-12;  // 25% + one entry
+  EXPECT_FALSE(markov::sparse_path_enabled(m));
+}
+
 TEST(SparseIncremental, CacheParityHoldsAtBlockLevel) {
   // The incremental cache's parity contract, at block level: a sparse full
   // rebuild followed by Sherman-Morrison row updates must agree with dense

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mocos::corpus {
+
+/// Knobs of the seeded scenario-corpus generator. The corpus is a pure
+/// function of these values: the same options produce byte-identical config
+/// files, list files, and manifest on every run and platform (the generator
+/// uses its own splitmix64 stream and fixed-format number printing — no
+/// std::random distributions, no locale, no wall clock).
+struct CorpusOptions {
+  std::uint64_t seed = 20260808;
+  /// Minimum corpus size; rounded up to a whole number of variants per
+  /// stratum (family x size x target-skew x objective-mix).
+  std::size_t min_scenarios = 1200;
+  /// Approximate size of the stratified tier-1 slice (slice.list): every
+  /// floor(total / slice_target)-th scenario of the stratified order.
+  std::size_t slice_target = 64;
+};
+
+/// One generated scenario: the config text plus the stratum coordinates the
+/// manifest records.
+struct Scenario {
+  std::string id;           // file stem, e.g. "s0001_grid_m09_power_capture_v0"
+  std::string family;       // grid | ring | line | city
+  std::size_t size = 0;     // PoI count M
+  std::string target_skew;  // uniform | power | spike
+  double lambda_skew = 0.0;
+  std::string mix;  // baseline | capture | minimax | capture_minimax | full
+  std::size_t variant = 0;
+  std::uint64_t seed = 0;    // optimizer seed written into the config
+  std::string config;        // full config-file text
+  std::uint64_t digest = 0;  // fnv1a64(config)
+};
+
+/// splitmix64 step (Steele/Lea/Flood): advances `state` and returns the next
+/// 64-bit value. Chosen over util::Rng because std:: distributions are
+/// implementation-defined and the corpus must hash identically everywhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit over the bytes of `data` — the per-scenario digest recorded
+/// in the manifest.
+std::uint64_t fnv1a64(const std::string& data);
+
+/// Generates the full stratified corpus for `options`, in manifest order.
+std::vector<Scenario> generate_corpus(const CorpusOptions& options);
+
+/// Indices of the stratified slice: 0, k, 2k, ... with
+/// k = max(1, total / slice_target).
+std::vector<std::size_t> slice_indices(std::size_t total,
+                                       std::size_t slice_target);
+
+/// The manifest document (TSV with a '#' header): one row per scenario with
+/// its stratum coordinates, relative path, and config digest.
+std::string manifest_text(const CorpusOptions& options,
+                          const std::vector<Scenario>& scenarios);
+
+/// Writes the corpus tree under `out_dir`:
+///
+///   scenarios/<id>.conf   one config per scenario
+///   manifest.tsv          manifest_text()
+///   full.list             every scenario (relative paths, manifest order)
+///   slice.list            the stratified tier-1 slice
+///
+/// Paths inside the list files are relative to `out_dir`, so a batch run
+/// started from that directory produces machine-independent summary text.
+/// Returns the number of scenario files written.
+std::size_t write_corpus(const std::string& out_dir,
+                         const CorpusOptions& options,
+                         const std::vector<Scenario>& scenarios);
+
+}  // namespace mocos::corpus
