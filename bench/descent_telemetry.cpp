@@ -1,8 +1,9 @@
 // Observability overhead on a realistic descent: an M=64 (8x8 grid)
-// adaptive run timed three ways — obs disabled (no registry, no sink: the
+// adaptive run timed four ways — obs disabled (no registry, no sink: the
 // default for every non---metrics run), with a MetricsRegistry installed,
-// and with a TraceSink installed. The run is deterministic, so all variants
-// execute the identical iteration sequence and differ only in telemetry.
+// with a TraceSink installed, and with a PhaseTimer profiler installed
+// (--profile). The run is deterministic, so all variants execute the
+// identical iteration sequence and differ only in telemetry.
 //
 // The disabled path's cost is too small to resolve by differencing whole-run
 // times (it is a thread-local pointer load per site), so it is bounded
@@ -12,6 +13,7 @@
 // Writes BENCH_descent_telemetry.json (to MOCOS_BENCH_CSV_DIR when set,
 // else the working directory).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +22,7 @@
 #include "bench/common.hpp"
 #include "src/geometry/topology.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/obs/trace.hpp"
 
 namespace mocos::bench {
@@ -78,6 +81,19 @@ double disabled_ns_per_site() {
          static_cast<double>(kCalls);
 }
 
+/// ns per ScopedPhase with no profiler installed (the --profile-off path:
+/// one relaxed atomic load per scope).
+double profile_disabled_ns_per_site() {
+  constexpr std::size_t kCalls = 10'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    obs::ScopedPhase phase("bench.disabled_phase");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() * 1e9 /
+         static_cast<double>(kCalls);
+}
+
 int run() {
   banner("descent telemetry overhead (M=64 adaptive descent)");
   const core::Problem problem = grid_problem(8);
@@ -102,21 +118,38 @@ int run() {
     trace_s = timed_run(problem).first;
   }
 
+  obs::PhaseTimer profiler;
+  double profile_s = 0.0;
+  {
+    obs::ScopedProfileInstall install(&profiler);
+    profile_s = timed_run(problem).first;
+  }
+
   const double ns_per_site = disabled_ns_per_site();
+  const double profile_ns_per_site = profile_disabled_ns_per_site();
   const double iter_s = baseline_s / static_cast<double>(iterations);
   const double disabled_pct =
       100.0 * kSitesPerIteration * ns_per_site * 1e-9 / iter_s;
+  const double profile_disabled_pct =
+      100.0 * kSitesPerIteration * profile_ns_per_site * 1e-9 / iter_s;
   const double metrics_pct = 100.0 * (metrics_s - baseline_s) / baseline_s;
   const double trace_pct = 100.0 * (trace_s - baseline_s) / baseline_s;
+  const double profile_pct = 100.0 * (profile_s - baseline_s) / baseline_s;
 
   util::Table t({"variant", "seconds", "overhead %"});
   t.add_row({"disabled (measured run)", util::fmt(baseline_s, 4), "-"});
   t.add_row({"disabled (site-cost bound)", "-", util::fmt(disabled_pct, 4)});
+  t.add_row({"profile off (site-cost bound)", "-",
+             util::fmt(profile_disabled_pct, 4)});
   t.add_row({"--metrics", util::fmt(metrics_s, 4), util::fmt(metrics_pct, 2)});
   t.add_row({"--trace", util::fmt(trace_s, 4), util::fmt(trace_pct, 2)});
+  t.add_row({"--profile", util::fmt(profile_s, 4),
+             util::fmt(profile_pct, 2)});
   t.print(std::cout);
   std::cout << "disabled site cost: " << util::fmt(ns_per_site, 2)
-            << " ns/site over " << iterations << " iterations\n";
+            << " ns/site (ScopedPhase off: "
+            << util::fmt(profile_ns_per_site, 2) << " ns/site) over "
+            << iterations << " iterations\n";
 
   const char* dir = std::getenv("MOCOS_BENCH_CSV_DIR");
   const std::string path =
@@ -136,25 +169,38 @@ int run() {
   num(metrics_s);
   out << ",\n  \"trace_seconds\": ";
   num(trace_s);
+  out << ",\n  \"profile_seconds\": ";
+  num(profile_s);
   out << ",\n  \"metrics_overhead_pct\": ";
   num(metrics_pct);
   out << ",\n  \"trace_overhead_pct\": ";
   num(trace_pct);
+  out << ",\n  \"profile_overhead_pct\": ";
+  num(profile_pct);
   out << ",\n  \"disabled_ns_per_site\": ";
   num(ns_per_site);
+  out << ",\n  \"profile_disabled_ns_per_site\": ";
+  num(profile_ns_per_site);
   out << ",\n  \"disabled_sites_per_iteration\": ";
   num(kSitesPerIteration);
   out << ",\n  \"disabled_overhead_pct\": ";
   num(disabled_pct);
+  out << ",\n  \"profile_disabled_overhead_pct\": ";
+  num(profile_disabled_pct);
   out << ",\n  \"disabled_overhead_target_pct\": ";
   num(kTargetPct);
   out << "\n}\n";
   std::cout << "\nwrote " << path << "\n";
 
-  if (disabled_pct >= kTargetPct) {
+  // The enabled --profile overhead is reported here and gated (with a
+  // noise-tolerant band) by tools/bench/bench_trend.py; only the disabled
+  // paths are hard failures, since those bounds are micro-measured and
+  // scheduler-noise free.
+  if (disabled_pct >= kTargetPct || profile_disabled_pct >= kTargetPct) {
     std::cerr << "descent_telemetry: DISABLED-PATH OVERHEAD "
-              << util::fmt(disabled_pct, 4) << "% exceeds the "
-              << util::fmt(kTargetPct, 1) << "% target\n";
+              << util::fmt(std::max(disabled_pct, profile_disabled_pct), 4)
+              << "% exceeds the " << util::fmt(kTargetPct, 1)
+              << "% target\n";
     return 1;
   }
   return 0;

@@ -12,6 +12,7 @@
 
 #include "src/cli/batch.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/obs/trace.hpp"
 #include "src/core/pareto.hpp"
 #include "src/core/serialization.hpp"
@@ -167,6 +168,7 @@ struct CliArgs {
   std::string summary_path; // optional file for the batch JSON summary
   std::string metrics_path; // optional metrics JSON snapshot (--metrics)
   std::string trace_path;   // optional NDJSON trace (--trace / MOCOS_TRACE)
+  std::string profile_path; // optional phase-profiler JSON (--profile)
   std::size_t jobs = 1;     // 0 = hardware concurrency
   bool no_incremental = false;  // force full chain solves (A/B verification)
   bool sparse = false;          // force the sparse chain solver (kOn)
@@ -201,6 +203,8 @@ CliArgs parse_args(const std::vector<std::string>& args) {
       parsed.metrics_path = value("--metrics");
     } else if (a == "--trace") {
       parsed.trace_path = value("--trace");
+    } else if (a == "--profile") {
+      parsed.profile_path = value("--profile");
     } else if (a == "--no-incremental") {
       parsed.no_incremental = true;
     } else if (a == "--sparse") {
@@ -563,7 +567,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "mocos: " << e.what() << '\n'
         << "usage: mocos_cli [--jobs N] [--summary FILE] [--no-incremental]\n"
            "                 [--sparse] [--metrics FILE] [--trace FILE] "
-           "(<config-file> | --batch <dir-or-list>)\n"
+           "[--profile FILE]\n"
+           "                 (<config-file> | --batch <dir-or-list>)\n"
            "see src/cli/cli.hpp for the config format\n";
     return kExitBadConfig;
   }
@@ -593,12 +598,27 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   std::optional<obs::ScopedMetrics> metrics_install;
   if (!cli.metrics_path.empty()) metrics_install.emplace(&registry);
 
+  // Like traces, the profile is a side file: phase counts are deterministic,
+  // the nanosecond fields are wall-clock (DESIGN.md §15).
+  obs::PhaseTimer profiler;
+  std::optional<obs::ScopedProfileInstall> profile_install;
+  if (!cli.profile_path.empty()) profile_install.emplace(&profiler);
+
   int code = kExitRuntimeError;
   {
     obs::ScopedSpan span("cli.run", "cli");
     code = run_cli_impl(cli, out, err);
   }
   if (sink != nullptr) sink->flush();
+
+  if (!cli.profile_path.empty()) {
+    std::ofstream profile_file(cli.profile_path);
+    if (!profile_file) {
+      err << "mocos: --profile: cannot write " << cli.profile_path << '\n';
+      return code == kExitSuccess ? kExitBadConfig : code;
+    }
+    profiler.write_json(profile_file);
+  }
 
   if (!cli.metrics_path.empty()) {
     std::ofstream metrics_file(cli.metrics_path);

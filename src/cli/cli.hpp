@@ -115,9 +115,16 @@ core::OptimizationOutcome run_optimization(const util::Config& config,
 /// Runs the full CLI. Usage:
 ///
 ///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] [--sparse]
+///             [--metrics FILE] [--trace FILE] [--profile FILE]
 ///             <config-file>
 ///   mocos_cli [--jobs N] [--summary FILE] [--no-incremental] [--sparse]
+///             [--metrics FILE] [--trace FILE] [--profile FILE]
 ///             --batch <dir-or-list>
+///
+/// --profile accumulates exclusive/inclusive wall time per named phase
+/// (chain solves, gradient assembly, line-search probes, sparse ladder
+/// stages, cost terms) into a JSON side file; feed it to
+/// tools/trace/trace2flame.py for collapsed stacks and a flamegraph.
 ///
 /// Single mode parses the config file, optimizes, and prints the outcome
 /// (plus an optional validation simulation when `simulate = <transitions>`

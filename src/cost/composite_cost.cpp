@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/phase_timer.hpp"
+
 namespace mocos::cost {
 
 CompositeCost& CompositeCost::add(std::unique_ptr<CostTerm> term) {
@@ -19,8 +21,16 @@ const CostTerm& CompositeCost::term(std::size_t i) const {
 
 double CompositeCost::value(const markov::ChainAnalysis& chain) const {
   double u = 0.0;
+  // The per-term phase splits only exist while a profiler is installed:
+  // name() allocates, so the disabled path must not touch it.
+  const bool profiling = obs::current_profiler() != nullptr;
   for (const auto& t : terms_) {
-    u += t->value(chain);
+    if (profiling) {
+      obs::ScopedPhase phase(t->name());
+      u += t->value(chain);
+    } else {
+      u += t->value(chain);
+    }
     if (std::isinf(u)) return u;
   }
   return u;

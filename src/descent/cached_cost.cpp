@@ -7,6 +7,7 @@
 
 #include "src/markov/fundamental.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/util/fault_injection.hpp"
 
 namespace mocos::descent {
@@ -20,9 +21,14 @@ CachedCostEvaluator::CachedCostEvaluator(const cost::CompositeCost& cost,
     : cost_(cost), cache_(&shared), initial_stats_(shared.stats()) {}
 
 double CachedCostEvaluator::cost_at(const markov::TransitionMatrix& p) {
-  util::Status updated = cache_->update(p);
+  util::Status updated;
+  {
+    obs::ScopedPhase phase("chain_solve");
+    updated = cache_->update(p);
+  }
   if (!updated.is_ok()) return std::numeric_limits<double>::infinity();
   try {
+    obs::ScopedPhase phase("cost_terms");
     const double u = cost_.value(cache_->analysis());
     return std::isnan(u) ? std::numeric_limits<double>::infinity() : u;
   } catch (const std::exception&) {
@@ -41,10 +47,12 @@ util::StatusOr<const markov::ChainAnalysis*> CachedCostEvaluator::analyze(
     if (util::fault::fire(util::fault::Site::kStationary))
       return util::Status(util::StatusCode::kSingularMatrix,
                           "stationary solve failed (fault injection)");
+    obs::ScopedPhase phase("chain_solve");
     util::Status updated = cache_->update(p);
     if (!updated.is_ok()) return updated;
     return &cache_->analysis();
   }
+  obs::ScopedPhase phase("chain_solve");
   util::StatusOr<markov::ChainAnalysis> chain =
       markov::try_analyze_chain(p, solver);
   if (!chain.ok()) return chain.status();

@@ -11,6 +11,7 @@
 #include "src/descent/step_bounds.hpp"
 #include "src/linalg/norms.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/obs/trace.hpp"
 #include "src/linalg/guard.hpp"
 
@@ -112,6 +113,7 @@ DescentResult SteepestDescent::run(
     throw std::invalid_argument("SteepestDescent: infeasible start matrix");
   obs::count("descent.runs");
   obs::ScopedSpan run_span("descent.run", "descent");
+  obs::ScopedPhase run_phase("descent.run");
   // Shared epilogue for both exit paths: export the cache counters that were
   // previously dropped here, and the final cost as a gauge.
   auto finalize = [&] {
@@ -187,7 +189,11 @@ DescentResult SteepestDescent::run(
       if (!recover(it, chain.status())) break;
       continue;
     }
-    const linalg::Matrix grad = cost::projected_cost_gradient(cost_, **chain);
+    linalg::Matrix grad;
+    {
+      obs::ScopedPhase phase("gradient_assembly");
+      grad = cost::projected_cost_gradient(cost_, **chain);
+    }
     const util::Status grad_ok = util::check_finite(grad, "gradient");
     if (!grad_ok.is_ok()) {
       if (!recover(it, grad_ok)) break;
@@ -224,27 +230,33 @@ DescentResult SteepestDescent::run(
     double new_cost = result.cost;
     std::size_t probes = 0;
     markov::TransitionMatrix candidate = p;
-    if (config_.step_policy == StepPolicy::kConstant) {
-      step = std::min(config_.constant_step * step_scale, max_step);
-      const double biggest = linalg::max_abs(direction);
-      if (biggest > 0.0 && config_.max_entry_change > 0.0)
-        step = std::min(step, config_.max_entry_change / biggest);
-      if (step > 0.0) {
-        candidate = apply_step(p, direction, step, margin);
-        new_cost = evaluator.cost_at(candidate);
-        probes = 1;
-      }
-    } else {
-      auto phi = [&](double t) {
-        return evaluator.cost_at(apply_step(p, direction, t, margin));
-      };
-      const LineSearchResult ls =
-          trisection_search(phi, result.cost, max_step, config_.line_search);
-      step = ls.step;
-      probes = ls.evaluations;
-      if (step > 0.0) {
-        candidate = apply_step(p, direction, step, margin);
-        new_cost = ls.value;
+    {
+      // Probe evaluations (and the chain solves they trigger) accumulate
+      // under line_search in the phase profile.
+      obs::ScopedPhase line_search_phase("line_search");
+      if (config_.step_policy == StepPolicy::kConstant) {
+        step = std::min(config_.constant_step * step_scale, max_step);
+        const double biggest = linalg::max_abs(direction);
+        if (biggest > 0.0 && config_.max_entry_change > 0.0)
+          step = std::min(step, config_.max_entry_change / biggest);
+        if (step > 0.0) {
+          candidate = apply_step(p, direction, step, margin);
+          new_cost = evaluator.cost_at(candidate);
+          probes = 1;
+        }
+      } else {
+        auto phi = [&](double t) {
+          return evaluator.cost_at(apply_step(p, direction, t, margin));
+        };
+        const LineSearchResult ls = trisection_search(phi, result.cost,
+                                                      max_step,
+                                                      config_.line_search);
+        step = ls.step;
+        probes = ls.evaluations;
+        if (step > 0.0) {
+          candidate = apply_step(p, direction, step, margin);
+          new_cost = ls.value;
+        }
       }
     }
 

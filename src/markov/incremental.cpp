@@ -9,6 +9,7 @@
 #include "src/markov/passage_times.hpp"
 #include "src/markov/sparse_mode.hpp"
 #include "src/markov/stationary.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/obs/trace.hpp"
 #include "src/partition/block_solver.hpp"
 #include "src/sparse/sparse_matrix.hpp"
@@ -72,6 +73,7 @@ bool ChainSolveCache::incremental_active() const {
 }
 
 util::Status ChainSolveCache::reset(const TransitionMatrix& p) {
+  obs::ScopedPhase phase("chain.full_solve");
   analysis_.reset();
   lu_.reset();
   g_ = linalg::Matrix();
@@ -192,6 +194,7 @@ double ChainSolveCache::stationary_residual() const {
 
 util::Status ChainSolveCache::apply_row_update(std::size_t i,
                                                const linalg::Vector& new_row) {
+  obs::ScopedPhase phase("chain.row_update");
   const std::size_t n = g_.rows();
   // P' = P + e_i bᵀ perturbs the resolvent system by −e_i bᵀ, so
   // G' = G + (G e_i)(bᵀG) / (1 − bᵀG e_i).

@@ -1,0 +1,75 @@
+#include "src/obs/exposition.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mocos::obs {
+
+namespace {
+
+void number(double x, std::ostream& out) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  out << buf;
+}
+
+// Bucket-edge labels favor legibility over round-trip exactness; 12
+// significant digits keep every edge the repo uses distinct.
+void label_number(double x, std::ostream& out) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", x);
+  out << buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mocos_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void render_prometheus(const MetricsSnapshot& snapshot, std::ostream& out) {
+  for (const MetricsSnapshot::CounterValue& c : snapshot.counters) {
+    const std::string n = prometheus_name(c.name);
+    out << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+  }
+  for (const MetricsSnapshot::GaugeValue& g : snapshot.gauges) {
+    const std::string n = prometheus_name(g.name);
+    out << "# TYPE " << n << " gauge\n" << n << " ";
+    number(g.value, out);
+    out << "\n";
+  }
+  for (const MetricsSnapshot::HistogramValue& h : snapshot.histograms) {
+    const std::string n = prometheus_name(h.name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += h.counts[b];
+      out << n << "_bucket{le=\"";
+      label_number(h.bounds[b], out);
+      out << "\"} " << cum << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << n << "_sum ";
+    number(h.sum, out);
+    out << "\n" << n << "_count " << h.count << "\n";
+    out << "# TYPE " << n << "_quantile gauge\n";
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+    for (const auto& [label, q] : kQuantiles) {
+      out << n << "_quantile{q=\"" << label << "\"} ";
+      number(h.quantile(q), out);
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace mocos::obs

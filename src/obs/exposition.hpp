@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.hpp"
+
+namespace mocos::obs {
+
+/// Metric name -> Prometheus metric name: "mocos_" prefix, every character
+/// outside [a-zA-Z0-9_:] mapped to '_' ("serve.request.latency" ->
+/// "mocos_serve_request_latency").
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Renders a snapshot as Prometheus text exposition (version 0.0.4 style):
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` samples plus `_sum`/`_count`, and — on top of the
+/// standard shape — p50/p90/p99 summary gauges derived from the buckets via
+/// histogram_quantile, emitted as `<name>_quantile{q="0.5"}` etc. Output is
+/// deterministic: snapshot order is name-sorted and numbers use the same
+/// %.17g spelling as the JSON snapshot.
+void render_prometheus(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace mocos::obs

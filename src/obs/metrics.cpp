@@ -120,6 +120,52 @@ void Histogram::fold(const std::vector<std::uint64_t>& other_counts,
   sum_ += other_sum;
 }
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts,
+                          std::uint64_t count, double min, double max,
+                          double q) {
+  if (counts.size() != bounds.size() + 1)
+    throw std::invalid_argument("histogram_quantile: bucket count mismatch");
+  if (count == 0) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  if (rank <= 0.0) return min;
+  if (rank >= static_cast<double>(count)) return max;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double prev = static_cast<double>(cum);
+    cum += counts[b];
+    if (static_cast<double>(cum) < rank) continue;
+    // Bucket edges, clamped to the observed range so interpolation cannot
+    // produce a value no observation could have had (the underflow bucket
+    // has no finite lower edge and the overflow bucket no upper edge).
+    double lo = b == 0 ? min : bounds[b - 1];
+    double hi = b == bounds.size() ? max : bounds[b];
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi <= lo || counts[b] == 0) return lo;
+    const double frac = (rank - prev) / static_cast<double>(counts[b]);
+    return lo + frac * (hi - lo);
+  }
+  return max;  // unreachable: cum == count >= rank by the time the loop ends
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> c = counts();
+  std::uint64_t n;
+  double lo, hi;
+  {
+    util::MutexLock lock(mu_);
+    n = count_;
+    lo = min_;
+    hi = max_;
+  }
+  return histogram_quantile(bounds_, c, n, lo, hi, q);
+}
+
+double MetricsSnapshot::HistogramValue::quantile(double q) const {
+  return histogram_quantile(bounds, counts, count, min, max, q);
+}
+
 std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
   for (const CounterValue& c : counters)
     if (c.name == name) return c.value;
@@ -161,6 +207,12 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
     json_number(h.min, out);
     out << ", \"max\": ";
     json_number(h.max, out);
+    out << ", \"p50\": ";
+    json_number(h.quantile(0.5), out);
+    out << ", \"p90\": ";
+    json_number(h.quantile(0.9), out);
+    out << ", \"p99\": ";
+    json_number(h.quantile(0.99), out);
     out << "}";
   }
   out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";

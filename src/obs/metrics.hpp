@@ -93,6 +93,11 @@ class Histogram {
             std::uint64_t other_count, double other_sum, double other_min,
             double other_max) MOCOS_EXCLUDES(mu_);
 
+  /// Bucket-interpolated quantile estimate (see histogram_quantile).
+  /// Deterministic: a pure function of bucket counts and min/max, which are
+  /// themselves deterministic under the sharding contract.
+  [[nodiscard]] double quantile(double q) const MOCOS_EXCLUDES(mu_);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
@@ -124,6 +129,9 @@ struct MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+
+    /// Bucket-interpolated quantile of this snapshot's distribution.
+    [[nodiscard]] double quantile(double q) const;
   };
 
   std::vector<CounterValue> counters;      // sorted by name
@@ -228,5 +236,17 @@ inline void observe(std::string_view name, std::vector<double> bounds,
 /// Logarithmic bucket edges 10^lo .. 10^hi (one bucket per decade), the
 /// shared shape for step-size and gradient-norm histograms.
 [[nodiscard]] std::vector<double> decade_bounds(int lo_exp, int hi_exp);
+
+/// Bucket-interpolated quantile over a fixed-bucket histogram. The target
+/// rank q*count is located in the cumulative bucket counts and the result
+/// interpolated linearly inside that bucket; the underflow bucket's lower
+/// edge and the overflow bucket's upper edge are the observed min/max, and
+/// every interior edge is clamped to [min, max] so estimates never leave the
+/// observed range. q <= 0 returns min, q >= 1 returns max, count == 0
+/// returns 0. `counts` must have bounds.size() + 1 entries.
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& counts,
+                                        std::uint64_t count, double min,
+                                        double max, double q);
 
 }  // namespace mocos::obs

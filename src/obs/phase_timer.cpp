@@ -1,0 +1,129 @@
+#include "src/obs/phase_timer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/mutex.hpp"
+
+namespace mocos::obs {
+
+namespace {
+
+std::atomic<PhaseTimer*> g_profiler{nullptr};
+
+// Per-thread phase stack state. The path string is reused across scopes
+// (truncated on scope exit), so steady-state phase entry does not allocate.
+thread_local std::string t_phase_path;
+thread_local ScopedPhase* t_open_scope = nullptr;
+
+std::uint64_t phase_now_ns() {
+  // Profiler timestamps are wall-clock by nature; like trace timestamps they
+  // are exempt from the determinism contract (DESIGN.md §15) because they go
+  // only into the --profile side file. src/obs/ is the one module sanctioned
+  // to read clocks (obs-only-clock lint rule).
+  using Clock = std::chrono::steady_clock;  // mocos-lint: allow(det-time)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+void json_escape(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void PhaseTimer::record(const std::string& stack, std::uint64_t exclusive_ns,
+                        std::uint64_t inclusive_ns) {
+  util::MutexLock lock(mu_);
+  PhaseStats& s = stats_[stack];
+  s.count += 1;
+  s.exclusive_ns += exclusive_ns;
+  s.inclusive_ns += inclusive_ns;
+}
+
+std::map<std::string, PhaseTimer::PhaseStats> PhaseTimer::stats() const {
+  util::MutexLock lock(mu_);
+  return stats_;
+}
+
+void PhaseTimer::write_json(std::ostream& out) const {
+  const std::map<std::string, PhaseStats> snap = stats();
+  out << "{\n  \"version\": 1,\n  \"phases\": {";
+  bool first = true;
+  for (const auto& [stack, s] : snap) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape(stack, out);
+    out << "\": {\"count\": " << s.count
+        << ", \"exclusive_ns\": " << s.exclusive_ns
+        << ", \"inclusive_ns\": " << s.inclusive_ns << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void PhaseTimer::write_collapsed(std::ostream& out) const {
+  for (const auto& [stack, s] : stats())
+    out << stack << " " << s.exclusive_ns / 1000u << "\n";
+}
+
+PhaseTimer* current_profiler() {
+  return g_profiler.load(std::memory_order_acquire);
+}
+
+ScopedProfileInstall::ScopedProfileInstall(PhaseTimer* timer)
+    : previous_(g_profiler.load(std::memory_order_acquire)) {
+  g_profiler.store(timer, std::memory_order_release);
+}
+
+ScopedProfileInstall::~ScopedProfileInstall() {
+  g_profiler.store(previous_, std::memory_order_release);
+}
+
+ScopedPhase::ScopedPhase(std::string_view name)
+    : timer_(current_profiler()),
+      parent_(nullptr),
+      saved_len_(0),
+      start_ns_(0) {
+  if (timer_ == nullptr) return;
+  parent_ = t_open_scope;
+  t_open_scope = this;
+  saved_len_ = t_phase_path.size();
+  if (!t_phase_path.empty()) t_phase_path += ';';
+  t_phase_path += name;
+  start_ns_ = phase_now_ns();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (timer_ == nullptr) return;
+  const std::uint64_t end = phase_now_ns();
+  const std::uint64_t inclusive = end > start_ns_ ? end - start_ns_ : 0;
+  const std::uint64_t exclusive =
+      inclusive > child_ns_ ? inclusive - child_ns_ : 0;
+  timer_->record(t_phase_path, exclusive, inclusive);
+  if (parent_ != nullptr) parent_->child_ns_ += inclusive;
+  t_phase_path.resize(saved_len_);
+  t_open_scope = parent_;
+}
+
+}  // namespace mocos::obs

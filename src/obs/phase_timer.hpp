@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace mocos::obs {
+
+/// Accumulates wall time per named phase, keyed by the full phase *stack*
+/// ("descent.run;line_search;chain_solve") so the output is already in
+/// collapsed-stack form for tools/trace/trace2flame.py. Each record carries
+/// exclusive time (self minus children) and inclusive time.
+///
+/// Determinism contract (DESIGN.md §15): phase *counts* are a function of
+/// algorithm state only and are bit-identical for any --jobs value at a
+/// fixed schedule of phases; the nanosecond fields are wall-clock readings
+/// and — like trace timestamps — are exempt: they go only into the profile
+/// side file named by --profile, never into reports, responses, or metric
+/// values. All clock reads happen inside src/obs/ per the obs-only-clock
+/// lint rule.
+///
+/// Thread-safe: phases record from any thread (the profiler is installed
+/// process-globally, so serve workers and parallel_for tasks all report into
+/// one timer); the per-thread phase stack is thread-local state, so sibling
+/// threads never see each other's stacks.
+class PhaseTimer {
+ public:
+  struct PhaseStats {
+    std::uint64_t count = 0;
+    std::uint64_t exclusive_ns = 0;
+    std::uint64_t inclusive_ns = 0;
+  };
+
+  /// Folds one finished phase occurrence into the accumulator. `stack` is
+  /// the ';'-joined phase path.
+  void record(const std::string& stack, std::uint64_t exclusive_ns,
+              std::uint64_t inclusive_ns) MOCOS_EXCLUDES(mu_);
+
+  /// Stack-path -> stats, sorted by path (std::map order).
+  [[nodiscard]] std::map<std::string, PhaseStats> stats() const
+      MOCOS_EXCLUDES(mu_);
+
+  /// Deterministically ordered JSON document:
+  ///   {"version": 1, "phases": {"a;b": {"count": n, "exclusive_ns": n,
+  ///    "inclusive_ns": n}, ...}}
+  /// (tools/trace/profile_schema.json is the authoritative shape).
+  void write_json(std::ostream& out) const MOCOS_EXCLUDES(mu_);
+
+  /// Brendan-Gregg collapsed-stack lines ("a;b <exclusive_us>\n"), the
+  /// direct input format for flamegraph tooling.
+  void write_collapsed(std::ostream& out) const MOCOS_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  std::map<std::string, PhaseStats> stats_ MOCOS_GUARDED_BY(mu_);
+};
+
+/// The process-global profiler phases report into, or null when profiling
+/// is off (the zero-cost disabled path: ScopedPhase checks one atomic load
+/// and does nothing else).
+[[nodiscard]] PhaseTimer* current_profiler();
+
+/// RAII installation of a process-global profiler (the CLI and mocos_serve
+/// install one for --profile runs). Restores the previous profiler on
+/// destruction.
+class ScopedProfileInstall {
+ public:
+  explicit ScopedProfileInstall(PhaseTimer* timer);
+  ~ScopedProfileInstall();
+  ScopedProfileInstall(const ScopedProfileInstall&) = delete;
+  ScopedProfileInstall& operator=(const ScopedProfileInstall&) = delete;
+
+ private:
+  PhaseTimer* previous_;
+};
+
+/// RAII phase scope: pushes `name` onto the calling thread's phase stack and
+/// on destruction records (exclusive, inclusive) time against the stack path
+/// in the installed profiler. No-op (no clock read, no allocation) when no
+/// profiler is installed at construction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;        // null = disabled scope
+  ScopedPhase* parent_;      // enclosing live scope on this thread
+  std::size_t saved_len_;    // thread-local path length to restore
+  std::uint64_t start_ns_;
+  std::uint64_t child_ns_ = 0;  // inclusive time of direct children
+};
+
+}  // namespace mocos::obs

@@ -11,6 +11,8 @@ namespace {
 
 std::atomic<TraceSink*> g_trace{nullptr};
 
+thread_local std::string t_trace_context;  // "" = no request scope
+
 void json_escape(std::string_view s, std::ostream& out) {
   for (char c : s) {
     switch (c) {
@@ -95,6 +97,11 @@ void TraceSink::emit(char phase, std::string_view name, std::string_view cat,
   out_ << "\",\"cat\":\"";
   json_escape(cat, out_);
   out_ << "\",\"ts\":" << ts << ",\"tid\":" << tid;
+  if (!t_trace_context.empty()) {
+    out_ << ",\"rid\":\"";
+    json_escape(t_trace_context, out_);
+    out_ << "\"";
+  }
   if (!args.empty()) {
     out_ << ",\"args\":{";
     bool first = true;
@@ -117,6 +124,17 @@ void TraceSink::emit(char phase, std::string_view name, std::string_view cat,
     out_ << "}";
   }
   out_ << "}\n";
+}
+
+const std::string& current_trace_context() { return t_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(std::string_view request_id)
+    : previous_(std::move(t_trace_context)) {
+  t_trace_context.assign(request_id);
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_context = std::move(previous_);
 }
 
 TraceSink* current_trace() {

@@ -86,6 +86,27 @@ class TraceSink {
   std::atomic<int> next_tid_{0};
 };
 
+/// Request id attached to every event the current thread emits, or "" when
+/// no request scope is active. mocos_serve installs one around each request
+/// execution (request decode through descent/markov/sparse all run on the
+/// owning worker thread), so per-request timelines are extractable from one
+/// NDJSON file by filtering on the "rid" field.
+[[nodiscard]] const std::string& current_trace_context();
+
+/// RAII request-scope for trace events: every span/instant emitted by this
+/// thread while the scope is live carries `"rid":"<request_id>"`. Scopes
+/// nest; the previous id is restored on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::string_view request_id);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 /// The process-global sink instrumented code writes to, or null when
 /// tracing is off (the zero-cost disabled path — call sites check
 /// `trace_active()` before building TraceArgs).

@@ -9,6 +9,7 @@
 
 #include "src/linalg/lu.hpp"
 #include "src/markov/passage_times.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/sparse/banded_lu.hpp"
 #include "src/sparse/resolvent_solver.hpp"
 #include "src/linalg/guard.hpp"
@@ -297,16 +298,22 @@ util::StatusOr<markov::ChainAnalysis> try_sparse_analyze_chain(
   // different algorithm than the resolvent, so the agreement gate below is
   // a genuine cross-check, not a tautology.
   const Blocks blocks = structural_blocks(sp, config.partition);
-  util::StatusOr<linalg::Vector> pi_check =
-      try_block_stationary(sp, blocks, config, ctx, stats);
-  if (!pi_check.ok()) {
-    pi_check = sparse::try_stationary_power_sparse(sp);
-    if (!pi_check.ok()) return pi_check.status();
-    stats->used_power_crosscheck = true;
-  }
+  util::StatusOr<linalg::Vector> pi_check = [&] {
+    obs::ScopedPhase phase("sparse.block_pi");
+    util::StatusOr<linalg::Vector> est =
+        try_block_stationary(sp, blocks, config, ctx, stats);
+    if (!est.ok()) {
+      est = sparse::try_stationary_power_sparse(sp);
+      if (est.ok()) stats->used_power_crosscheck = true;
+    }
+    return est;
+  }();
+  if (!pi_check.ok()) return pi_check.status();
 
-  util::StatusOr<linalg::Matrix> g = try_sparse_resolvent(sp, c, config, ctx,
-                                                          stats);
+  util::StatusOr<linalg::Matrix> g = [&] {
+    obs::ScopedPhase phase("sparse.resolvent");
+    return try_sparse_resolvent(sp, c, config, ctx, stats);
+  }();
   if (!g.ok()) return g.status();
 
   // πᵀ = cᵀG — identical derivation to the incremental cache so the two
@@ -340,7 +347,10 @@ util::StatusOr<markov::ChainAnalysis> try_sparse_analyze_chain(
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j)
       z(i, j) = (*g)(i, j) - pi_g[j] + pi[j];
-  util::StatusOr<linalg::Matrix> r = markov::try_first_passage_times(z, pi);
+  util::StatusOr<linalg::Matrix> r = [&] {
+    obs::ScopedPhase phase("sparse.passage_times");
+    return markov::try_first_passage_times(z, pi);
+  }();
   if (!r.ok()) return r.status();
   linalg::Matrix w = markov::stationary_rows(pi);
   return markov::ChainAnalysis{p, std::move(pi), std::move(w), std::move(z),

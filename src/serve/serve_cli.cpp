@@ -86,6 +86,15 @@ ServeOptions parse_options(const std::vector<std::string>& args) {
       options.metrics_path = value(arg);
     } else if (arg == "--metrics-every") {
       options.metrics_every = parse_count(arg, value(arg));
+    } else if (arg == "--metrics-port") {
+      const std::size_t port = parse_count(arg, value(arg));
+      if (port > 65535)
+        throw std::invalid_argument("--metrics-port: must be <= 65535");
+      options.metrics_port = static_cast<int>(port);
+    } else if (arg == "--metrics-port-file") {
+      options.metrics_port_file = value(arg);
+    } else if (arg == "--profile") {
+      options.profile_path = value(arg);
     } else if (arg == "--timings") {
       options.timings = true;
     } else if (arg == "--fault") {

@@ -10,12 +10,18 @@ namespace mocos::serve {
 ///
 ///   mocos_serve [--jobs N] [--queue-depth N] [--default-deadline-ms N]
 ///               [--watchdog-grace-ms N] [--metrics FILE]
-///               [--metrics-every N] [--timings]
+///               [--metrics-every N] [--metrics-port N]
+///               [--metrics-port-file FILE] [--profile FILE] [--timings]
 ///               [--fault SITE:PROB:SEED]...
 ///
 /// Reads NDJSON requests from `in` (see src/serve/request.hpp for the
 /// request language), writes one NDJSON response per request to `out` in
 /// arrival order, and a final human-readable tally to `err`.
+///
+/// --metrics-port starts the live telemetry endpoint on 127.0.0.1:N
+/// (GET /metrics and GET /healthz; N = 0 picks an ephemeral port, reported
+/// via --metrics-port-file). --profile writes the phase
+/// profiler's JSON at drain. See DESIGN.md §15.
 ///
 /// --fault arms a request-layer fault-injection site probabilistically
 /// (e.g. `--fault serve-queue-full:0.2:42`): the deterministic chaos knob

@@ -15,14 +15,20 @@
 #include <utility>
 #include <vector>
 
+#include <sstream>
+
 #include "src/cli/cli.hpp"
 #include "src/core/optimizer.hpp"
 #include "src/core/problem.hpp"
 #include "src/markov/incremental.hpp"
+#include "src/obs/exposition.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/phase_timer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/thread_pool.hpp"
 #include "src/serve/queue.hpp"
 #include "src/serve/request.hpp"
+#include "src/serve/telemetry_http.hpp"
 #include "src/util/config.hpp"
 #include "src/util/fault_injection.hpp"
 #include "src/util/mutex.hpp"
@@ -51,6 +57,14 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(now() - start).count();
 }
 
+/// Bucket edges (milliseconds) for serve.request.latency. Sub-millisecond
+/// decode/shed responses land in the underflow bucket; the top edge is far
+/// past any sane deadline.
+std::vector<double> latency_bounds_ms() {
+  return {1.0,   2.5,   5.0,    10.0,   25.0,   50.0,  100.0,
+          250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
 /// One admitted request in flight. `responded` is the first-wins latch
 /// between the worker and the watchdog: whoever flips it false->true owns
 /// delivering the response and releasing the admission slot, so exactly one
@@ -77,6 +91,30 @@ class ServerImpl {
         pool_(options.jobs) {}
 
   ServeReport run(std::istream& in) {
+    // Profiler first: it is process-global, and workers start reporting
+    // phases the moment the first request dispatches. The timer and its
+    // install are members (declared before pool_) so a watchdog-abandoned
+    // worker that outlives run() still records into live storage.
+    if (!options_.profile_path.empty()) profile_install_.emplace(&profiler_);
+
+    // The telemetry endpoint outlives the whole read/drain cycle so scrapes
+    // during shutdown still answer; it is stopped explicitly below, before
+    // the report goes out (and again, harmlessly, at destruction).
+    if (options_.metrics_port >= 0) {
+      TelemetryHooks hooks;
+      hooks.metrics_text = [this] { return metrics_text(); };
+      hooks.health_json = [this] { return health_json(); };
+      telemetry_ = std::make_unique<TelemetryEndpoint>(std::move(hooks));
+      const util::Status started = telemetry_->start(
+          static_cast<std::uint16_t>(options_.metrics_port));
+      if (!started.is_ok()) throw util::StatusError(started);
+      if (!options_.metrics_port_file.empty()) {
+        std::ofstream port_file(options_.metrics_port_file,
+                                std::ios::out | std::ios::trunc);
+        if (port_file) port_file << telemetry_->port() << "\n";
+      }
+    }
+
     std::thread watchdog([this] { watchdog_loop(); });
     std::string line;
     std::uint64_t seq = 0;
@@ -125,6 +163,13 @@ class ServerImpl {
       registry_.gauge("serve.queue.depth")
           .set(static_cast<double>(gate_.depth()));
       write_metrics_locked();
+    }
+    if (telemetry_) telemetry_->stop();
+    if (!options_.profile_path.empty()) {
+      std::ofstream profile_file(options_.profile_path,
+                                 std::ios::out | std::ios::trunc);
+      // Profile IO must never take the server down, same as metrics IO.
+      if (profile_file) profiler_.write_json(profile_file);
     }
     return report;
   }
@@ -259,10 +304,11 @@ class ServerImpl {
     Response response = execute(pending, lane, request_metrics);
     response.seq = pending->seq;
     response.id = pending->request.id;
-    if (options_.timings) response.elapsed_ms = ms_since(pending->start_time);
+    const double latency_ms = ms_since(pending->start_time);
+    if (options_.timings) response.elapsed_ms = latency_ms;
     if (!pending->responded.exchange(true)) {
       erase_inflight(pending->seq);
-      deliver(std::move(response), request_metrics.snapshot());
+      deliver(std::move(response), request_metrics.snapshot(), latency_ms);
       gate_.release();
     }
     // else: the watchdog already answered (and released the slot); this
@@ -278,6 +324,19 @@ class ServerImpl {
     Response r;
     const Request& req = pending->request;
     obs::ScopedMetrics install(&request_metrics);
+    // Request-scoped telemetry: every trace event emitted on this worker
+    // until execute() returns carries "rid":<request id> (DESIGN.md §15) —
+    // the optimization runs on this thread (ExecutionContext(1)), so the
+    // thread-local scope covers the whole request. The phase scope roots the
+    // profiler's stacks at serve.request.
+    obs::ScopedTraceContext trace_ctx(req.id);
+    obs::ScopedPhase phase("serve.request");
+    std::optional<obs::ScopedSpan> span;
+    if (obs::trace_active())
+      span.emplace("serve.request", "serve",
+                   obs::TraceArgs()
+                       .str("id", req.id)
+                       .num("seq", static_cast<double>(pending->seq)));
     obs::count("serve.requests.started");
 
     if (util::fault::fire(util::fault::Site::kServeStuckWorker) &&
@@ -421,7 +480,7 @@ class ServerImpl {
         obs::MetricsRegistry m;
         m.counter("serve.watchdog.fired").add(1);
         erase_inflight(p->seq);
-        deliver(std::move(r), m.snapshot());
+        deliver(std::move(r), m.snapshot(), ms_since(p->start_time));
         gate_.release();
       }
     }
@@ -436,16 +495,25 @@ class ServerImpl {
   /// request-arrival order, which is both the determinism contract and the
   /// reason a replayed log is comparable byte for byte. Per-request metrics
   /// merge into the server registry at flush time — also arrival order, so
-  /// snapshots are reproducible too.
-  void deliver(Response response, obs::MetricsSnapshot metrics)
+  /// snapshots are reproducible too. The one exception is
+  /// serve.request.latency: its *values* are wall-clock (like --timings,
+  /// documented outside the byte-reproducibility contract) even though its
+  /// observation order is still arrival order.
+  void deliver(Response response, obs::MetricsSnapshot metrics,
+               std::optional<double> latency_ms = std::nullopt)
       MOCOS_EXCLUDES(emit_mu_) {
     util::MutexLock lock(emit_mu_);
-    buffer_.emplace(response.seq,
-                    Buffered{std::move(response), std::move(metrics)});
+    buffer_.emplace(response.seq, Buffered{std::move(response),
+                                           std::move(metrics), latency_ms});
     while (!buffer_.empty() && buffer_.begin()->first == next_emit_) {
       Buffered& head = buffer_.begin()->second;
       registry_.merge(head.metrics);
+      if (head.latency_ms)
+        registry_.histogram("serve.request.latency", latency_bounds_ms())
+            .observe(*head.latency_ms);
       tally_locked(head.response);
+      if (options_.on_request_metrics)
+        options_.on_request_metrics(head.response, head.metrics);
       write_response(head.response, out_);
       out_.flush();
       buffer_.erase(buffer_.begin());
@@ -483,6 +551,59 @@ class ServerImpl {
     while (buffer_.size() >= bound) emit_cv_.wait(emit_mu_);
   }
 
+  /// GET /metrics body: the server registry rendered as Prometheus text.
+  /// Runs on the endpoint thread; the only synchronization with the serve
+  /// loop is the brief emit_mu_ hold for a consistent snapshot.
+  std::string metrics_text() MOCOS_EXCLUDES(emit_mu_) {
+    obs::MetricsSnapshot snap;
+    {
+      util::MutexLock lock(emit_mu_);
+      snap = registry_.snapshot();
+    }
+    std::ostringstream body;
+    obs::render_prometheus(snap, body);
+    return body.str();
+  }
+
+  /// GET /healthz body. One lock at a time (never nested), each held only
+  /// long enough to copy a few integers — the endpoint can be polled hard
+  /// without perturbing request scheduling.
+  std::string health_json()
+      MOCOS_EXCLUDES(emit_mu_, lanes_mu_, inflight_mu_) {
+    std::size_t lanes_live = 0;
+    std::uint64_t lanes_evicted = 0;
+    {
+      util::MutexLock lock(lanes_mu_);
+      lanes_live = lanes_.size();
+      lanes_evicted = lanes_evicted_;
+    }
+    std::size_t inflight = 0;
+    {
+      util::MutexLock lock(inflight_mu_);
+      inflight = inflight_.size();
+    }
+    std::uint64_t emitted = 0;
+    std::size_t buffered = 0;
+    {
+      util::MutexLock lock(emit_mu_);
+      emitted = next_emit_;
+      buffered = buffer_.size();
+    }
+    const bool draining = drain_requested();
+    std::ostringstream body;
+    body << "{\"status\": \"" << (draining ? "draining" : "ok")
+         << "\", \"draining\": " << (draining ? "true" : "false")
+         << ", \"queue_depth\": " << gate_.depth()
+         << ", \"queue_capacity\": " << gate_.capacity()
+         << ", \"queue_peak_depth\": " << gate_.peak()
+         << ", \"inflight\": " << inflight
+         << ", \"lanes_live\": " << lanes_live
+         << ", \"lanes_evicted\": " << lanes_evicted
+         << ", \"responses_emitted\": " << emitted
+         << ", \"responses_buffered\": " << buffered << "}\n";
+    return body.str();
+  }
+
   void write_metrics_locked() MOCOS_REQUIRES(emit_mu_) {
     if (options_.metrics_path.empty()) return;
     std::ofstream file(options_.metrics_path,
@@ -494,6 +615,7 @@ class ServerImpl {
   struct Buffered {
     Response response;
     obs::MetricsSnapshot metrics;
+    std::optional<double> latency_ms;
   };
 
   const ServeOptions options_;
@@ -522,6 +644,18 @@ class ServerImpl {
   obs::MetricsRegistry registry_ MOCOS_GUARDED_BY(emit_mu_);
 
   std::atomic<bool> watchdog_stop_{false};
+
+  /// Phase profiler for --profile runs (record() is internally locked, so a
+  /// late worker racing run()'s final write_json is safe — its phases just
+  /// miss the file). Declared before pool_ so abandoned workers never
+  /// outlive the storage they record into; the install member restores the
+  /// previous global profiler only after the pool has joined.
+  obs::PhaseTimer profiler_;
+  std::optional<obs::ScopedProfileInstall> profile_install_;
+  /// Telemetry endpoint (null when disabled). Its hooks read gate_/lanes_/
+  /// inflight_/emit state, all declared before it; destruction order (after
+  /// pool_, before that state) keeps the reads valid to the end.
+  std::unique_ptr<TelemetryEndpoint> telemetry_;
 
   /// Last member on purpose: ~ThreadPool joins the workers, and a
   /// watchdog-abandoned worker can outlive run()'s response drain (run()

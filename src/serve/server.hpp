@@ -2,10 +2,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
+namespace mocos::obs {
+struct MetricsSnapshot;
+}  // namespace mocos::obs
+
 namespace mocos::serve {
+
+struct Response;
 
 struct ServeOptions {
   /// Worker threads (0 = hardware concurrency). Responses are emitted in
@@ -38,6 +45,29 @@ struct ServeOptions {
   /// even a SIGTERM'd server leaves a complete final snapshot.
   std::string metrics_path;
   std::size_t metrics_every = 0;
+  /// Live telemetry endpoint (DESIGN.md §15): when >= 0, a loopback HTTP
+  /// listener serving GET /metrics (Prometheus text rendered from the server
+  /// registry) and GET /healthz (queue/lane/inflight/drain state) runs on
+  /// its own thread for the server's lifetime. 0 picks an ephemeral port
+  /// (see metrics_port_file); -1 disables the endpoint. The endpoint only
+  /// reads state, so the byte-identical replay contract is unaffected.
+  int metrics_port = -1;
+  /// When non-empty and the endpoint is enabled, the bound port is written
+  /// here as one decimal line (how tests and scripts learn an ephemeral
+  /// port).
+  std::string metrics_port_file;
+  /// Phase-profiler output file ("" = off): installs obs::PhaseTimer for the
+  /// server's lifetime and writes its JSON (tools/trace/profile_schema.json)
+  /// at drain. Phase *counts* are deterministic; the nanosecond fields are
+  /// wall-clock and exempt like trace timestamps (DESIGN.md §15).
+  std::string profile_path;
+  /// Test hook: called once per response at flush time — under the emit lock,
+  /// in arrival order — with the response and the per-request metrics delta
+  /// that was just merged into the server registry. Must not call back into
+  /// the server. Lets tests replay the merge independently (the
+  /// metrics-merge correctness suite); "" production configs leave it unset.
+  std::function<void(const Response&, const obs::MetricsSnapshot&)>
+      on_request_metrics;
 };
 
 /// What a serve session did, summarized for the process exit path and for

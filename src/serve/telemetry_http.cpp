@@ -1,0 +1,149 @@
+#include "src/serve/telemetry_http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace mocos::serve {
+
+// Socket and timeout use in this file is the sanctioned exemption for the
+// telemetry plane (DESIGN.md §15): the endpoint is read-only with respect to
+// server state and nothing it does can reach the response stream, the
+// metrics registry, or any other deterministic output. Each suppressed line
+// below is that sanction made explicit and auditable.
+
+namespace {
+
+/// One HTTP/1.0 response, Connection: close.
+void write_response(int fd, const char* status_line,
+                    const char* content_type, const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        // mocos-lint: allow(det-socket)
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to clean up but the fd
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryEndpoint::TelemetryEndpoint(TelemetryHooks hooks)
+    : hooks_(std::move(hooks)) {}
+
+TelemetryEndpoint::~TelemetryEndpoint() { stop(); }
+
+util::Status TelemetryEndpoint::start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);  // mocos-lint: allow(det-socket)
+  if (listen_fd_ < 0)
+    return util::Status(util::StatusCode::kInvalidConfig,
+                        "telemetry endpoint: socket() failed: " +
+                            std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR,  // mocos-lint: allow(det-socket)
+               &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapes only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),  // mocos-lint: allow(det-socket)
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {  // mocos-lint: allow(det-socket)
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status(util::StatusCode::kInvalidConfig,
+                        "telemetry endpoint: cannot listen on 127.0.0.1:" +
+                            std::to_string(port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_,  // mocos-lint: allow(det-socket)
+                    reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { accept_loop(); });
+  return util::Status::ok();
+}
+
+void TelemetryEndpoint::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // Unblocks a pending accept(); the loop then observes stop_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);  // mocos-lint: allow(det-socket)
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryEndpoint::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // mocos-lint: allow(det-time, det-socket)
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);  // mocos-lint: allow(det-socket)
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryEndpoint::handle_connection(int fd) {
+  // Read the request head (bounded; scrape requests are one short line).
+  // A client that trickles bytes is cut off by the poll timeout rather than
+  // wedging the telemetry thread.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 && head.find("\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    // mocos-lint: allow(det-time, det-socket)
+    if (::poll(&pfd, 1, 500) <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);  // mocos-lint: allow(det-socket)
+    if (n <= 0) return;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = head.find("\r\n");
+  std::string request_line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  if (request_line.rfind("GET ", 0) != 0) {
+    write_response(fd, "405 Method Not Allowed", "text/plain",
+                   "only GET is supported\n");
+    return;
+  }
+  const std::size_t path_end = request_line.find(' ', 4);
+  const std::string path = request_line.substr(
+      4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+  if (path == "/metrics") {
+    write_response(fd, "200 OK", "text/plain; version=0.0.4",
+                   hooks_.metrics_text ? hooks_.metrics_text() : "");
+  } else if (path == "/healthz") {
+    write_response(fd, "200 OK", "application/json",
+                   hooks_.health_json ? hooks_.health_json() : "{}");
+  } else {
+    write_response(fd, "404 Not Found", "text/plain",
+                   "known paths: /metrics /healthz\n");
+  }
+}
+
+}  // namespace mocos::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/util/status.hpp"
+
+namespace mocos::serve {
+
+/// Content providers for the telemetry endpoint. Both are called on the
+/// endpoint's own thread, possibly while requests are in flight — they must
+/// be safe to call concurrently with the serve loop (ServerImpl backs them
+/// with short single-lock snapshots) and must not call back into the
+/// endpoint.
+struct TelemetryHooks {
+  /// Body of GET /metrics (Prometheus text exposition, version 0.0.4).
+  std::function<std::string()> metrics_text;
+  /// Body of GET /healthz (JSON document, see DESIGN.md §15).
+  std::function<std::string()> health_json;
+};
+
+/// Minimal line-oriented HTTP listener for GET /metrics and GET /healthz,
+/// bound to 127.0.0.1 on its own thread. Deliberately outside the
+/// deterministic request path: it only *reads* server state through the
+/// hooks, writes nothing into the response stream or the registry, and its
+/// wall-clock/socket use is explicitly sanctioned (DESIGN.md §15; the
+/// det-time/det-socket lint suppressions in the .cpp are the audit trail).
+///
+/// Scope is intentionally small — HTTP/1.0, one request per connection,
+/// Connection: close — because its clients are curl, Prometheus scrapers,
+/// and the CI smoke step, not browsers.
+class TelemetryEndpoint {
+ public:
+  explicit TelemetryEndpoint(TelemetryHooks hooks);
+  ~TelemetryEndpoint();
+  TelemetryEndpoint(const TelemetryEndpoint&) = delete;
+  TelemetryEndpoint& operator=(const TelemetryEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and starts the
+  /// accept thread. Fails with kInvalidConfig when the port cannot be bound.
+  [[nodiscard]] util::Status start(std::uint16_t port);
+
+  /// Stops accepting, closes the listener, joins the thread. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  /// The bound port (resolves the ephemeral-port case); 0 before start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  TelemetryHooks hooks_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace mocos::serve

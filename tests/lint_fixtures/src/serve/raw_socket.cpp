@@ -1,0 +1,36 @@
+// Fixture: the det-socket rule — raw POSIX socket/poll calls inside the
+// determinism scope are violations (network arrival timing must never steer
+// results); the sanctioned telemetry-endpoint spelling is a per-line
+// allow(). Near-misses that must stay clean: std::bind, a project method
+// named accept called unqualified, and a member ->send() call.
+// Expected violations: det-socket at the ::socket, unqualified listen, and
+// ::accept lines.
+#include <functional>
+
+namespace mocos::serve {
+
+struct FakeQueue {
+  void accept(int seq, int line);
+  bool send(int fd);
+};
+
+inline int open_unsanctioned_listener() {
+  const int fd = ::socket(2, 1, 0);       // VIOLATION det-socket
+  listen(fd, 16);                         // VIOLATION det-socket
+  return ::accept(fd, nullptr, nullptr);  // VIOLATION det-socket
+}
+
+inline int open_sanctioned_listener() {
+  // mocos-lint: allow(det-socket) fixture mirror of the telemetry endpoint
+  const int fd = ::socket(2, 1, 0);
+  return fd;
+}
+
+inline void near_misses(FakeQueue& q, FakeQueue* p) {
+  q.accept(1, 2);  // member call: clean
+  p->send(3);      // member call: clean
+  auto bound = std::bind(&FakeQueue::accept, &q, 1, 2);  // std::bind: clean
+  bound();
+}
+
+}  // namespace mocos::serve

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench/bench_trend.py (stdlib only).
+
+Covers the gate the CI bench-trend step relies on:
+
+  - the checked-in BENCH_*.json files pass `--check` against the current
+    schema and baselines (the repo is always in a passing state),
+  - a regressed metric (fixture copy with a blown overhead percentage)
+    fails `--check` with a band violation naming the metric,
+  - a schema violation (unexpected field) fails even when every band holds,
+  - a BENCH file with no schema entry fails (new benches must be added to
+    the schema in the same change),
+  - the band-path resolver handles `[*]`, `[N]`, and `[name=value]`
+    selectors and reports unresolvable paths,
+  - usage errors (bad --slack, unsupported schema version) exit 2.
+
+Registered as the `BenchTrend.selftest` ctest; runnable directly:
+    python3 tests/test_bench_trend.py
+"""
+
+import importlib.util
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_TREND = os.path.join(REPO_ROOT, "tools", "bench", "bench_trend.py")
+
+_spec = importlib.util.spec_from_file_location("bench_trend", BENCH_TREND)
+bench_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trend)
+
+
+def run_tool(args, cwd=REPO_ROOT):
+    return subprocess.run([sys.executable, BENCH_TREND] + args,
+                          capture_output=True, text=True, cwd=cwd)
+
+
+class CheckedInFilesPass(unittest.TestCase):
+    """The repo invariant: every committed BENCH file passes --check."""
+
+    def test_repo_root_passes_check(self):
+        proc = run_tool(["--check"])
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + "\n" + proc.stderr)
+        self.assertIn("pass", proc.stdout)
+
+    def test_report_mode_prints_tracked_metrics(self):
+        proc = run_tool([])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("tracked metric", proc.stdout)
+        self.assertIn("ok", proc.stdout)
+
+
+class RegressionFixture(unittest.TestCase):
+    """A copied bench dir with one regressed metric must fail --check —
+    and only --check (report mode stays exit 0 but prints the failure)."""
+
+    BENCH = "BENCH_descent_telemetry.json"
+
+    def make_bench_dir(self, mutate=None):
+        tmp = tempfile.mkdtemp()
+        self.addCleanup(shutil.rmtree, tmp)
+        src = os.path.join(REPO_ROOT, self.BENCH)
+        dst = os.path.join(tmp, self.BENCH)
+        shutil.copy(src, dst)
+        if mutate:
+            with open(dst) as f:
+                doc = json.load(f)
+            mutate(doc)
+            with open(dst, "w") as f:
+                json.dump(doc, f)
+        return tmp
+
+    def test_unmodified_copy_passes(self):
+        tmp = self.make_bench_dir()
+        proc = run_tool(["--check", "--bench-dir", tmp])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_overhead_regression_fails_check(self):
+        def blow_overhead(doc):
+            doc["profile_overhead_pct"] = 50.0  # band max is 3.0
+        tmp = self.make_bench_dir(blow_overhead)
+        proc = run_tool(["--check", "--bench-dir", tmp])
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("profile_overhead_pct", proc.stderr)
+        self.assertIn("outside", proc.stderr)
+        # Report mode surfaces the same failure without the hard exit.
+        proc = run_tool(["--bench-dir", tmp])
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("profile_overhead_pct", proc.stderr)
+
+    def test_slack_widens_the_band(self):
+        def nudge_overhead(doc):
+            doc["profile_overhead_pct"] = 4.0  # 3.0 < 4.0 <= 3.0 * 2
+        tmp = self.make_bench_dir(nudge_overhead)
+        self.assertEqual(
+            run_tool(["--check", "--bench-dir", tmp]).returncode, 1)
+        self.assertEqual(
+            run_tool(["--check", "--bench-dir", tmp,
+                      "--slack", "2.0"]).returncode, 0)
+
+    def test_schema_violation_fails_even_with_bands_ok(self):
+        def add_unknown_field(doc):
+            doc["wall_clock_comment"] = "not in the schema"
+        tmp = self.make_bench_dir(add_unknown_field)
+        proc = run_tool(["--check", "--bench-dir", tmp])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unexpected key", proc.stderr)
+
+    def test_unknown_bench_file_requires_schema_entry(self):
+        tmp = self.make_bench_dir()
+        with open(os.path.join(tmp, "BENCH_mystery.json"), "w") as f:
+            json.dump({"version": 1}, f)
+        proc = run_tool(["--check", "--bench-dir", tmp])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no schema entry", proc.stderr)
+
+    def test_require_all_flags_missing_files(self):
+        tmp = self.make_bench_dir()
+        proc = run_tool(["--check", "--bench-dir", tmp, "--require-all"])
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("required file missing", proc.stderr)
+
+
+class PathResolver(unittest.TestCase):
+    DOC = {
+        "points": [{"x": 1, "name": "a"}, {"x": 2, "name": "b"}],
+        "peak": {"speedup": 3.5},
+    }
+
+    def test_star_selector_resolves_every_element(self):
+        hits = bench_trend.resolve(self.DOC, "points[*].x")
+        self.assertEqual([v for _, v in hits], [1, 2])
+
+    def test_index_selector(self):
+        hits = bench_trend.resolve(self.DOC, "points[1].x")
+        self.assertEqual(hits, [("$.points[1].x", 2)])
+
+    def test_field_match_selector(self):
+        hits = bench_trend.resolve(self.DOC, "points[name=b].x")
+        self.assertEqual([v for _, v in hits], [2])
+
+    def test_plain_dotted_path(self):
+        hits = bench_trend.resolve(self.DOC, "peak.speedup")
+        self.assertEqual(hits, [("$.peak.speedup", 3.5)])
+
+    def test_unresolvable_paths_raise(self):
+        for bad in ("nope.x", "points[9].x", "points[name=zz].x",
+                    "peak[*].speedup"):
+            with self.assertRaises(ValueError, msg=bad):
+                bench_trend.resolve(self.DOC, bad)
+
+
+class UsageErrors(unittest.TestCase):
+    def test_slack_below_one_is_a_usage_error(self):
+        proc = run_tool(["--slack", "0.5"])
+        self.assertEqual(proc.returncode, 2)
+
+    def test_unsupported_schema_version_is_a_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            schema = os.path.join(tmp, "schema.json")
+            with open(schema, "w") as f:
+                json.dump({"version": 99, "files": {}}, f)
+            proc = run_tool(["--schema", schema])
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("version", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

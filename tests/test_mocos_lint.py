@@ -74,6 +74,13 @@ class FixtureViolations(unittest.TestCase):
         # process).
         "src/serve/deadline_clock.cpp": [("det-time", 20),
                                          ("raw-solver", 25)],
+        # The det-socket rule (telemetry plane, DESIGN.md §15): raw socket
+        # calls in the determinism scope fire unless carrying the explicit
+        # per-line sanction the real endpoint uses; std::bind, project
+        # accept()/send() members, and the allow()ed mirror stay clean.
+        "src/serve/raw_socket.cpp": [("det-socket", 18),
+                                     ("det-socket", 19),
+                                     ("det-socket", 20)],
         # The sparse/partition scope extension: both directories join the
         # determinism scope (the resolvent ladder and block solver fan work
         # out over runtime::parallel_for under the bit-identical contract)

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/exposition.hpp"
+#include "src/obs/phase_timer.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/execution_context.hpp"
 
@@ -143,7 +145,8 @@ TEST(ObsSnapshot, WriteJsonIsDeterministic) {
             "  \"gauges\": {\n    \"cost\": 0.5\n  },\n"
             "  \"histograms\": {\n"
             "    \"steps\": {\"bounds\": [1], \"counts\": [1, 0], "
-            "\"count\": 1, \"sum\": 0.25, \"min\": 0.25, \"max\": 0.25}\n"
+            "\"count\": 1, \"sum\": 0.25, \"min\": 0.25, \"max\": 0.25, "
+            "\"p50\": 0.25, \"p90\": 0.25, \"p99\": 0.25}\n"
             "  }\n}\n");
   std::ostringstream empty;
   obs::MetricsSnapshot{}.write_json(empty);
@@ -270,6 +273,219 @@ TEST(ObsTrace, ScopedInstallAndSpanPairing) {
   EXPECT_EQ(lines[0].find("{\"ph\":\"B\",\"name\":\"work\""), 0u);
   EXPECT_EQ(lines[1].find("{\"ph\":\"i\",\"name\":\"inside\""), 0u);
   EXPECT_EQ(lines[2].find("{\"ph\":\"E\",\"name\":\"work\""), 0u);
+}
+
+// --- Bucket-interpolated quantiles ------------------------------------------
+
+TEST(ObsQuantile, EdgeCases) {
+  const std::vector<double> bounds{1.0, 2.0, 3.0};
+  const std::vector<std::uint64_t> counts{0, 4, 0, 0};
+  // Empty distribution reports 0 regardless of q.
+  EXPECT_EQ(obs::histogram_quantile(bounds, {0, 0, 0, 0}, 0, 0.0, 0.0, 0.5),
+            0.0);
+  // q <= 0 pins to min, q >= 1 to max.
+  EXPECT_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, 0.0), 1.0);
+  EXPECT_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, -1.0), 1.0);
+  EXPECT_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, 1.0), 2.0);
+  EXPECT_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, 2.0), 2.0);
+  EXPECT_THROW(obs::histogram_quantile(bounds, {0, 4, 0}, 4, 1.0, 2.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(ObsQuantile, InterpolatesInsideTheTargetBucket) {
+  // All 4 observations in [1, 2): rank q*4 lands in that bucket and
+  // interpolates linearly between its edges.
+  const std::vector<double> bounds{1.0, 2.0, 3.0};
+  const std::vector<std::uint64_t> counts{0, 4, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, 0.25),
+                   1.25);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 4, 1.0, 2.0, 0.5),
+                   1.5);
+}
+
+TEST(ObsQuantile, UnderflowAndOverflowBucketsClampToObservedRange) {
+  // Underflow bucket has no finite lower edge: its edges are [min, bound]
+  // clamped to the observed range.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile({10.0}, {3, 0}, 3, 2.0, 4.0, 0.5),
+                   3.0);
+  // Overflow bucket has no upper edge: its edges are [bound, max], with the
+  // lower edge raised to min when every observation sits above the last bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile({1.0}, {0, 3}, 3, 5.0, 9.0, 0.5),
+                   7.0);
+}
+
+TEST(ObsQuantile, DegenerateBucketReportsItsLowerEdge) {
+  // min == max: every bucket collapses and the estimate is the single value.
+  EXPECT_EQ(obs::histogram_quantile({1.0}, {2, 0}, 2, 0.5, 0.5, 0.5), 0.5);
+}
+
+TEST(ObsQuantile, HistogramAndSnapshotAgree) {
+  obs::Histogram h({10.0});
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  obs::MetricsRegistry reg;
+  reg.histogram("lat", {10.0}).observe(2.0);
+  reg.histogram("lat", {10.0}).observe(4.0);
+  reg.histogram("lat", {10.0}).observe(6.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.5), 4.0);
+  EXPECT_EQ(snap.histograms[0].quantile(0.0), 2.0);
+  EXPECT_EQ(snap.histograms[0].quantile(1.0), 6.0);
+}
+
+// --- Prometheus text exposition ---------------------------------------------
+
+TEST(ObsExposition, PrometheusNameSanitizesAndPrefixes) {
+  EXPECT_EQ(obs::prometheus_name("serve.request.latency"),
+            "mocos_serve_request_latency");
+  EXPECT_EQ(obs::prometheus_name("already_ok:name"), "mocos_already_ok:name");
+  EXPECT_EQ(obs::prometheus_name("weird-chars/x"), "mocos_weird_chars_x");
+}
+
+TEST(ObsExposition, RendersCountersGaugesHistogramsAndQuantiles) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.requests.total").add(3);
+  reg.gauge("serve.queue.depth").set(2.5);
+  obs::Histogram& h = reg.histogram("serve.request.latency", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  h.observe(6.0);
+  std::ostringstream out;
+  obs::render_prometheus(reg.snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE mocos_serve_requests_total counter\n"
+                      "mocos_serve_requests_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mocos_serve_queue_depth gauge\n"
+                      "mocos_serve_queue_depth 2.5\n"),
+            std::string::npos);
+  // Cumulative buckets: le="1" sees 1 observation, le="10" all 3, +Inf = count.
+  EXPECT_NE(text.find("mocos_serve_request_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mocos_serve_request_latency_bucket{le=\"10\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mocos_serve_request_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mocos_serve_request_latency_sum 10.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mocos_serve_request_latency_count 3\n"),
+            std::string::npos);
+  // Bucket-derived summary gauges ride along the standard exposition shape.
+  EXPECT_NE(text.find("mocos_serve_request_latency_quantile{q=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("mocos_serve_request_latency_quantile{q=\"0.99\"} "),
+            std::string::npos);
+}
+
+// --- Phase profiler ---------------------------------------------------------
+
+TEST(ObsPhaseTimer, RecordAccumulatesPerStack) {
+  obs::PhaseTimer t;
+  t.record("a", 10, 30);
+  t.record("a", 5, 5);
+  t.record("a;b", 20, 20);
+  const auto stats = t.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at("a").count, 2u);
+  EXPECT_EQ(stats.at("a").exclusive_ns, 15u);
+  EXPECT_EQ(stats.at("a").inclusive_ns, 35u);
+  EXPECT_EQ(stats.at("a;b").count, 1u);
+}
+
+TEST(ObsPhaseTimer, WriteJsonAndCollapsedAreDeterministic) {
+  obs::PhaseTimer t;
+  t.record("run;solve", 2500, 2500);
+  t.record("run", 1000, 3500);
+  std::ostringstream json;
+  t.write_json(json);
+  EXPECT_EQ(json.str(),
+            "{\n  \"version\": 1,\n  \"phases\": {\n"
+            "    \"run\": {\"count\": 1, \"exclusive_ns\": 1000, "
+            "\"inclusive_ns\": 3500},\n"
+            "    \"run;solve\": {\"count\": 1, \"exclusive_ns\": 2500, "
+            "\"inclusive_ns\": 2500}\n"
+            "  }\n}\n");
+  std::ostringstream collapsed;
+  t.write_collapsed(collapsed);
+  EXPECT_EQ(collapsed.str(), "run 1\nrun;solve 2\n");
+  std::ostringstream empty;
+  obs::PhaseTimer{}.write_json(empty);
+  EXPECT_EQ(empty.str(), "{\n  \"version\": 1,\n  \"phases\": {}\n}\n");
+}
+
+TEST(ObsPhaseTimer, ScopedPhaseBuildsStackPathsAndExclusiveTime) {
+  EXPECT_EQ(obs::current_profiler(), nullptr);
+  obs::PhaseTimer t;
+  {
+    obs::ScopedProfileInstall install(&t);
+    EXPECT_EQ(obs::current_profiler(), &t);
+    obs::ScopedPhase outer("outer");
+    {
+      obs::ScopedPhase inner("inner");
+    }
+    {
+      obs::ScopedPhase inner("inner");
+    }
+  }
+  EXPECT_EQ(obs::current_profiler(), nullptr);
+  const auto stats = t.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at("outer").count, 1u);
+  EXPECT_EQ(stats.at("outer;inner").count, 2u);
+  // Exclusive time is inclusive minus direct children, exactly.
+  EXPECT_EQ(stats.at("outer").exclusive_ns,
+            stats.at("outer").inclusive_ns -
+                stats.at("outer;inner").inclusive_ns);
+  EXPECT_LE(stats.at("outer;inner").inclusive_ns,
+            stats.at("outer").inclusive_ns);
+}
+
+TEST(ObsPhaseTimer, ScopedPhaseIsANoOpWhenProfilingIsOff) {
+  {
+    obs::ScopedPhase phase("ignored");
+    obs::ScopedPhase nested("also_ignored");
+  }
+  // A profiler installed after the fact sees nothing from those scopes.
+  obs::PhaseTimer t;
+  obs::ScopedProfileInstall install(&t);
+  EXPECT_TRUE(t.stats().empty());
+}
+
+// --- Request-scoped trace context -------------------------------------------
+
+TEST(ObsTraceContext, NestsAndRestores) {
+  EXPECT_EQ(obs::current_trace_context(), "");
+  {
+    obs::ScopedTraceContext req("req-1");
+    EXPECT_EQ(obs::current_trace_context(), "req-1");
+    {
+      obs::ScopedTraceContext inner("req-2");
+      EXPECT_EQ(obs::current_trace_context(), "req-2");
+    }
+    EXPECT_EQ(obs::current_trace_context(), "req-1");
+  }
+  EXPECT_EQ(obs::current_trace_context(), "");
+}
+
+TEST(ObsTraceContext, EventsCarryTheRequestId) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  {
+    obs::ScopedTraceInstall install(&sink);
+    obs::trace_instant("outside", "test");
+    obs::ScopedTraceContext req("r42");
+    obs::ScopedSpan span("work", "test");
+    obs::trace_instant("inside", "test");
+  }
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("\"rid\""), std::string::npos);
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_NE(lines[i].find("\"rid\":\"r42\""), std::string::npos)
+        << lines[i];
 }
 
 }  // namespace

@@ -26,7 +26,10 @@ import unittest
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCHEMA = os.path.join(REPO_ROOT, "tools", "trace", "metrics_schema.json")
+PROFILE_SCHEMA = os.path.join(REPO_ROOT, "tools", "trace",
+                              "profile_schema.json")
 TRACE2CHROME = os.path.join(REPO_ROOT, "tools", "trace", "trace2chrome.py")
+TRACE2FLAME = os.path.join(REPO_ROOT, "tools", "trace", "trace2flame.py")
 BATCH_DIR = os.path.join(REPO_ROOT, "tests", "golden", "batch")
 SINGLE_CONF = os.path.join(REPO_ROOT, "tests", "golden", "single.conf")
 
@@ -176,9 +179,18 @@ class TraceOutput(unittest.TestCase):
         self.assertIn("cli.run", names)
         self.assertIn("descent.iteration", names)
         phases = {e["ph"] for e in events}
-        self.assertLessEqual(phases, {"B", "E", "i"})
+        self.assertLessEqual(phases, {"B", "E", "i", "C"})
         for e in events:
             self.assertIn("pid", e)
+        # Metric instants with numeric args become counter events so the
+        # numbers render as time series instead of being dropped.
+        counters = [e for e in events if e["ph"] == "C"]
+        self.assertTrue(counters)
+        self.assertIn("descent.iteration", {e["name"] for e in counters})
+        for e in counters:
+            self.assertTrue(e["args"])
+            for value in e["args"].values():
+                self.assertIsInstance(value, (int, float))
 
     def test_env_var_enables_tracing(self):
         with tempfile.TemporaryDirectory() as tmp:
@@ -190,6 +202,60 @@ class TraceOutput(unittest.TestCase):
                 first = json.loads(f.readline())
         self.assertEqual(first["ph"], "B")
         self.assertEqual(first["name"], "cli.run")
+
+    def test_profile_validates_and_renders_flamegraph(self):
+        """--profile output validates against profile_schema.json and flows
+        through trace2flame into collapsed stacks and a standalone SVG (the
+        flamegraph pipeline the CI artifact uses)."""
+        with open(PROFILE_SCHEMA) as f:
+            schema = json.load(f)
+        with tempfile.TemporaryDirectory() as tmp:
+            profile = os.path.join(tmp, "p.json")
+            collapsed = os.path.join(tmp, "p.collapsed")
+            svg = os.path.join(tmp, "p.svg")
+            proc = run_cli([SINGLE_CONF, "--profile", profile])
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            with open(profile) as f:
+                doc = json.load(f)
+            self.assertEqual(validate(doc, schema), [])
+            self.assertEqual(doc["version"], 1)
+            phases = doc["phases"]
+            self.assertTrue(any(k == "descent.run" or
+                                k.startswith("descent.run;")
+                                for k in phases), sorted(phases))
+            # Nested stacks exist: the profiler sees the whole descent
+            # ladder, not just the root phase.
+            self.assertTrue(any(";" in k for k in phases), sorted(phases))
+            conv = subprocess.run(
+                [sys.executable, TRACE2FLAME, profile, "-o", collapsed,
+                 "--svg", svg],
+                capture_output=True, text=True)
+            self.assertEqual(conv.returncode, 0, conv.stderr)
+            with open(collapsed) as f:
+                lines = f.read().splitlines()
+            with open(svg) as f:
+                svg_text = f.read()
+        # One "stack <exclusive_us>" line per phase path, sorted.
+        self.assertEqual(len(lines), len(phases))
+        stacks = []
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            self.assertTrue(stack, line)
+            self.assertGreaterEqual(int(count), 0)
+            stacks.append(stack)
+        self.assertEqual(stacks, sorted(phases))
+        self.assertIn("<svg", svg_text)
+        self.assertIn("</svg>", svg_text)
+
+    def test_trace2flame_rejects_wrong_version(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.json")
+            with open(bad, "w") as f:
+                json.dump({"version": 2, "phases": {}}, f)
+            conv = subprocess.run([sys.executable, TRACE2FLAME, bad],
+                                  capture_output=True, text=True)
+        self.assertEqual(conv.returncode, 1)
+        self.assertIn("version", conv.stderr)
 
     def test_trace2chrome_rejects_malformed_input(self):
         with tempfile.TemporaryDirectory() as tmp:

@@ -5,12 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/metrics.hpp"
@@ -223,12 +232,11 @@ serve::ServeReport run_serve(const std::string& input, std::string& output,
   return report;
 }
 
-/// The ISSUE acceptance gate: a seeded 500-request log — keyed lanes with
-/// warm starts, cold requests, and malformed lines — replays byte-identically
-/// at 1 worker and at 8.
-TEST(ServeReplay, FiveHundredRequestsByteIdenticalAcrossJobs) {
+/// The 500-request replay log shared by the byte-identity and metrics-merge
+/// gates: keyed lanes with warm starts, cold requests, and malformed lines.
+std::string build_replay_log(int requests = 500) {
   std::ostringstream log;
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < requests; ++i) {
     if (i % 25 == 24) {
       log << "this line is not json #" << i << "\n";  // decode-error path
       continue;
@@ -244,6 +252,15 @@ TEST(ServeReplay, FiveHundredRequestsByteIdenticalAcrossJobs) {
       log << request_line(id, config, extra) << "\n";
     }
   }
+  return log.str();
+}
+
+/// The ISSUE acceptance gate: a seeded 500-request log — keyed lanes with
+/// warm starts, cold requests, and malformed lines — replays byte-identically
+/// at 1 worker and at 8.
+TEST(ServeReplay, FiveHundredRequestsByteIdenticalAcrossJobs) {
+  std::ostringstream log;
+  log << build_replay_log();
 
   serve::ServeOptions options = test_options();
   options.queue_capacity = 600;  // no sheds: identity covers the happy path
@@ -500,6 +517,335 @@ TEST(ServeLoop, DrainRequestStopsAcceptingAndFlushesMetrics) {
   EXPECT_NE(contents.str().find("serve.queue.peak_depth"),
             std::string::npos);
   std::remove(metrics_path.c_str());
+}
+
+// --- Metrics-merge correctness (DESIGN.md §15) -----------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+/// Sums every per-request delta's counters via the on_request_metrics hook
+/// and asserts the final snapshot file carries exactly those totals — the
+/// merge loses nothing and double-counts nothing, across lane eviction
+/// churn and (in the drain variant below) a mid-log SIGTERM drain.
+void expect_delta_sums_match_final_snapshot(
+    const std::map<std::string, std::uint64_t>& sums,
+    const std::string& metrics_json) {
+  ASSERT_FALSE(sums.empty());
+  for (const auto& [name, value] : sums) {
+    const std::string needle =
+        "\"" + name + "\": " + std::to_string(value);
+    EXPECT_NE(metrics_json.find(needle), std::string::npos)
+        << "final snapshot disagrees with delta sum: wanted " << needle;
+  }
+}
+
+TEST(ServeMetricsMerge, FinalSnapshotEqualsSumOfPerRequestDeltas) {
+  const std::string metrics_path = "serve_merge_metrics_test.json";
+  serve::ServeOptions options = test_options();
+  options.jobs = 4;
+  options.queue_capacity = 600;
+  options.max_lanes = 3;  // 4 keys over 3 slots: steady eviction churn
+  options.metrics_path = metrics_path;
+  std::map<std::string, std::uint64_t> sums;
+  std::uint64_t hook_calls = 0;
+  std::uint64_t last_seq = 0;
+  bool arrival_order = true;
+  options.on_request_metrics = [&](const serve::Response& r,
+                                   const obs::MetricsSnapshot& delta) {
+    // The hook fires under the emit lock in arrival order: seq is exactly
+    // the call index.
+    if (r.seq != hook_calls) arrival_order = false;
+    last_seq = r.seq;
+    ++hook_calls;
+    for (const auto& c : delta.counters) sums[c.name] += c.value;
+  };
+  std::string output;
+  const serve::ServeReport report =
+      run_serve(build_replay_log(), output, options);
+  EXPECT_EQ(report.requests, 500u);
+  EXPECT_EQ(hook_calls, 500u);
+  EXPECT_EQ(last_seq, 499u);
+  EXPECT_TRUE(arrival_order);
+  const std::string metrics_json = read_file(metrics_path);
+  ASSERT_FALSE(metrics_json.empty());
+  expect_delta_sums_match_final_snapshot(sums, metrics_json);
+  // Spot-check that the deltas carried real optimizer work, not just
+  // empties: 480 well-formed requests each start one descent run.
+  EXPECT_EQ(sums["serve.requests.started"], 480u);
+  EXPECT_EQ(sums["descent.runs"], 480u);
+  EXPECT_GT(sums["descent.iterations"], 0u);
+  std::remove(metrics_path.c_str());
+}
+
+/// std::streambuf over a fixed string that calls serve::request_drain()
+/// once `drain_after_lines` newlines have been consumed — an in-process
+/// stand-in for SIGTERM arriving mid-log.
+class DrainingSource : public std::streambuf {
+ public:
+  DrainingSource(std::string text, int drain_after_lines)
+      : text_(std::move(text)), remaining_(drain_after_lines) {}
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= text_.size()) return traits_type::eof();
+    ch_ = text_[pos_++];
+    if (ch_ == '\n' && remaining_ > 0 && --remaining_ == 0)
+      serve::request_drain();
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+  int remaining_;
+  char ch_ = 0;
+};
+
+TEST(ServeMetricsMerge, DeltaSumsHoldAcrossMidLogDrain) {
+  const std::string metrics_path = "serve_merge_drain_metrics_test.json";
+  serve::ServeOptions options = test_options();
+  options.jobs = 2;
+  options.queue_capacity = 600;
+  options.max_lanes = 3;
+  options.metrics_path = metrics_path;
+  std::map<std::string, std::uint64_t> sums;
+  std::uint64_t hook_calls = 0;
+  options.on_request_metrics = [&](const serve::Response&,
+                                   const obs::MetricsSnapshot& delta) {
+    ++hook_calls;
+    for (const auto& c : delta.counters) sums[c.name] += c.value;
+  };
+  serve::reset_drain();
+  DrainingSource source(build_replay_log(200), 60);
+  std::istream in(&source);
+  std::ostringstream out;
+  const serve::ServeReport report = serve::serve(in, out, options);
+  serve::reset_drain();
+  EXPECT_TRUE(report.drained_early);
+  // Drain fires while line 60 is being read: that line still completes, and
+  // the read loop stops before the next one.
+  EXPECT_EQ(report.requests, 60u);
+  EXPECT_EQ(hook_calls, 60u);
+  const std::string metrics_json = read_file(metrics_path);
+  ASSERT_FALSE(metrics_json.empty());
+  expect_delta_sums_match_final_snapshot(sums, metrics_json);
+  std::remove(metrics_path.c_str());
+}
+
+// --- Live telemetry endpoint (DESIGN.md §15) -------------------------------
+
+/// Minimal HTTP/1.0 client against the loopback endpoint; returns the whole
+/// response (status line + headers + body), or "" when the connection fails.
+std::string http_request(int port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t off = 0;
+  while (off < request_text.size()) {
+    const ssize_t n = ::send(fd, request_text.data() + off,
+                             request_text.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+/// Blocks serve()'s reader until the test has finished scraping, then
+/// delivers EOF — keeps the server (and its endpoint) alive on demand.
+class BlockingFeed : public std::streambuf {
+ public:
+  void feed(const std::string& text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_ += text;
+    cv_.notify_all();
+  }
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pos_ < buffer_.size() || closed_; });
+    if (pos_ >= buffer_.size()) return traits_type::eof();
+    ch_ = buffer_[pos_++];
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool closed_ = false;
+  char ch_ = 0;
+};
+
+/// Polls `path` for a port number written by the server (one decimal line),
+/// for up to ~5 seconds. Returns -1 on timeout.
+int wait_for_port_file(const std::string& path) {
+  for (int tries = 0; tries < 500; ++tries) {
+    std::ifstream in(path);
+    int port = -1;
+    if (in >> port && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+TEST(ServeTelemetry, EndpointServesMetricsAndHealth) {
+  const std::string port_file = "serve_endpoint_port_test.txt";
+  std::remove(port_file.c_str());
+  serve::ServeOptions options = test_options();
+  options.metrics_port = 0;  // ephemeral
+  options.metrics_port_file = port_file;
+  BlockingFeed feed;
+  feed.feed(request_line("t1", tiny_config(10)) + "\n" +
+            request_line("t2", tiny_config(10)) + "\n");
+  std::istream in(&feed);
+  std::ostringstream out;
+  serve::reset_drain();
+  serve::ServeReport report;
+  std::thread server(
+      [&] { report = serve::serve(in, out, options); });
+
+  const int port = wait_for_port_file(port_file);
+  ASSERT_GT(port, 0) << "endpoint never wrote its port file";
+
+  // /metrics reflects merged request metrics once both responses flushed;
+  // poll rather than race the workers.
+  std::string metrics;
+  for (int tries = 0; tries < 500; ++tries) {
+    metrics = http_get(port, "/metrics");
+    if (metrics.find("mocos_serve_requests_ok 2") != std::string::npos)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mocos_serve_requests_ok 2"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("# TYPE mocos_serve_request_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mocos_serve_request_latency_quantile{q=\"0.99\"}"),
+            std::string::npos);
+
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"queue_depth\": "), std::string::npos);
+  EXPECT_NE(health.find("\"lanes_live\": "), std::string::npos);
+  EXPECT_NE(health.find("\"draining\": false"), std::string::npos);
+
+  EXPECT_NE(http_get(port, "/nope").find("HTTP/1.0 404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(http_request(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405 Method Not Allowed"),
+            std::string::npos);
+
+  feed.close();
+  server.join();
+  EXPECT_EQ(report.requests, 2u);
+  EXPECT_EQ(report.ok, 2u);
+  std::remove(port_file.c_str());
+}
+
+TEST(ServeTelemetry, ProfileFileWrittenAtDrain) {
+  const std::string profile_path = "serve_profile_test.json";
+  std::remove(profile_path.c_str());
+  serve::ServeOptions options = test_options();
+  options.jobs = 1;
+  options.profile_path = profile_path;
+  std::string output;
+  const serve::ServeReport report = run_serve(
+      request_line("p1", tiny_config(10)) + "\n", output, options);
+  EXPECT_EQ(report.ok, 1u);
+  const std::string profile = read_file(profile_path);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_NE(profile.find("\"version\": 1"), std::string::npos);
+  // Stacks are rooted at the serve.request phase the server installs.
+  EXPECT_NE(profile.find("\"serve.request\""), std::string::npos) << profile;
+  EXPECT_NE(profile.find("\"serve.request;"), std::string::npos) << profile;
+  std::remove(profile_path.c_str());
+}
+
+/// The replay contract with the telemetry plane switched on: the same
+/// 500-request log, jobs 1 vs 8, while a scraper hammers /metrics and
+/// /healthz — responses stay byte-identical (the endpoint only reads).
+TEST(ServeReplay, EndpointEnabledReplayIsByteIdenticalWhilePolled) {
+  const std::string log = build_replay_log();
+  serve::ServeOptions options = test_options();
+  options.queue_capacity = 600;
+  options.max_lanes = 3;
+  options.metrics_port = 0;
+
+  auto run_polled = [&](std::size_t jobs, const std::string& port_file) {
+    std::remove(port_file.c_str());
+    options.jobs = jobs;
+    options.metrics_port_file = port_file;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> scrapes{0};
+    std::thread poller([&] {
+      int port = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (port <= 0) {
+          std::ifstream in(port_file);
+          if (!(in >> port)) port = -1;
+        }
+        if (port > 0) {
+          if (http_get(port, "/metrics").find("200 OK") !=
+              std::string::npos)
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          http_get(port, "/healthz");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    std::string output;
+    const serve::ServeReport report = run_serve(log, output, options);
+    stop.store(true, std::memory_order_relaxed);
+    poller.join();
+    std::remove(port_file.c_str());
+    EXPECT_EQ(report.requests, 500u);
+    EXPECT_GT(scrapes.load(), 0u) << "the poller never reached /metrics";
+    return output;
+  };
+
+  const std::string out_jobs1 = run_polled(1, "serve_poll_port_j1.txt");
+  const std::string out_jobs8 = run_polled(8, "serve_poll_port_j8.txt");
+  EXPECT_EQ(out_jobs1, out_jobs8);
 }
 
 }  // namespace

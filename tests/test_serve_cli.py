@@ -16,12 +16,14 @@ Registered as the `ServeCli.*` ctests; runnable directly:
 """
 
 import argparse
+import http.client
 import json
 import os
 import signal
 import subprocess
 import sys
 import tempfile
+import time
 import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -165,6 +167,91 @@ class SigtermDrain(unittest.TestCase):
                 snapshot = json.load(f)
             self.assertIn("serve.requests.total", snapshot["counters"])
             self.assertIn("serve.queue.peak_depth", snapshot["gauges"])
+
+
+class TelemetryEndpoint(unittest.TestCase):
+    """The DESIGN.md §15 telemetry plane, end to end: --metrics-port 0
+    binds an ephemeral loopback port, /metrics serves Prometheus text,
+    /healthz live server state, and --profile leaves a valid profile."""
+
+    @staticmethod
+    def wait_for_port(path, timeout_s=10.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                with open(path) as f:
+                    return int(f.read().strip())
+            except (OSError, ValueError):
+                time.sleep(0.05)
+        return -1
+
+    @staticmethod
+    def http_get(port, path):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), \
+                response.read().decode()
+        finally:
+            conn.close()
+
+    def test_endpoint_smoke(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            port_file = os.path.join(tmp, "port.txt")
+            profile = os.path.join(tmp, "profile.json")
+            proc = subprocess.Popen(
+                [SERVE, "--jobs", "2", "--metrics-port", "0",
+                 "--metrics-port-file", port_file, "--profile", profile],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True)
+            try:
+                proc.stdin.write(request_line("e1", 10) + "\n")
+                proc.stdin.write(request_line("e2", 10) + "\n")
+                proc.stdin.flush()
+                port = self.wait_for_port(port_file)
+                self.assertGreater(port, 0, "no port file written")
+                # Both responses flushed => their metrics are merged.
+                for _ in range(2):
+                    self.assertTrue(proc.stdout.readline().strip())
+
+                status, headers, body = self.http_get(port, "/metrics")
+                self.assertEqual(status, 200)
+                self.assertEqual(headers.get("Content-Type"),
+                                 "text/plain; version=0.0.4")
+                self.assertIn("mocos_serve_requests_ok 2", body)
+                self.assertIn("# TYPE mocos_serve_request_latency histogram",
+                              body)
+                self.assertIn(
+                    'mocos_serve_request_latency_quantile{q="0.99"}', body)
+
+                status, headers, body = self.http_get(port, "/healthz")
+                self.assertEqual(status, 200)
+                self.assertEqual(headers.get("Content-Type"),
+                                 "application/json")
+                health = json.loads(body)
+                self.assertEqual(health["status"], "ok")
+                self.assertFalse(health["draining"])
+                for key in ("queue_depth", "queue_capacity", "inflight",
+                            "lanes_live", "lanes_evicted"):
+                    self.assertIn(key, health)
+
+                status, _, _ = self.http_get(port, "/nope")
+                self.assertEqual(status, 404)
+
+                out, err = proc.communicate(timeout=120)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+            self.assertEqual(proc.returncode, 0, err)
+            self.assertFalse(out.strip())  # both responses already read
+            # --profile left a valid, non-trivial phase profile behind.
+            with open(profile) as f:
+                doc = json.load(f)
+            self.assertEqual(doc["version"], 1)
+            self.assertTrue(any(k.startswith("serve.request")
+                                for k in doc["phases"]), doc["phases"])
 
 
 def main():

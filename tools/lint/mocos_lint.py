@@ -15,6 +15,14 @@ and `src/markov/incremental.*` (the solver cache every descent probe rides):
   det-unordered  iteration over std::unordered_{map,set} — bucket order is
                  implementation-defined, so any fold over it is
                  scheduling/libstdc++-dependent. Reduce over indexed vectors.
+  det-socket     raw POSIX socket/poll call — network arrival order is
+                 scheduling the contract cannot see; the serve telemetry
+                 endpoint (src/serve/telemetry_http.cpp, DESIGN.md §15) is
+                 the one sanctioned site and carries per-line allows. The
+                 rule matches ::-qualified spellings plus the names that
+                 cannot collide with project identifiers (socket, sendto,
+                 recvfrom, setsockopt, getsockname, listen), so
+                 ServerImpl::accept and std::bind stay clean.
 
 Numerical-safety contract (PR 1): descent/recovery code must route linear
 algebra through the guarded Try* layer so the recovery ladder can see
@@ -159,9 +167,9 @@ MODULE_DEPS = {
     "sensing": {"geometry", "linalg", "util"},
     "sparse": {"linalg", "markov", "partition", "util"},
     "markov": {"linalg", "obs", "partition", "sparse", "util"},
-    "partition": {"geometry", "linalg", "markov", "runtime", "sparse",
+    "partition": {"geometry", "linalg", "markov", "obs", "runtime", "sparse",
                   "util"},
-    "cost": {"linalg", "markov", "sensing", "util"},
+    "cost": {"linalg", "markov", "obs", "sensing", "util"},
     "descent": {"cost", "linalg", "markov", "obs", "runtime", "util"},
     "sim": {"markov", "runtime", "sensing", "util"},
     "core": {"cost", "descent", "geometry", "markov", "runtime", "sensing",
@@ -184,6 +192,10 @@ RULES = {
                 "happened; thread timestamps in explicitly",
     "det-unordered": "unordered-container iteration order is implementation-"
                      "defined; iterate an indexed/sorted sequence instead",
+    "det-socket": "raw socket/poll call in the determinism scope; network "
+                  "timing must never steer results — the telemetry endpoint "
+                  "is the only sanctioned site (suppress with a "
+                  "justification there)",
     "raw-solver": "throwing solver entry point in descent/recovery code; "
                   "call the try_* variant so the recovery ladder can branch "
                   "on the failure",
@@ -225,6 +237,16 @@ RE_UNORDERED_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*(\w+)\s*\)")
 RE_UNORDERED_INLINE = re.compile(
     r"\bfor\s*\([^;)]*unordered_(?:map|set|multimap|multiset)\b")
 RE_UNORDERED_BEGIN = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+# Two alternatives: (a) ::-qualified POSIX socket calls (how the tree spells
+# them), excluding std:: so std::bind / std::accumulate-style names never
+# match; (b) unqualified calls of the names no project identifier collides
+# with. Deliberately NOT matched unqualified: bind (std::bind), accept
+# (ServerImpl::accept), send/recv/poll/select/connect/shutdown (too generic).
+RE_DET_SOCKET = re.compile(
+    r"(?<!std)::\s*(?:socket|bind|listen|accept|connect|send|sendto|recv|"
+    r"recvfrom|poll|select|shutdown|setsockopt|getsockname)\s*\("
+    r"|(?<![\w.:>])(?:socket|sendto|recvfrom|setsockopt|getsockname|listen)"
+    r"\s*\(")
 RE_RAW_SOLVER = re.compile(
     r"\b(lu_factor|stationary_distribution|fundamental_matrix|"
     r"group_inverse|first_passage_times|analyze_chain)\s*\(")
@@ -453,6 +475,8 @@ def lint_file(abs_path, rel_path, violations, include_edges=None):
                 report("det-rng")
             if RE_DET_TIME.search(code):
                 report("det-time")
+            if RE_DET_SOCKET.search(code):
+                report("det-socket")
             for m in RE_UNORDERED_DECL.finditer(code):
                 unordered_vars.add(m.group(1))
             if RE_UNORDERED_INLINE.search(code):

@@ -13,7 +13,10 @@ prefix:
 Chrome's about://tracing and Perfetto (ui.perfetto.dev) load a single JSON
 object {"traceEvents": [...]}. This script wraps the events, adds the pid
 field the viewers require, and widens instants to thread scope so they are
-visible at any zoom. Dependency-free (Python 3 stdlib only).
+visible at any zoom. Instants carrying numeric args (metric instants such
+as descent.iteration's cost/gradient values) additionally produce Chrome
+counter events ("ph":"C") so the viewers plot them as time series instead
+of dropping the numbers. Dependency-free (Python 3 stdlib only).
 
 Usage:
   trace2chrome.py [-o OUT.json] [TRACE.ndjson]
@@ -56,6 +59,27 @@ def convert_lines(lines):
             # thread's track instead of full-height global lines.
             event.setdefault("s", "t")
         yield event
+        if event["ph"] == "i":
+            counter = counter_event(event)
+            if counter is not None:
+                yield counter
+
+
+def counter_event(instant):
+    """Returns a Chrome counter event plotting the numeric args of a metric
+    instant, or None when the instant carries no numbers. Booleans are
+    excluded (they are flags, not series), and string args (like the request
+    id) stay on the instant only."""
+    args = instant.get("args")
+    if not isinstance(args, dict):
+        return None
+    series = {k: v for k, v in args.items()
+              if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    if not series:
+        return None
+    return {"ph": "C", "name": instant["name"], "cat": instant["cat"],
+            "ts": instant["ts"], "pid": instant["pid"],
+            "tid": instant["tid"], "args": series}
 
 
 def main(argv):

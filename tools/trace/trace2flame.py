@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""trace2flame — turn a mocos --profile JSON into flamegraph inputs.
+
+The CLI's and mocos_serve's --profile flag writes one JSON document of
+exclusive/inclusive wall time per phase-stack path (semicolon-joined, e.g.
+"descent.run;line_search;chain_solve"); tools/trace/profile_schema.json is
+the authoritative shape:
+
+  {"version": 1,
+   "phases": {"descent.run": {"count": 1, "exclusive_ns": 1200,
+              "inclusive_ns": 9800}, ...}}
+
+This script emits Brendan-Gregg collapsed-stack lines ("stack count" with
+exclusive microseconds as the count, the input format of flamegraph.pl and
+speedscope) and, with --svg, renders a self-contained SVG flamegraph
+directly so CI can publish an artifact without any third-party tooling.
+Dependency-free (Python 3 stdlib only).
+
+Usage:
+  trace2flame.py [-o OUT.collapsed] [--svg OUT.svg] [--title T] [PROF.json]
+
+Reads stdin when no input file is given; writes collapsed lines to stdout
+when -o is omitted (suppressed entirely by --svg-only).
+Exit status: 0 on success, 1 on malformed input, 2 on usage error.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+
+# ---------------------------------------------------------------------------
+# Profile parsing
+
+
+def load_profile(stream):
+    """Parses and validates a --profile document; returns {stack: excl_ns}.
+    Raises ValueError on any shape violation."""
+    try:
+        doc = json.load(stream)
+    except json.JSONDecodeError as err:
+        raise ValueError("not valid JSON: %s" % err)
+    if not isinstance(doc, dict):
+        raise ValueError("profile is not a JSON object")
+    if doc.get("version") != 1:
+        raise ValueError("unsupported profile version %r (want 1)"
+                         % doc.get("version"))
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        raise ValueError('missing "phases" object')
+    out = {}
+    for stack, stats in phases.items():
+        if not stack or not isinstance(stats, dict):
+            raise ValueError("phase %r: malformed entry" % stack)
+        for key in ("count", "exclusive_ns", "inclusive_ns"):
+            value = stats.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError("phase %r: %s must be a non-negative "
+                                 "integer, got %r" % (stack, key, value))
+        out[stack] = stats["exclusive_ns"]
+    return out
+
+
+def collapsed_lines(excl_by_stack):
+    """Yields collapsed-stack lines, exclusive time in integer microseconds.
+    Zero-width stacks are kept (count 0) so the set of seen phases is
+    preserved for diffing two profiles."""
+    for stack in sorted(excl_by_stack):
+        yield "%s %d" % (stack, excl_by_stack[stack] // 1000)
+
+
+# ---------------------------------------------------------------------------
+# SVG rendering
+
+
+class Node(object):
+    def __init__(self, name):
+        self.name = name
+        self.exclusive_ns = 0
+        self.children = {}  # name -> Node
+
+    def total_ns(self):
+        return self.exclusive_ns + sum(c.total_ns()
+                                       for c in self.children.values())
+
+
+def build_tree(excl_by_stack):
+    root = Node("all")
+    for stack, excl in excl_by_stack.items():
+        node = root
+        for frame in stack.split(";"):
+            node = node.children.setdefault(frame, Node(frame))
+        node.exclusive_ns += excl
+    return root
+
+
+def frame_color(name):
+    """Deterministic warm color per frame name (stable across runs)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    r = 205 + digest[0] % 50
+    g = 80 + digest[1] % 110
+    b = digest[2] % 55
+    return "rgb(%d,%d,%d)" % (r, g, b)
+
+
+def escape(text):
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+FRAME_HEIGHT = 17
+MIN_WIDTH_PX = 0.3  # cull sub-pixel rectangles
+CHAR_PX = 6.5       # label width heuristic for 11px monospace
+
+
+def render_svg(root, title, width=1200):
+    """Returns a flamegraph SVG document (root at the bottom, flame
+    orientation) as a string."""
+    total = root.total_ns()
+    depth = [0]
+
+    def measure(node, level):
+        depth[0] = max(depth[0], level)
+        for child in node.children.values():
+            measure(child, level + 1)
+
+    measure(root, 0)
+    height = (depth[0] + 1) * FRAME_HEIGHT + 50
+    parts = [
+        '<?xml version="1.0" standalone="no"?>',
+        '<svg version="1.1" width="%d" height="%d" '
+        'xmlns="http://www.w3.org/2000/svg">' % (width, height),
+        '<rect x="0" y="0" width="%d" height="%d" fill="#f8f8f8"/>'
+        % (width, height),
+        '<text x="%d" y="24" text-anchor="middle" '
+        'font-family="monospace" font-size="15">%s</text>'
+        % (width // 2, escape(title)),
+    ]
+
+    def emit(node, level, x0_ns, scale):
+        w = node.total_ns() * scale
+        if w < MIN_WIDTH_PX:
+            return
+        x = x0_ns * scale
+        y = height - 10 - (level + 1) * FRAME_HEIGHT
+        pct = 100.0 * node.total_ns() / total if total else 0.0
+        label = node.name if w >= len(node.name) * CHAR_PX else (
+            node.name[:max(0, int(w / CHAR_PX) - 2)] + ".." if w >= 3 * CHAR_PX
+            else "")
+        parts.append('<g><title>%s: %.3f ms (%.1f%%)</title>'
+                     % (escape(node.name), node.total_ns() / 1e6, pct))
+        parts.append('<rect x="%.2f" y="%d" width="%.2f" height="%d" '
+                     'fill="%s" stroke="#f8f8f8"/>'
+                     % (x, y, w, FRAME_HEIGHT - 1, frame_color(node.name)))
+        if label:
+            parts.append('<text x="%.2f" y="%d" font-family="monospace" '
+                         'font-size="11">%s</text>'
+                         % (x + 3, y + 12, escape(label)))
+        parts.append("</g>")
+        # Children left-to-right in name order: the layout is a pure function
+        # of the profile content, so identical profiles render identical SVGs.
+        child_x = x0_ns
+        for name in sorted(node.children):
+            child = node.children[name]
+            emit(child, level + 1, child_x, scale)
+            child_x += child.total_ns()
+
+    if total > 0:
+        emit(root, 0, 0, float(width) / total)
+    else:
+        parts.append('<text x="%d" y="%d" text-anchor="middle" '
+                     'font-family="monospace" font-size="12">'
+                     '(empty profile)</text>' % (width // 2, height // 2))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="trace2flame", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("profile", nargs="?", default=None,
+                        help="--profile JSON file (default: stdin)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="collapsed-stack output file (default: stdout)")
+    parser.add_argument("--svg", default=None, metavar="OUT.svg",
+                        help="also render a self-contained SVG flamegraph")
+    parser.add_argument("--svg-only", action="store_true",
+                        help="suppress the collapsed-stack output")
+    parser.add_argument("--title", default="mocos phase profile",
+                        help="SVG title line")
+    args = parser.parse_args(argv)
+    if args.svg_only and args.svg is None:
+        print("trace2flame: --svg-only requires --svg", file=sys.stderr)
+        return 2
+
+    if args.profile is None:
+        stream, close_in = sys.stdin, None
+    else:
+        try:
+            close_in = open(args.profile, "r", encoding="utf-8")
+        except OSError as err:
+            print("trace2flame: %s" % err, file=sys.stderr)
+            return 2
+        stream = close_in
+
+    try:
+        excl = load_profile(stream)
+    except ValueError as err:
+        print("trace2flame: %s" % err, file=sys.stderr)
+        return 1
+    finally:
+        if close_in is not None:
+            close_in.close()
+
+    try:
+        if not args.svg_only:
+            text = "\n".join(collapsed_lines(excl))
+            if args.output is None:
+                if text:
+                    print(text)
+            else:
+                with open(args.output, "w", encoding="utf-8") as out:
+                    out.write(text + ("\n" if text else ""))
+        if args.svg is not None:
+            with open(args.svg, "w", encoding="utf-8") as out:
+                out.write(render_svg(build_tree(excl), args.title))
+    except OSError as err:
+        print("trace2flame: %s" % err, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
